@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Figure 11: DMS read (R) and read+write (RW) bandwidth across 32
+ * dpCores for a column-major table, sweeping the column count
+ * (1..32) and the DMEM tile size. Paper shape: bandwidth rises with
+ * tile size (fixed DMS configuration overheads amortize), falls
+ * slightly with more columns (the DMS fetches one column at a time
+ * and pays non-contiguous DRAM page latency), and peaks above
+ * 9 GB/s at 8 KB buffers (~75% of DDR3 peak).
+ */
+
+#include "bench/report.hh"
+#include "rt/dms_ctl.hh"
+#include "soc/soc.hh"
+
+using namespace dpu;
+
+namespace {
+
+/** Aggregate bandwidth with all 32 cores streaming. */
+double
+run(unsigned n_cols, std::uint32_t tile_bytes, bool write_back)
+{
+    soc::SocParams p = soc::dpu40nm();
+    const std::uint64_t bytes_per_core = 256 << 10;
+    const std::uint64_t col_bytes = bytes_per_core / n_cols;
+    p.ddrBytes = 160 << 20;
+    soc::Soc s(p);
+
+    const mem::Addr out_base = 96 << 20;
+    for (unsigned id = 0; id < 32; ++id) {
+        s.start(id, [&, id, n_cols, tile_bytes,
+                     write_back](core::DpCore &c) {
+            rt::DmsCtl ctl(c, s.dms());
+            // Row-aligned tiles: every iteration fetches the next
+            // tile of EVERY column (the access pattern a scan over
+            // a column-major table needs), double-buffered across
+            // two rewritable descriptor slots. Column switches hit
+            // different DRAM regions — the paper's "small latency
+            // overhead in fetching non-contiguous DRAM pages".
+            dms::Descriptor nop;
+            rt::DescHandle slot[2] = {ctl.setup(nop),
+                                      ctl.setup(nop)};
+            bool pending[2] = {false, false};
+            const std::uint64_t tiles_per_col =
+                col_bytes / tile_bytes;
+            const std::uint64_t total_tiles =
+                tiles_per_col * n_cols;
+            unsigned out_bufs = tile_bytes >= 8192 ? 1 : 2;
+            rt::StreamWriter out(ctl,
+                                 out_base + mem::Addr(id) *
+                                                bytes_per_core,
+                                 std::uint16_t(2 * tile_bytes),
+                                 tile_bytes, out_bufs, 8, 1);
+            auto fetch = [&](std::uint64_t t_idx, unsigned sl) {
+                unsigned col = unsigned(t_idx % n_cols);
+                std::uint64_t tile = t_idx / n_cols;
+                dms::Descriptor d;
+                d.type = dms::DescType::DdrToDmem;
+                d.rows = tile_bytes / 4;
+                d.colWidth = 4;
+                d.ddrAddr = (mem::Addr(col) * 32 + id) * col_bytes +
+                            tile * tile_bytes;
+                d.dmemAddr = std::uint16_t(sl * tile_bytes);
+                d.notifyEvent = std::int8_t(sl);
+                ctl.rewrite(slot[sl], d);
+                ctl.push(slot[sl], 0);
+                pending[sl] = true;
+            };
+            fetch(0, 0);
+            if (total_tiles > 1)
+                fetch(1, 1);
+            for (std::uint64_t t_idx = 0; t_idx < total_tiles;
+                 ++t_idx) {
+                unsigned sl = unsigned(t_idx & 1);
+                ctl.wfe(sl);
+                c.dualIssue(tile_bytes / 8, tile_bytes / 8);
+                if (write_back) {
+                    (void)out.acquire();
+                    out.commit(tile_bytes);
+                }
+                ctl.clearEvent(sl);
+                pending[sl] = false;
+                if (t_idx + 2 < total_tiles)
+                    fetch(t_idx + 2, sl);
+            }
+            if (write_back)
+                out.finish();
+            (void)pending;
+        });
+    }
+    sim::Tick t = s.run();
+    double moved = 32.0 * bytes_per_core * (write_back ? 2 : 1);
+    return moved / (double(t) * 1e-12) / 1e9;
+}
+
+} // namespace
+
+int
+main()
+{
+    sim::setVerbose(false);
+    bench::header("Figure 11",
+                  "DMS R / RW bandwidth vs columns and tile size");
+
+    const unsigned cols[] = {1, 2, 4, 8, 16, 32};
+    const std::uint32_t tiles[] = {512, 1024, 2048, 8192};
+
+    for (bool rw : {false, true}) {
+        bench::row("\n  %s bandwidth (GB/s):", rw ? "R+W" : "R");
+        std::printf("    cols:");
+        for (unsigned c : cols)
+            std::printf(" %7u", c);
+        std::printf("\n");
+        for (std::uint32_t tb : tiles) {
+            std::printf("  %5u B", tb);
+            for (unsigned c : cols)
+                std::printf(" %7.2f", run(c, tb, rw));
+            std::printf("\n");
+        }
+    }
+
+    bench::compare("peak R bandwidth at 8 KB tiles", 9.3,
+                   run(4, 8192, false), "GB/s");
+    bench::row("  paper shape: >9 GB/s at 8 KB tiles (75%% of DDR3"
+               " peak); small tiles lose bandwidth to fixed DMS"
+               " configuration overheads. (Our bank model prices"
+               " column switches into every configuration, so the"
+               " per-column slope is flatter than the paper's"
+               " already-slight decrease.)");
+    return 0;
+}

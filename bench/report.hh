@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Tiny reporting helpers shared by the per-figure benchmark
+ * binaries: aligned table printing plus the paper-vs-measured
+ * footer every bench emits.
+ */
+
+#ifndef DPU_BENCH_REPORT_HH
+#define DPU_BENCH_REPORT_HH
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace bench {
+
+inline void
+header(const char *fig, const char *title)
+{
+    std::printf("\n=== %s — %s ===\n", fig, title);
+}
+
+inline void
+row(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::vprintf(fmt, ap);
+    va_end(ap);
+    std::printf("\n");
+}
+
+/** One "paper says X, we measured Y" comparison line. */
+inline void
+compare(const char *what, double paper, double measured,
+        const char *unit)
+{
+    std::printf("  %-44s paper %8.2f  measured %8.2f  %s\n", what,
+                paper, measured, unit);
+}
+
+} // namespace bench
+
+#endif // DPU_BENCH_REPORT_HH

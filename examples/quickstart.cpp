@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Quickstart: the paper's Listing 1, line for line.
+ *
+ * Streams 16 MB of DRAM through a 32 KB DMEM with exactly three DMS
+ * descriptors — two 1 KB ping-pong buffers plus one loop descriptor
+ * (8191 iterations) — while the dpCore consumes each buffer between
+ * wfe / clear_event, then prints the achieved bandwidth.
+ *
+ *   $ ./quickstart
+ */
+
+#include <cstdio>
+
+#include "rt/dms_ctl.hh"
+#include "soc/soc.hh"
+
+using namespace dpu;
+
+int
+main()
+{
+    sim::setVerbose(false);
+
+    soc::SocParams params = soc::dpu40nm();
+    params.ddrBytes = 24 << 20;
+    soc::Soc dpu(params);
+
+    // Fill 16 MB of simulated DRAM with word pattern i.
+    const std::uint32_t total = 16 << 20;
+    for (std::uint32_t i = 0; i < total / 4; ++i)
+        dpu.memory().store().store<std::uint32_t>(i * 4, i);
+
+    std::uint64_t checksum = 0;
+
+    dpu.start(0, [&](core::DpCore &core) {
+        rt::DmsCtl dms(core, dpu.dms());
+        const mem::Addr src_addr = 0;
+        const std::uint16_t dest_addr = 0;
+
+        // dms_descriptor* desc0 =
+        //     dms_setup_ddr_to_dmem(256, src_addr, dest_addr, event0);
+        auto desc0 = dms.setupDdrToDmem(256, 4, src_addr, dest_addr,
+                                        /*event0=*/0);
+        // dms_descriptor* desc1 = dms_setup_ddr_to_dmem(256,
+        //     src_addr, dest_addr + 1024, event1);
+        auto desc1 = dms.setupDdrToDmem(256, 4, src_addr,
+                                        dest_addr + 1024,
+                                        /*event1=*/1);
+        // dms_descriptor* loop = dms_setup_loop(desc0, 8191);
+        auto loop = dms.setupLoop(desc0, 8191);
+
+        dms.push(desc0);
+        dms.push(desc1);
+        dms.push(loop);
+
+        unsigned events[] = {0, 1};
+        unsigned buffer_index = 0;
+        std::uint32_t count = 0;
+        do {
+            dms.wfe(events[buffer_index]);
+            // consume_rows();
+            std::uint32_t base = buffer_index ? 1024u : 0u;
+            for (std::uint32_t i = 0; i < 256; ++i)
+                checksum += core.dmem().load<std::uint32_t>(base +
+                                                            i * 4);
+            core.dualIssue(256, 256);
+            dms.clearEvent(events[buffer_index]);
+            buffer_index = 1 - buffer_index; // toggle index
+        } while (++count != 16384);
+    });
+
+    sim::Tick t = dpu.run();
+
+    std::uint64_t expect = 0;
+    for (std::uint32_t i = 0; i < total / 4; ++i)
+        expect += i;
+
+    double ms = double(t) * 1e-9;
+    double gbs = double(total) / (double(t) * 1e-12) / 1e9;
+    std::printf("Listing 1: streamed 16 MB with 3 descriptors in "
+                "%.3f ms (%.2f GB/s)\n", ms, gbs);
+    std::printf("checksum %s (0x%llx)\n",
+                checksum == expect ? "OK" : "MISMATCH",
+                (unsigned long long)checksum);
+    std::printf("(a single consuming dpCore is bound at 4 B/cycle "
+                "= 3.2 GB/s; the DMS side runs at line rate)\n");
+    return checksum == expect ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared scaffolding for the co-design applications (Section 5):
+ * the DPU-vs-Xeon result record with the paper's performance/watt
+ * metric, and helpers for staging workload data in simulated DDR.
+ */
+
+#ifndef DPU_APPS_COMMON_HH
+#define DPU_APPS_COMMON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "soc/soc.hh"
+#include "soc/soc_params.hh"
+#include "xeon/xeon_model.hh"
+
+namespace dpu::apps {
+
+/** One application's head-to-head outcome. */
+struct AppResult
+{
+    std::string name;
+    double dpuSeconds = 0;
+    double xeonSeconds = 0;
+    /** Work-per-run for throughput reporting (e.g. bytes, tuples). */
+    double workUnits = 0;
+    const char *unitName = "bytes";
+    /** Functional agreement between DPU and baseline outputs. */
+    bool matched = false;
+
+    /** Performance/watt gain, the Figure 14/16 metric. */
+    double
+    gain(double dpu_watts = 6.0,
+         double xeon_watts = soc::xeonTdpWatts) const
+    {
+        return (xeonSeconds / dpuSeconds) * (xeon_watts / dpu_watts);
+    }
+
+    double dpuThroughput() const { return workUnits / dpuSeconds; }
+    double xeonThroughput() const { return workUnits / xeonSeconds; }
+};
+
+/** Copy a host vector into simulated DDR at @p addr. */
+template <typename T>
+inline void
+stage(soc::Soc &s, mem::Addr addr, const std::vector<T> &v)
+{
+    s.memory().store().write(addr, v.data(), v.size() * sizeof(T));
+}
+
+/** Read a host vector back out of simulated DDR. */
+template <typename T>
+inline std::vector<T>
+unstage(soc::Soc &s, mem::Addr addr, std::size_t n)
+{
+    std::vector<T> v(n);
+    s.memory().store().read(addr, v.data(), n * sizeof(T));
+    return v;
+}
+
+/** Round @p x up to a multiple of @p align. */
+constexpr std::uint64_t
+alignUp(std::uint64_t x, std::uint64_t align)
+{
+    return (x + align - 1) / align * align;
+}
+
+} // namespace dpu::apps
+
+#endif // DPU_APPS_COMMON_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Stereo disparity (Section 5.6, Figure 17).
+ *
+ * SD-VBS-style block-matching disparity: for each candidate shift
+ * the absolute difference image is box-filtered (the row-wise and
+ * column-wise access patterns of Figure 17) and a running
+ * minimum-cost shift is kept per pixel. The DPU uses the
+ * fine-grained parallelization the paper found superior: the image
+ * is split into per-core row bands computed in lockstep, one ATE
+ * barrier per vision-kernel phase, with the DMS streaming rows in
+ * and the cost/argmin maps back out.
+ */
+
+#ifndef DPU_APPS_DISPARITY_HH
+#define DPU_APPS_DISPARITY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/common.hh"
+
+namespace dpu::apps {
+
+struct DisparityConfig
+{
+    std::uint32_t width = 512;
+    std::uint32_t height = 256;
+    unsigned maxShift = 24;
+    unsigned window = 5;        ///< box-filter side (odd)
+    std::uint64_t seed = 9;
+    unsigned nCores = 32;
+};
+
+struct DisparityResult
+{
+    double seconds = 0;
+    std::vector<std::uint8_t> disparity; ///< per-pixel argmin shift
+    /** Fraction of pixels whose recovered shift equals the ground
+     *  truth (away from occlusion borders). */
+    double groundTruthHitRate = 0;
+};
+
+DisparityResult dpuDisparity(const soc::SocParams &params,
+                             const DisparityConfig &cfg);
+DisparityResult xeonDisparity(const DisparityConfig &cfg);
+
+/** Figure 14 entry. */
+AppResult disparityApp(const DisparityConfig &cfg);
+
+} // namespace dpu::apps
+
+#endif // DPU_APPS_DISPARITY_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * TPCH-like analytic queries (Section 5.3, Figure 16).
+ *
+ * A scaled-down dbgen produces columnar lineitem / orders /
+ * customer / part tables in simulated DDR. Five representative
+ * queries run as hand-planned operator pipelines:
+ *
+ *   Q1  scan lineitem, date filter, 6-group aggregate (merge op)
+ *   Q3  customer segment ⋈ orders date ⋈ lineitem, revenue by
+ *       order, top-10
+ *   Q6  pure filter + single aggregate
+ *   Q12 lineitem shipmode/date filters ⋈ orders, priority counts
+ *   Q14 part promo types ⋈ lineitem, promo revenue ratio
+ *
+ * Every DPU plan distributes rows with the DMS hardware partitioner
+ * (the paper's "partitioning provides a natural way to parallelize
+ * the operation among the cores"), keeps per-core hash tables and
+ * aggregates in DMEM, and reduces with ATE RPCs. The Xeon baseline
+ * evaluates the same plans functionally and is charged stream +
+ * random-probe traffic on the roofline model.
+ */
+
+#ifndef DPU_APPS_SQL_TPCH_HH
+#define DPU_APPS_SQL_TPCH_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/common.hh"
+
+namespace dpu::apps::sql {
+
+/** Scale knob: rows ~= scale * TPCH SF 0.01. */
+struct TpchConfig
+{
+    double scale = 1.0;
+    std::uint64_t seed = 77;
+    unsigned nCores = 32;
+
+    std::uint32_t nLineitem() const
+    {
+        return std::uint32_t(48000 * scale);
+    }
+    std::uint32_t nOrders() const
+    {
+        return std::uint32_t(12000 * scale);
+    }
+    std::uint32_t nCustomers() const
+    {
+        return std::uint32_t(1200 * scale);
+    }
+    std::uint32_t nParts() const
+    {
+        return std::uint32_t(1600 * scale);
+    }
+};
+
+/** One query's outcome: named integer aggregates, exact on both
+ *  platforms (prices are integer cents, discounts integer %). */
+struct QueryResult
+{
+    std::string query;
+    double seconds = 0;
+    std::map<std::string, std::uint64_t> values;
+};
+
+/** The supported queries. */
+extern const char *const tpchQueries[5];
+
+QueryResult dpuTpch(const soc::SocParams &params,
+                    const TpchConfig &cfg, const std::string &query);
+QueryResult xeonTpch(const TpchConfig &cfg, const std::string &query);
+
+/** Figure 16 entry for one query. */
+AppResult tpchApp(const TpchConfig &cfg, const std::string &query);
+
+} // namespace dpu::apps::sql
+
+#endif // DPU_APPS_SQL_TPCH_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Support Vector Machine training (Section 5.1).
+ *
+ * A variation of Cao et al.'s parallel SMO, as in the paper: every
+ * iteration each dpCore scans its slice of the samples, maintains
+ * the error cache f, and proposes its local maximum-violating pair;
+ * a designated master reduces the proposals over the ATE, updates
+ * the two alphas and the (linear-kernel) weight vector, and
+ * broadcasts the update. Kernels are generated on the fly from
+ * DMS-streamed samples — the paper found that faster than
+ * maintaining a kernel cache on the DPU.
+ *
+ * All DPU arithmetic is Q10.22 fixed point; the coarser fixed-point
+ * KKT tolerance converges in fewer iterations with no accuracy loss
+ * (Section 5.1 reports ~35% fewer).
+ */
+
+#ifndef DPU_APPS_SVM_HH
+#define DPU_APPS_SVM_HH
+
+#include <cstdint>
+
+#include "apps/common.hh"
+
+namespace dpu::apps {
+
+struct SvmConfig
+{
+    std::uint32_t nTrain = 8192;  ///< must divide by nCores
+    std::uint32_t nTest = 2048;
+    std::uint32_t dims = 28;      ///< HIGGS-like feature count
+    double c = 1.0;               ///< SMO box constraint
+    unsigned maxIters = 400;
+    std::uint64_t seed = 17;
+    unsigned nCores = 32;
+};
+
+struct SvmResult
+{
+    double seconds = 0;
+    unsigned iterations = 0;
+    double trainAccuracy = 0;
+    double testAccuracy = 0;
+};
+
+SvmResult dpuSvm(const soc::SocParams &params, const SvmConfig &cfg);
+SvmResult xeonSvm(const SvmConfig &cfg);
+
+/** Figure 14 entry. */
+AppResult svmApp(const SvmConfig &cfg);
+
+} // namespace dpu::apps
+
+#endif // DPU_APPS_SVM_HH

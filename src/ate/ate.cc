@@ -1,0 +1,245 @@
+#include "ate/ate.hh"
+
+#include "sim/logging.hh"
+
+namespace dpu::ate {
+
+namespace {
+
+sim::Tick
+cyc(sim::Cycles c)
+{
+    return sim::dpCoreClock.cyclesToTicks(c);
+}
+
+} // namespace
+
+Ate::Ate(sim::EventQueue &eq_, std::vector<core::DpCore *> cores_,
+         const AteParams &params)
+    : eq(eq_), cores(std::move(cores_)),
+      baseId(cores.empty() ? 0 : cores.front()->id()), p(params),
+      stats("ate"), pending(cores.size()),
+      lastDeliver(cores.size() * cores.size(), 0)
+{
+}
+
+unsigned
+Ate::local(unsigned global_id) const
+{
+    sim_assert(global_id >= baseId &&
+               global_id - baseId < cores.size(),
+               "core %u is outside this ATE complex", global_id);
+    return global_id - baseId;
+}
+
+sim::Tick
+Ate::oneWay(unsigned src, unsigned dst) const
+{
+    bool same_macro = src / core::coresPerMacro ==
+                      dst / core::coresPerMacro;
+    sim::Cycles c = 2 * p.localHop + (same_macro ? 0 : p.macroHop);
+    return cyc(c);
+}
+
+sim::Tick
+Ate::deliveryTick(unsigned src, unsigned dst)
+{
+    sim::Tick &last =
+        lastDeliver[local(src) * cores.size() + local(dst)];
+    sim::Tick t = std::max(eq.now() + oneWay(src, dst),
+                           last + cyc(p.linkSpacing));
+    last = t;
+    return t;
+}
+
+std::uint64_t
+Ate::doRemoteOp(unsigned target, AteOp op, mem::Addr addr,
+                std::uint64_t a, std::uint64_t b, unsigned bytes,
+                sim::Tick when, sim::Tick &op_done)
+{
+    sim_assert(bytes == 1 || bytes == 2 || bytes == 4 || bytes == 8,
+               "bad ATE op width %u", bytes);
+    core::DpCore &r = *cores[local(target)];
+    const std::uint64_t mask =
+        bytes == 8 ? ~0ull : ((1ull << (bytes * 8)) - 1);
+
+    auto read = [&](sim::Tick t, sim::Tick &done) -> std::uint64_t {
+        std::uint64_t v = 0;
+        if (mem::isDmemAddr(addr)) {
+            sim_assert(mem::dmemOwner(addr) == target,
+                       "ATE op at core %u for DMEM it does not own",
+                       target);
+            r.dmem().read(mem::dmemOffset(addr), &v, bytes);
+            done = t + cyc(1);
+        } else {
+            done = r.l1d().read(addr, &v, bytes, t);
+        }
+        return v & mask;
+    };
+    auto write = [&](std::uint64_t v, sim::Tick t, sim::Tick &done) {
+        if (mem::isDmemAddr(addr)) {
+            sim_assert(mem::dmemOwner(addr) == target,
+                       "ATE op at core %u for DMEM it does not own",
+                       target);
+            r.dmem().write(mem::dmemOffset(addr), &v, bytes);
+            done = t + cyc(1);
+        } else {
+            done = r.l1d().write(addr, &v, bytes, t);
+        }
+    };
+
+    std::uint64_t old = 0;
+    sim::Tick t = when;
+    switch (op) {
+      case AteOp::Load:
+        old = read(t, t);
+        t += cyc(p.opLoad);
+        ++stats.counter("loads");
+        break;
+      case AteOp::Store:
+        write(a & mask, t, t);
+        t += cyc(p.opStore);
+        ++stats.counter("stores");
+        break;
+      case AteOp::FetchAdd: {
+        old = read(t, t);
+        write((old + std::uint64_t(std::int64_t(a))) & mask, t, t);
+        t += cyc(p.opAmo);
+        ++stats.counter("fetchAdds");
+        break;
+      }
+      case AteOp::CompareSwap: {
+        old = read(t, t);
+        if (old == (a & mask))
+            write(b & mask, t, t);
+        t += cyc(p.opAmo);
+        ++stats.counter("compareSwaps");
+        break;
+      }
+      default:
+        panic("doRemoteOp on a software RPC");
+    }
+
+    // The op appears as a stall in the remote instruction stream.
+    r.injectStall(t - when);
+    op_done = t;
+    return old;
+}
+
+void
+Ate::issue(core::DpCore &c, unsigned target, AteOp op, mem::Addr addr,
+           std::uint64_t a, std::uint64_t b, unsigned bytes)
+{
+    c.sync();
+    Outstanding &o = pending[local(c.id())];
+    // The ISA allows one outstanding request; back-to-back issues
+    // without waitResponse are a programming error on chip, so here.
+    sim_assert(!o.busy,
+               "core %u issued a second ATE request while one is "
+               "outstanding", c.id());
+    o.busy = true;
+    o.ready = false;
+
+    const unsigned src = c.id();
+    sim::Tick deliver = deliveryTick(src, target);
+
+    if (op == AteOp::SwRpc)
+        panic("use swRpc() for software RPCs");
+
+    eq.schedule(deliver, [this, src, target, op, addr, a, b, bytes] {
+        sim::Tick op_done = 0;
+        std::uint64_t value = doRemoteOp(target, op, addr, a, b,
+                                         bytes, eq.now(), op_done);
+        sim::Tick resp = op_done + oneWay(target, src);
+        eq.schedule(resp, [this, src, value] {
+            Outstanding &out = pending[local(src)];
+            out.ready = true;
+            out.value = value;
+            cores[local(src)]->wake(eq.now());
+        });
+    });
+}
+
+std::uint64_t
+Ate::waitResponse(core::DpCore &c)
+{
+    Outstanding &o = pending[local(c.id())];
+    sim_assert(o.busy, "waitResponse with no outstanding ATE request");
+    c.blockUntil([&o] { return o.ready; });
+    o.busy = false;
+    return o.value;
+}
+
+std::uint64_t
+Ate::remoteLoad(core::DpCore &c, unsigned target, mem::Addr addr,
+                unsigned bytes)
+{
+    issue(c, target, AteOp::Load, addr, 0, 0, bytes);
+    return waitResponse(c);
+}
+
+void
+Ate::remoteStore(core::DpCore &c, unsigned target, mem::Addr addr,
+                 std::uint64_t value, unsigned bytes)
+{
+    issue(c, target, AteOp::Store, addr, value, 0, bytes);
+    waitResponse(c);
+}
+
+std::uint64_t
+Ate::fetchAdd(core::DpCore &c, unsigned target, mem::Addr addr,
+              std::int64_t delta, unsigned bytes)
+{
+    issue(c, target, AteOp::FetchAdd, addr, std::uint64_t(delta), 0,
+          bytes);
+    return waitResponse(c);
+}
+
+std::uint64_t
+Ate::compareSwap(core::DpCore &c, unsigned target, mem::Addr addr,
+                 std::uint64_t expect, std::uint64_t desired,
+                 unsigned bytes)
+{
+    issue(c, target, AteOp::CompareSwap, addr, expect, desired,
+          bytes);
+    return waitResponse(c);
+}
+
+void
+Ate::swRpc(core::DpCore &c, unsigned target,
+           std::function<void(core::DpCore &)> fn, bool wait)
+{
+    c.sync();
+    Outstanding &o = pending[local(c.id())];
+    sim_assert(!o.busy,
+               "core %u issued an ATE sw RPC while a request is "
+               "outstanding", c.id());
+    o.busy = true;
+    o.ready = false;
+    ++stats.counter("swRpcs");
+
+    const unsigned src = c.id();
+    sim::Tick deliver = deliveryTick(src, target) + cyc(p.swDeliver);
+
+    eq.schedule(deliver, [this, src, target, fn = std::move(fn)] {
+        cores[local(target)]->postInterrupt(
+            [this, src, target, fn](core::DpCore &rc) {
+                fn(rc);
+                // Ack once the handler ran to completion.
+                sim::Tick resp =
+                    rc.now() + oneWay(target, src);
+                eq.schedule(std::max(resp, eq.now()),
+                            [this, src] {
+                                unsigned l = local(src);
+                                pending[l].ready = true;
+                                pending[l].value = 0;
+                                cores[l]->wake(eq.now());
+                            });
+            });
+    });
+
+    if (wait)
+        waitResponse(c);
+}
+
+} // namespace dpu::ate

@@ -1,0 +1,352 @@
+/**
+ * @file
+ * The dpCore execution model.
+ *
+ * Each dpCore runs its software as a cooperative fiber of ordinary
+ * C++ (the paper's applications are cross-compiled C; ours are C++
+ * kernels that charge cycles through this class's primitives). The
+ * core keeps a "lazy clock": compute charges accumulate in
+ * aheadTicks and only synchronise with the global event queue when
+ * the core must interact with another agent (DMS event wait, ATE
+ * request, mailbox, long quanta). Applications never see the event
+ * queue; they call blocking primitives exactly like the code in the
+ * paper's Listing 1.
+ *
+ * Address routing: DMEM addresses go to the local scratchpad at LSU
+ * speed; DDR addresses go through the non-coherent L1-D / shared L2
+ * hierarchy. Remote DMEM is reachable only via the ATE or DMS, as on
+ * the chip.
+ */
+
+#ifndef DPU_CORE_DP_CORE_HH
+#define DPU_CORE_DP_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/isa.hh"
+#include "mem/addr.hh"
+#include "mem/cache.hh"
+#include "mem/dmem.hh"
+#include "mem/main_memory.hh"
+#include "sim/event_queue.hh"
+#include "sim/fiber.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace dpu::core {
+
+class DpCore;
+
+/** A software image for a core: the "main" of its binary. */
+using Kernel = std::function<void(DpCore &)>;
+
+/** An interrupt service routine (ATE software RPC, mailbox, timer). */
+using Isr = std::function<void(DpCore &)>;
+
+/** Number of dpCores per macro (Figure 1). */
+constexpr unsigned coresPerMacro = 8;
+
+/** One of the 32 data processing cores. */
+class DpCore
+{
+  public:
+    /**
+     * @param id     Core id, 0..31 (macro = id / 8).
+     * @param eq     The global event queue.
+     * @param memory Main memory (DDR).
+     * @param l2     The macro's shared 256 KB L2.
+     * @param costs  ISA cycle cost table.
+     */
+    DpCore(unsigned id, sim::EventQueue &eq, mem::MainMemory &memory,
+           mem::Cache &l2, const IsaCosts &costs = IsaCosts{});
+
+    unsigned id() const { return coreId; }
+    unsigned macro() const { return coreId / coresPerMacro; }
+    const IsaCosts &isa() const { return costs; }
+
+    // ------------------------------------------------------------
+    // Program control
+    // ------------------------------------------------------------
+
+    /** Install and start the core's kernel at the current tick. */
+    void start(Kernel kernel);
+
+    /** True once the kernel has returned. */
+    bool finished() const { return fiberDone; }
+
+    /** True while this core's fiber is the one executing. */
+    bool running() const { return sim::Fiber::current() == fiber.get(); }
+
+    // ------------------------------------------------------------
+    // Time
+    // ------------------------------------------------------------
+
+    /** The core's current logical time (may be ahead of the EQ). */
+    sim::Tick now() const { return eq.now() + aheadTicks; }
+
+    /** Charge @p n raw pipeline cycles. */
+    void
+    cycles(sim::Cycles n)
+    {
+        aheadTicks += sim::dpCoreClock.cyclesToTicks(n);
+        maybeSync();
+    }
+
+    /**
+     * Charge a dual-issue bundle: @p alu_ops ALU-pipe ops co-issued
+     * with @p lsu_ops LSU-pipe ops take max(alu, lsu) cycles.
+     */
+    void
+    dualIssue(std::uint64_t alu_ops, std::uint64_t lsu_ops)
+    {
+        stat.counter("aluOps") += alu_ops;
+        stat.counter("lsuOps") += lsu_ops;
+        cycles(std::max(alu_ops, lsu_ops));
+    }
+
+    /** Charge @p n single-issue ALU ops. */
+    void
+    alu(std::uint64_t n = 1)
+    {
+        stat.counter("aluOps") += n;
+        cycles(n * costs.alu);
+    }
+
+    /** Charge one multiply of a value with @p bits significant bits. */
+    void
+    mul(unsigned bits = 32)
+    {
+        ++stat.counter("muls");
+        cycles(costs.mulCycles(bits));
+    }
+
+    /** Charge one iterative divide. */
+    void
+    div()
+    {
+        ++stat.counter("divs");
+        cycles(costs.div);
+    }
+
+    /**
+     * Charge a conditional branch. The static predictor takes
+     * backward branches and falls through forward ones.
+     */
+    void
+    branch(bool taken, bool backward)
+    {
+        ++stat.counter("branches");
+        bool predicted_taken = backward;
+        if (taken == predicted_taken) {
+            cycles(costs.branch);
+        } else {
+            ++stat.counter("branchMisses");
+            cycles(costs.branch + costs.branchMiss);
+        }
+    }
+
+    /** Block the core for @p n cycles of simulated time. */
+    void sleepCycles(sim::Cycles n);
+
+    // ------------------------------------------------------------
+    // Analytics ISA extensions (functional + single-cycle cost)
+    // ------------------------------------------------------------
+
+    /** CRC32 hashcode of a 32-bit key in one cycle (Section 2.2). */
+    std::uint32_t crcHash(std::uint32_t key);
+
+    /** CRC32 hashcode of a 64-bit key (two issue slots). */
+    std::uint32_t crcHash64(std::uint64_t key);
+
+    /** Population count in one cycle. */
+    unsigned popcount(std::uint64_t v);
+
+    /** Number of trailing zeros via the popcount unit (4 cycles). */
+    unsigned ntz(std::uint64_t v);
+
+    /** Number of leading zeros, no hardware assist (13 cycles). */
+    unsigned nlz(std::uint64_t v);
+
+    /**
+     * FILT: compare @p n packed elements in DMEM against [lo, hi]
+     * and append result bits to a bit vector in DMEM. Models the
+     * BVLD/FILT loop at its hardware rate; the functional result is
+     * exact. Elements are @p elem_bytes wide (1/2/4/8), unsigned.
+     *
+     * @return number of elements that passed.
+     */
+    std::uint64_t filt(std::uint32_t src_off, std::uint32_t n,
+                       unsigned elem_bytes, std::uint64_t lo,
+                       std::uint64_t hi, std::uint32_t bv_off);
+
+    // ------------------------------------------------------------
+    // Memory
+    // ------------------------------------------------------------
+
+    /** Typed load; routes to DMEM or through the cache hierarchy. */
+    template <typename T>
+    T
+    load(mem::Addr addr)
+    {
+        T v{};
+        readBytes(addr, &v, sizeof(T));
+        return v;
+    }
+
+    /** Typed store; see load. */
+    template <typename T>
+    void
+    store(mem::Addr addr, T v)
+    {
+        writeBytes(addr, &v, sizeof(T));
+    }
+
+    /** Bulk read charged at one LSU op per 8 bytes. */
+    void readBytes(mem::Addr addr, void *dst, std::uint32_t len);
+
+    /** Bulk write charged at one LSU op per 8 bytes. */
+    void writeBytes(mem::Addr addr, const void *src, std::uint32_t len);
+
+    /** Direct handle to this core's scratchpad. */
+    mem::Dmem &dmem() { return scratch; }
+    const mem::Dmem &dmem() const { return scratch; }
+
+    /** This core's DMEM aperture base address. */
+    mem::Addr dmemBase() const { return mem::dmemAddr(coreId); }
+
+    /**
+     * Flush (write back) cached lines covering [addr, addr+len)
+     * through both the private L1-D and the macro's shared L2, so
+     * the data reaches DDR where the DMS and other macros see it.
+     */
+    void cacheFlush(mem::Addr addr, std::uint64_t len);
+
+    /** Invalidate cached lines covering [addr, addr+len) in L1 + L2. */
+    void cacheInvalidate(mem::Addr addr, std::uint64_t len);
+
+    /** Flush + invalidate the entire private L1-D (not the L2). */
+    void cacheFlushAll();
+
+    /** The private L1-D (tests probe residency/dirtiness). */
+    mem::Cache &l1d() { return *l1dCache; }
+
+    /** The macro's shared L2. */
+    mem::Cache &l2() { return l2Cache; }
+
+    // ------------------------------------------------------------
+    // Watchpoints (Section 2.2: debug registers instead of an MMU)
+    // ------------------------------------------------------------
+
+    /** Raise on any access intersecting [addr, addr+len). */
+    void addWatchpoint(mem::Addr addr, std::uint64_t len,
+                       std::function<void(mem::Addr, bool)> handler);
+
+    void clearWatchpoints() { watchpoints.clear(); }
+
+    // ------------------------------------------------------------
+    // Interrupts & blocking (used by ATE / MBC / DMS glue)
+    // ------------------------------------------------------------
+
+    /**
+     * Queue an interrupt service routine. Runs in this core's fiber
+     * at the next synchronisation point, charging the interrupt
+     * entry/exit overhead; wakes the core if it is blocked.
+     */
+    void postInterrupt(Isr isr);
+
+    /**
+     * Block the calling fiber until @p pred becomes true. Interrupts
+     * are delivered while blocked (the handler runs, then the wait
+     * resumes), matching the chip's cooperative scheduling model.
+     * Wakers must call wake().
+     */
+    void blockUntil(const std::function<bool()> &pred);
+
+    /** Wake a blocked core at tick @p when (>= eq.now()). */
+    void wake(sim::Tick when);
+
+    /**
+     * Synchronise the lazy clock with the event queue and deliver
+     * pending interrupts. Application code never needs this; module
+     * glue calls it before cross-agent interactions.
+     */
+    void sync();
+
+    sim::EventQueue &eventQueue() { return eq; }
+    sim::StatGroup &statGroup() { return stat; }
+    mem::MainMemory &mainMemory() { return mm; }
+
+    /**
+     * Stall the pipeline for @p t ticks starting no earlier than
+     * @p from (used by the ATE to model remote-op injection).
+     */
+    void
+    injectStall(sim::Tick t)
+    {
+        aheadTicks += t;
+        stat.counter("ateInjectTicks") += t;
+    }
+
+    /**
+     * Debug hook fired on every direct cached DDR access (not DMEM,
+     * not ATE remote ops): (core, addr, len, is_write). Used by the
+     * Section 4 debugging tools (coherence checker). Null when
+     * disarmed; the hot path pays one branch.
+     */
+    using MemTrace = std::function<void(unsigned, mem::Addr,
+                                        std::uint32_t, bool)>;
+    void setMemTrace(MemTrace hook) { memTrace = std::move(hook); }
+
+  private:
+    void maybeSync();
+    void resumeFiber();
+    void yieldToScheduler();
+    void deliverInterrupts();
+    void checkWatchpoints(mem::Addr addr, std::uint32_t len,
+                          bool write);
+
+    enum class State { Idle, Ready, Running, Sleeping, Blocked, Done };
+
+    unsigned coreId;
+    sim::EventQueue &eq;
+    mem::MainMemory &mm;
+    IsaCosts costs;
+    sim::StatGroup stat;
+
+    mem::Dmem scratch;
+    mem::Cache &l2Cache;
+    std::unique_ptr<mem::Cache> l1dCache;
+
+    std::unique_ptr<sim::Fiber> fiber;
+    Kernel kernelFn;
+    State state = State::Idle;
+    bool fiberDone = false;
+
+    /** How far the core's logical clock runs ahead of the EQ. */
+    sim::Tick aheadTicks = 0;
+
+    /** Force a sync after this much accumulated lead (20 us). */
+    static constexpr sim::Tick syncQuantum = 20'000'000;
+
+    std::deque<Isr> pendingIsrs;
+    bool inIsr = false;
+
+    MemTrace memTrace;
+
+    struct Watchpoint
+    {
+        mem::Addr base;
+        std::uint64_t len;
+        std::function<void(mem::Addr, bool)> handler;
+    };
+    std::vector<Watchpoint> watchpoints;
+};
+
+} // namespace dpu::core
+
+#endif // DPU_CORE_DP_CORE_HH

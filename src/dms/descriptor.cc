@@ -1,0 +1,310 @@
+#include "dms/descriptor.hh"
+
+#include "sim/logging.hh"
+
+namespace dpu::dms {
+
+namespace {
+
+/** Insert @p value into @p word at bits [hi:lo]. */
+void
+put(std::uint32_t &word, unsigned hi, unsigned lo, std::uint32_t value)
+{
+    const std::uint32_t width = hi - lo + 1;
+    const std::uint32_t mask =
+        width >= 32 ? ~0u : ((1u << width) - 1u);
+    sim_assert((value & ~mask) == 0,
+               "descriptor field overflow: value=%u bits=[%u:%u]",
+               value, hi, lo);
+    word |= (value & mask) << lo;
+}
+
+/** Extract bits [hi:lo] from @p word. */
+std::uint32_t
+get(std::uint32_t word, unsigned hi, unsigned lo)
+{
+    const std::uint32_t width = hi - lo + 1;
+    const std::uint32_t mask =
+        width >= 32 ? ~0u : ((1u << width) - 1u);
+    return (word >> lo) & mask;
+}
+
+std::uint32_t
+widthCode(std::uint8_t bytes)
+{
+    switch (bytes) {
+      case 1: return 0;
+      case 2: return 1;
+      case 4: return 2;
+      case 8: return 3;
+      default: panic("bad column width %u", bytes);
+    }
+}
+
+std::uint8_t
+widthBytes(std::uint32_t code)
+{
+    return std::uint8_t(1u << code);
+}
+
+} // namespace
+
+EncodedDesc
+encode(const Descriptor &d)
+{
+    EncodedDesc e;
+    auto &w = e.w;
+
+    // Word 0 is common: Type, Notify(+en), Wait(+en), LinkAddr.
+    sim_assert(std::uint32_t(d.type) <= 0xf,
+               "descriptor type does not fit the 4-bit field");
+    put(w[0], 31, 28, std::uint32_t(d.type));
+    if (d.notifyEvent >= 0) {
+        put(w[0], 27, 27, 1);
+        put(w[0], 25, 21, std::uint32_t(d.notifyEvent));
+    }
+    if (d.waitEvent >= 0) {
+        put(w[0], 26, 26, 1);
+        put(w[0], 20, 16, std::uint32_t(d.waitEvent));
+    }
+
+    switch (d.type) {
+      case DescType::DdrToDmem:
+      case DescType::DmemToDdr:
+        // Exactly the Table 2 layout.
+        put(w[0], 15, 0, d.linkAddr);
+        put(w[1], 30, 28, widthCode(d.colWidth));
+        put(w[1], 25, 25, d.gatherSrc);
+        put(w[1], 24, 24, d.scatterDst);
+        put(w[1], 23, 23, d.rle);
+        put(w[1], 17, 17, d.srcAddrInc);
+        put(w[1], 16, 16, d.dstAddrInc);
+        sim_assert(d.ddrAddr < (1ull << 36), "DDR addr beyond 36 bits");
+        if (d.gatherSrc || d.scatterDst) {
+            // Gather/scatter moves are element aligned, so DDR addr
+            // bits [1:0] are free to carry the BV memory bank.
+            sim_assert((d.ddrAddr & 0x3) == 0,
+                       "gather/scatter base must be 4 B aligned");
+            put(w[1], 3, 2, std::uint32_t(d.ddrAddr >> 2) & 0x3);
+            put(w[1], 1, 0, d.ibank);
+        } else {
+            put(w[1], 3, 0, std::uint32_t(d.ddrAddr & 0xf));
+        }
+        sim_assert(d.rows < (1u << 16), "rows beyond 16 bits: %u",
+                   d.rows);
+        put(w[2], 31, 16, d.rows);
+        put(w[2], 15, 0, d.dmemAddr);
+        w[3] = std::uint32_t(d.ddrAddr >> 4);
+        break;
+
+      case DescType::DdrToDms:
+        // LinkAddr is unused for this type; it carries the
+        // projection mask.
+        put(w[0], 15, 0, d.colMask);
+        sim_assert(d.colMask == 0 ||
+                   __builtin_popcount(d.colMask) == d.nCols,
+                   "colMask must select exactly nCols columns");
+        put(w[1], 31, 31, d.srcAddrInc);
+        put(w[1], 30, 28, widthCode(d.colWidth));
+        sim_assert(d.colStride < (1u << 24),
+                   "column stride beyond 24 bits: %u", d.colStride);
+        put(w[1], 27, 4, d.colStride);
+        put(w[1], 3, 0, std::uint32_t(d.ddrAddr & 0xf));
+        put(w[2], 31, 16, d.rows);
+        put(w[2], 15, 8, d.nCols);
+        put(w[2], 7, 0, d.ibank);
+        w[3] = std::uint32_t(d.ddrAddr >> 4);
+        break;
+
+      case DescType::DmsToDmem:
+        put(w[1], 30, 28, widthCode(d.colWidth));
+        put(w[1], 23, 16, d.nCols);
+        put(w[1], 9, 8, d.ibank);
+        put(w[1], 1, 0, d.cidBank);
+        put(w[2], 31, 16, d.rows);
+        break;
+
+      case DescType::DmemToDms:
+        put(w[1], 23, 23, d.rle);
+        put(w[1], 1, 0, d.ibank);
+        put(w[2], 31, 16, d.rows);
+        put(w[2], 15, 0, d.dmemAddr);
+        break;
+
+      case DescType::DmsToDdr:
+        put(w[1], 30, 28, widthCode(d.colWidth));
+        put(w[1], 27, 25, std::uint32_t(d.imem));
+        put(w[1], 24, 23, d.ibank);
+        put(w[1], 3, 0, std::uint32_t(d.ddrAddr & 0xf));
+        put(w[2], 31, 16, d.rows);
+        w[3] = std::uint32_t(d.ddrAddr >> 4);
+        break;
+
+      case DescType::DmsToDms:
+        put(w[1], 28, 26, std::uint32_t(d.imem));
+        put(w[1], 25, 24, d.ibank);
+        put(w[1], 23, 21, std::uint32_t(d.imem2));
+        put(w[1], 20, 19, d.ibank2);
+        put(w[2], 31, 16, d.rows);
+        break;
+
+      case DescType::HashCol:
+        put(w[1], 30, 28, widthCode(d.colWidth));
+        put(w[1], 23, 23, d.rangeMode);
+        put(w[1], 21, 14, d.nCols);
+        put(w[1], 9, 8, d.ibank);
+        put(w[1], 5, 4, d.ibank2);
+        put(w[1], 1, 0, d.cidBank);
+        put(w[2], 31, 16, d.rows);
+        break;
+
+      case DescType::Loop:
+        put(w[0], 15, 0, d.linkAddr);
+        put(w[1], 15, 0, d.iterations);
+        break;
+
+      case DescType::EventCtl:
+        put(w[1], 1, 0, std::uint32_t(d.eventOp));
+        w[2] = d.eventMask;
+        break;
+
+      case DescType::HashProg:
+        put(w[1], 0, 0, d.hashUseCrc);
+        put(w[1], 15, 8, d.radixBits);
+        put(w[1], 23, 16, d.radixShift);
+        break;
+
+      case DescType::RangeProg:
+      case DescType::PartDstCfg:
+        put(w[2], 31, 16, d.rows);
+        put(w[2], 15, 0, d.dmemAddr);
+        break;
+
+      case DescType::PartFlush:
+      case DescType::Nop:
+        break;
+    }
+    return e;
+}
+
+Descriptor
+decode(const EncodedDesc &e)
+{
+    const auto &w = e.w;
+    Descriptor d;
+
+    d.type = DescType(get(w[0], 31, 28));
+    d.notifyEvent =
+        get(w[0], 27, 27) ? std::int8_t(get(w[0], 25, 21)) : -1;
+    d.waitEvent =
+        get(w[0], 26, 26) ? std::int8_t(get(w[0], 20, 16)) : -1;
+
+    switch (d.type) {
+      case DescType::DdrToDmem:
+      case DescType::DmemToDdr:
+        d.linkAddr = std::uint16_t(get(w[0], 15, 0));
+        d.colWidth = widthBytes(get(w[1], 30, 28));
+        d.gatherSrc = get(w[1], 25, 25);
+        d.scatterDst = get(w[1], 24, 24);
+        d.rle = get(w[1], 23, 23);
+        d.srcAddrInc = get(w[1], 17, 17);
+        d.dstAddrInc = get(w[1], 16, 16);
+        d.rows = get(w[2], 31, 16);
+        d.dmemAddr = std::uint16_t(get(w[2], 15, 0));
+        if (d.gatherSrc || d.scatterDst) {
+            // DDRAddr[1:0] carry the BV memory bank (see encode).
+            d.ibank = std::uint8_t(get(w[1], 1, 0));
+            d.ddrAddr =
+                (mem::Addr(w[3]) << 4) | (get(w[1], 3, 2) << 2);
+        } else {
+            d.ddrAddr = (mem::Addr(w[3]) << 4) | get(w[1], 3, 0);
+        }
+        break;
+
+      case DescType::DdrToDms:
+        d.colMask = std::uint16_t(get(w[0], 15, 0));
+        d.srcAddrInc = get(w[1], 31, 31);
+        d.colWidth = widthBytes(get(w[1], 30, 28));
+        d.colStride = get(w[1], 27, 4);
+        d.rows = get(w[2], 31, 16);
+        d.nCols = std::uint8_t(get(w[2], 15, 8));
+        d.ibank = std::uint8_t(get(w[2], 7, 0));
+        d.imem = IMem::Cmem;
+        d.ddrAddr = (mem::Addr(w[3]) << 4) | get(w[1], 3, 0);
+        break;
+
+      case DescType::DmsToDmem:
+        d.colWidth = widthBytes(get(w[1], 30, 28));
+        d.nCols = std::uint8_t(get(w[1], 23, 16));
+        d.ibank = std::uint8_t(get(w[1], 9, 8));
+        d.cidBank = std::uint8_t(get(w[1], 1, 0));
+        d.imem = IMem::Cmem;
+        d.rows = get(w[2], 31, 16);
+        break;
+
+      case DescType::DmemToDms:
+        d.rle = get(w[1], 23, 23);
+        d.ibank = std::uint8_t(get(w[1], 1, 0));
+        d.imem = IMem::Bv;
+        d.rows = get(w[2], 31, 16);
+        d.dmemAddr = std::uint16_t(get(w[2], 15, 0));
+        break;
+
+      case DescType::DmsToDdr:
+        d.colWidth = widthBytes(get(w[1], 30, 28));
+        d.imem = IMem(get(w[1], 27, 25));
+        d.ibank = std::uint8_t(get(w[1], 24, 23));
+        d.rows = get(w[2], 31, 16);
+        d.ddrAddr = (mem::Addr(w[3]) << 4) | get(w[1], 3, 0);
+        break;
+
+      case DescType::DmsToDms:
+        d.imem = IMem(get(w[1], 28, 26));
+        d.ibank = std::uint8_t(get(w[1], 25, 24));
+        d.imem2 = IMem(get(w[1], 23, 21));
+        d.ibank2 = std::uint8_t(get(w[1], 20, 19));
+        d.rows = get(w[2], 31, 16);
+        break;
+
+      case DescType::HashCol:
+        d.colWidth = widthBytes(get(w[1], 30, 28));
+        d.rangeMode = get(w[1], 23, 23);
+        d.nCols = std::uint8_t(get(w[1], 21, 14));
+        d.ibank = std::uint8_t(get(w[1], 9, 8));
+        d.ibank2 = std::uint8_t(get(w[1], 5, 4));
+        d.cidBank = std::uint8_t(get(w[1], 1, 0));
+        d.imem = IMem::Cmem;
+        d.imem2 = IMem::Crc;
+        d.rows = get(w[2], 31, 16);
+        break;
+
+      case DescType::Loop:
+        d.linkAddr = std::uint16_t(get(w[0], 15, 0));
+        d.iterations = std::uint16_t(get(w[1], 15, 0));
+        break;
+
+      case DescType::EventCtl:
+        d.eventOp = EventOp(get(w[1], 1, 0));
+        d.eventMask = w[2];
+        break;
+
+      case DescType::HashProg:
+        d.hashUseCrc = get(w[1], 0, 0);
+        d.radixBits = std::uint8_t(get(w[1], 15, 8));
+        d.radixShift = std::uint8_t(get(w[1], 23, 16));
+        break;
+
+      case DescType::RangeProg:
+      case DescType::PartDstCfg:
+        d.rows = get(w[2], 31, 16);
+        d.dmemAddr = std::uint16_t(get(w[2], 15, 0));
+        break;
+
+      case DescType::PartFlush:
+      case DescType::Nop:
+        break;
+    }
+    return d;
+}
+
+} // namespace dpu::dms

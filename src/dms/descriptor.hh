@@ -1,0 +1,175 @@
+/**
+ * @file
+ * DMS descriptors: the 16-byte macro-instructions that software uses
+ * to program the Data Movement System (Section 3.3).
+ *
+ * Two classes exist, data and control. Data descriptors cover the
+ * six source->destination combinations of Table 1; control
+ * descriptors program loops, events, and the hash/range engines.
+ *
+ * The DDR<->DMEM data descriptor is encoded bit-exactly per Table 2:
+ *
+ *   Word0  Type[31:28] Notify[25:21] Wait[20:16] LinkAddr[15:0]
+ *   Word1  ColWidth[30:28] GatherSrc[25] ScatterDst[24] RLE[23]
+ *          SrcAddrInc[17] DstAddrInc[16] DDRAddr[3:0]
+ *   Word2  Rows[31:16] DMEMAddr[15:0]
+ *   Word3  DDRAddr[35:4]
+ *
+ * The paper's table does not show enable bits for Notify/Wait (event
+ * 0 is a legal event in Listing 1, so 0 cannot mean "none"); we use
+ * word0 bits 27 and 26 as NotifyEn/WaitEn, and note the assumption.
+ * Layouts for the descriptor types the paper does not table-ize
+ * (internal-memory moves, loop, event, engine programming) are our
+ * own design in the same 4x32-bit style.
+ */
+
+#ifndef DPU_DMS_DESCRIPTOR_HH
+#define DPU_DMS_DESCRIPTOR_HH
+
+#include <array>
+#include <cstdint>
+
+#include "mem/addr.hh"
+
+namespace dpu::dms {
+
+/** Descriptor type tag (word0 bits 31:28 plus an extension space). */
+enum class DescType : std::uint8_t
+{
+    Nop = 0,
+    /** DDR -> DMEM data move (stride/gather source). */
+    DdrToDmem = 1,
+    /** DMEM -> DDR data move (scatter destination). */
+    DmemToDdr = 2,
+    /** DDR -> DMS column memories (partition pipeline load). */
+    DdrToDms = 3,
+    /** DMS -> DMEM partition store stage. */
+    DmsToDmem = 4,
+    /** DMEM -> DMS: load RID/BV masks into bit-vector memory. */
+    DmemToDms = 5,
+    /** DMS -> DDR: dump CRC/CID memory to DRAM. */
+    DmsToDdr = 6,
+    /** DMS -> DMS internal move. */
+    DmsToDms = 7,
+    /** Hash/range stage: CMEM -> CRC memory -> CID memory. */
+    HashCol = 8,
+    /** Loop control: jump back LinkAddr, fixed iteration count. */
+    Loop = 9,
+    /** Event control: set/clear/wait event masks. */
+    EventCtl = 10,
+    /** Program the hash engine (CRC on/off, radix bits/shift). */
+    HashProg = 11,
+    /** Program the range engine (32 boundaries from DMEM). */
+    RangeProg = 12,
+    /** Configure partition output buffers (table in DMEM). */
+    PartDstCfg = 13,
+    /** Flush partial partition output buffers to their cores. */
+    PartFlush = 14,
+};
+
+/** Which internal DMAC SRAM a descriptor operand names. */
+enum class IMem : std::uint8_t
+{
+    None = 0,
+    Cmem = 1,   ///< 3 x 8 KB column memories
+    Crc = 2,    ///< 2 x 1 KB CRC memories
+    Cid = 3,    ///< 2 x 256 B core-id memories
+    Bv = 4,     ///< 4 x 4 KB bit-vector memories
+};
+
+/** Event-control sub-operations. */
+enum class EventOp : std::uint8_t
+{
+    Set = 0,
+    Clear = 1,
+    WaitClear = 2,  ///< proceed when all events in mask are clear
+    WaitSet = 3,    ///< proceed when all events in mask are set
+};
+
+/**
+ * Decoded descriptor. Software builds these via the rt:: helpers,
+ * encodes them into DMEM, and pushes the DMEM pointer to a DMS
+ * channel; the DMAD decodes them back out of DMEM.
+ */
+struct Descriptor
+{
+    DescType type = DescType::Nop;
+
+    /**
+     * Completion event (0..31, -1 = none). Data descriptors use it
+     * double-duty exactly as Listing 1 implies: execution WAITS
+     * until the event is clear (the buffer was consumed), and SETS
+     * it when the transfer completes.
+     */
+    std::int8_t notifyEvent = -1;
+
+    /** Extra wait-for-clear precondition event (-1 = none). */
+    std::int8_t waitEvent = -1;
+
+    /** Loop target / chain link (DMEM address of a descriptor). */
+    std::uint16_t linkAddr = 0;
+
+    // --- data movement operands -----------------------------------
+    std::uint8_t colWidth = 4;      ///< element width: 1/2/4/8 B
+    std::uint32_t rows = 0;         ///< element count (16 bits)
+    mem::Addr ddrAddr = 0;          ///< 36-bit DDR address
+    std::uint16_t dmemAddr = 0;     ///< offset in pusher's DMEM
+
+    bool gatherSrc = false;         ///< DDR source selected by BV/RID
+    bool scatterDst = false;        ///< DDR destination by BV/RID
+    bool rle = false;               ///< BV interpreted as RID list
+    bool srcAddrInc = false;        ///< auto-increment DDR addr in loops
+    bool dstAddrInc = false;        ///< auto-increment DMEM addr in loops
+
+    // --- internal memory operands (DDR<->DMS, DMS<->DMS, Hash) ----
+    IMem imem = IMem::None;         ///< primary internal operand
+    std::uint8_t ibank = 0;
+    IMem imem2 = IMem::None;        ///< secondary internal operand
+    std::uint8_t ibank2 = 0;
+    std::uint8_t cidBank = 0;       ///< CID memory bank (hash/store)
+
+    /** DdrToDms tuple load: number of equal-width columns gathered
+     *  into row-major tuples, and the DDR distance between column
+     *  arrays (column-major table layout). */
+    std::uint8_t nCols = 1;
+    std::uint32_t colStride = 0;
+    /**
+     * Optional projection (Section 2.1: the DMS performs
+     * "partitioning and projection while transferring data"): when
+     * non-zero, bit i selects source column i; exactly nCols bits
+     * must be set and the packed tuple holds the selected columns
+     * in index order. Zero means columns 0..nCols-1.
+     */
+    std::uint16_t colMask = 0;
+
+    // --- loop ------------------------------------------------------
+    std::uint16_t iterations = 0;
+
+    // --- event control ----------------------------------------------
+    EventOp eventOp = EventOp::Set;
+    std::uint32_t eventMask = 0;
+
+    // --- hash/range programming -------------------------------------
+    bool hashUseCrc = true;         ///< CRC32 the key vs raw key bits
+    std::uint8_t radixBits = 5;     ///< 5 bits -> 32-way
+    std::uint8_t radixShift = 0;
+    bool rangeMode = false;         ///< HashCol consults range engine
+
+    bool operator==(const Descriptor &) const = default;
+};
+
+/** The 16-byte wire form living in DMEM. */
+struct EncodedDesc
+{
+    std::array<std::uint32_t, 4> w{};
+};
+
+/** Encode to the 16 B wire format (Table 2 layout for DDR<->DMEM). */
+EncodedDesc encode(const Descriptor &d);
+
+/** Decode from the wire format. */
+Descriptor decode(const EncodedDesc &e);
+
+} // namespace dpu::dms
+
+#endif // DPU_DMS_DESCRIPTOR_HH

@@ -1,0 +1,252 @@
+#include "dms/dmad.hh"
+
+#include "sim/logging.hh"
+
+namespace dpu::dms {
+
+Dmad::Dmad(DmsContext &ctx_, Dmac &dmac_, unsigned core_id)
+    : ctx(ctx_), dmac(dmac_), coreId(core_id),
+      channels(channelsPerCore)
+{
+}
+
+void
+Dmad::push(unsigned ch, std::uint16_t desc_addr)
+{
+    sim_assert(ch < channelsPerCore, "bad DMS channel %u", ch);
+
+    // A push onto an idle channel starts a fresh chain: retire the
+    // completed active list and re-arm the auto-increment registers.
+    Channel &chan = channels[ch];
+    if (!chan.waiting && chan.pc >= chan.list.size() &&
+        chan.inflight == 0) {
+        chan.list.clear();
+        chan.pc = 0;
+        chan.srcArmed = false;
+        chan.dstArmed = false;
+    }
+
+    EncodedDesc e;
+    ctx.dmems[coreId]->read(desc_addr, e.w.data(), sizeof(e.w));
+    Entry entry;
+    entry.d = decode(e);
+    entry.dmemAddr = desc_addr;
+    entry.remaining = entry.d.iterations;
+
+    channels[ch].list.push_back(entry);
+    process(ch);
+}
+
+bool
+Dmad::idle(unsigned ch) const
+{
+    const Channel &c = channels[ch];
+    return c.pc >= c.list.size() && c.inflight == 0;
+}
+
+void
+Dmad::reset()
+{
+    for (Channel &c : channels) {
+        sim_assert(c.inflight == 0,
+                   "DMAD reset with descriptors in flight (core %u)",
+                   coreId);
+        c.list.clear();
+        c.pc = 0;
+        c.pendingSet = 0;
+        c.waiting = false;
+        c.srcArmed = false;
+        c.dstArmed = false;
+    }
+}
+
+std::size_t
+Dmad::findEntry(const Channel &c, std::uint16_t link_addr) const
+{
+    for (std::size_t i = 0; i < c.list.size(); ++i) {
+        if (c.list[i].dmemAddr == link_addr)
+            return i;
+    }
+    panic("loop target %#x not on active list (core %u)", link_addr,
+          coreId);
+}
+
+void
+Dmad::parkOnClear(unsigned ch, unsigned ev)
+{
+    Channel &c = channels[ch];
+    c.waiting = true;
+    ctx.events[coreId].whenClear(ev, [this, ch] {
+        channels[ch].waiting = false;
+        ctx.eq.scheduleIn(0, [this, ch] { process(ch); });
+    });
+}
+
+void
+Dmad::parkOnSet(unsigned ch, unsigned ev)
+{
+    Channel &c = channels[ch];
+    c.waiting = true;
+    ctx.events[coreId].whenSet(ev, [this, ch] {
+        channels[ch].waiting = false;
+        ctx.eq.scheduleIn(0, [this, ch] { process(ch); });
+    });
+}
+
+void
+Dmad::process(unsigned ch)
+{
+    Channel &c = channels[ch];
+    if (c.waiting)
+        return;
+
+    while (c.pc < c.list.size()) {
+        Entry &e = c.list[c.pc];
+        Descriptor &d = e.d;
+
+        switch (d.type) {
+          case DescType::Loop:
+            if (e.remaining > 0) {
+                --e.remaining;
+                c.pc = findEntry(c, d.linkAddr);
+            } else {
+                e.remaining = d.iterations; // rearm for reuse
+                ++c.pc;
+            }
+            continue;
+
+          case DescType::EventCtl: {
+            EventFile &ef = ctx.events[coreId];
+            if (d.eventOp == EventOp::Set) {
+                for (unsigned i = 0; i < eventsPerCore; ++i)
+                    if (d.eventMask & (1u << i))
+                        ef.set(i);
+                ++c.pc;
+                continue;
+            }
+            if (d.eventOp == EventOp::Clear) {
+                for (unsigned i = 0; i < eventsPerCore; ++i)
+                    if (d.eventMask & (1u << i))
+                        ef.clear(i);
+                ++c.pc;
+                continue;
+            }
+            if (d.eventOp == EventOp::WaitClear) {
+                std::uint32_t busy =
+                    (ef.word() | c.pendingSet) & d.eventMask;
+                if (busy) {
+                    unsigned ev = unsigned(__builtin_ctz(busy));
+                    if (ef.isSet(ev))
+                        parkOnClear(ch, ev);
+                    // else: a pending set will re-run process().
+                    return;
+                }
+                ++c.pc;
+                continue;
+            }
+            // WaitSet
+            {
+                std::uint32_t missing = ~ef.word() & d.eventMask;
+                if (missing) {
+                    parkOnSet(ch,
+                              unsigned(__builtin_ctz(missing)));
+                    return;
+                }
+                ++c.pc;
+                continue;
+            }
+          }
+
+          case DescType::HashProg:
+            dmac.programHash(d);
+            ++c.pc;
+            continue;
+
+          case DescType::RangeProg:
+            dmac.programRange(coreId, d);
+            ++c.pc;
+            continue;
+
+          case DescType::PartDstCfg:
+            dmac.configPartDst(coreId, d);
+            ++c.pc;
+            continue;
+
+          default:
+            break; // a data descriptor, handled below
+        }
+
+        // ---- data descriptor ----------------------------------
+        if (c.inflight >= ctx.params.outstanding)
+            return; // a completion will resume us
+
+        EventFile &ef = ctx.events[coreId];
+
+        // Listing-1 semantics: the notify event doubles as the
+        // buffer-ownership flag; execution waits until it is clear.
+        if (d.notifyEvent >= 0) {
+            unsigned ev = unsigned(d.notifyEvent);
+            if (ef.isSet(ev)) {
+                parkOnClear(ch, ev);
+                return;
+            }
+            if (c.pendingSet & (1u << ev))
+                return; // completion handler will re-run process()
+        }
+        if (d.waitEvent >= 0) {
+            unsigned ev = unsigned(d.waitEvent);
+            if (ef.isSet(ev)) {
+                parkOnClear(ch, ev);
+                return;
+            }
+            if (c.pendingSet & (1u << ev))
+                return;
+        }
+
+        const std::uint32_t bytes = d.rows * d.colWidth;
+        mem::Addr eff_ddr = d.ddrAddr;
+        std::uint32_t eff_dmem = d.dmemAddr;
+        if (d.srcAddrInc) {
+            if (!c.srcArmed) {
+                c.srcArmed = true;
+                c.srcReg = d.ddrAddr;
+            }
+            eff_ddr = c.srcReg;
+            c.srcReg += bytes;
+        }
+        if (d.dstAddrInc) {
+            if (!c.dstArmed) {
+                c.dstArmed = true;
+                c.dstReg = d.dmemAddr;
+            }
+            eff_dmem = c.dstReg;
+            c.dstReg += bytes;
+        }
+
+        ++c.inflight;
+        if (d.notifyEvent >= 0)
+            c.pendingSet |= 1u << unsigned(d.notifyEvent);
+
+        const int notify = d.notifyEvent;
+        dmac.execute(
+            coreId, d, eff_ddr, eff_dmem, ctx.eq.now(),
+            [this, ch, notify](sim::Tick t) {
+                ctx.eq.schedule(
+                    std::max(t, ctx.eq.now()),
+                    [this, ch, notify] {
+                        Channel &chan = channels[ch];
+                        if (notify >= 0) {
+                            chan.pendingSet &=
+                                ~(1u << unsigned(notify));
+                            ctx.events[coreId].set(unsigned(notify));
+                        }
+                        --chan.inflight;
+                        process(ch);
+                    });
+            });
+
+        ++c.pc;
+    }
+}
+
+} // namespace dpu::dms

@@ -1,0 +1,61 @@
+#include "dms/dms.hh"
+
+namespace dpu::dms {
+
+Dms::Dms(sim::EventQueue &eq, mem::MainMemory &mm, unsigned n_cores,
+         const DmsParams &params, unsigned base_core)
+    : ctx(eq, mm, n_cores, params), baseCore(base_core)
+{
+    dmacUnit = std::make_unique<Dmac>(ctx);
+    dmads.reserve(n_cores);
+    for (unsigned i = 0; i < n_cores; ++i)
+        dmads.push_back(std::make_unique<Dmad>(ctx, *dmacUnit, i));
+}
+
+unsigned
+Dms::localId(const core::DpCore &c) const
+{
+    unsigned id = c.id();
+    sim_assert(id >= baseCore && id - baseCore < ctx.nCores(),
+               "core %u is not served by this DMS complex", id);
+    return id - baseCore;
+}
+
+void
+Dms::attachCore(unsigned id, mem::Dmem *dmem)
+{
+    ctx.dmems[id] = dmem;
+}
+
+void
+Dms::push(core::DpCore &c, unsigned channel, std::uint16_t desc_addr)
+{
+    // The push instruction itself plus the DMAD descriptor fetch.
+    c.cycles(4);
+    c.sync();
+    dmads[localId(c)]->push(channel, desc_addr);
+}
+
+void
+Dms::wfe(core::DpCore &c, unsigned ev)
+{
+    c.cycles(1);
+    EventFile &ef = ctx.events[localId(c)];
+    core::DpCore *cp = &c;
+    c.blockUntil([this, cp, &ef, ev] {
+        if (ef.isSet(ev))
+            return true;
+        ef.whenSet(ev, [this, cp] { cp->wake(ctx.eq.now()); });
+        return false;
+    });
+}
+
+void
+Dms::clearEvent(core::DpCore &c, unsigned ev)
+{
+    c.cycles(1);
+    c.sync();
+    ctx.events[localId(c)].clear(ev);
+}
+
+} // namespace dpu::dms

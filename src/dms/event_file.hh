@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Per-dpCore DMS event files.
+ *
+ * The DMS associates 32 binary events with each dpCore (Section
+ * 3.1, "Flow control and synchronization"). Descriptors wait on and
+ * set events; cores wait with the wfe instruction and clear events
+ * after consuming buffers. Waiters are recorded on both edges:
+ * cores (and the DMAD) wait for SET, descriptor preconditions wait
+ * for CLEAR.
+ */
+
+#ifndef DPU_DMS_EVENT_FILE_HH
+#define DPU_DMS_EVENT_FILE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace dpu::dms {
+
+/** Number of binary events per dpCore. */
+constexpr unsigned eventsPerCore = 32;
+
+/** The 32 events of a single core, with edge-triggered callbacks. */
+class EventFile
+{
+  public:
+    using Callback = std::function<void()>;
+
+    bool
+    isSet(unsigned ev) const
+    {
+        sim_assert(ev < eventsPerCore, "event id %u out of range", ev);
+        return (bits >> ev) & 1;
+    }
+
+    std::uint32_t word() const { return bits; }
+
+    /** Set @p ev and fire any on-set callbacks. */
+    void
+    set(unsigned ev)
+    {
+        sim_assert(ev < eventsPerCore, "event id %u out of range", ev);
+        if ((bits >> ev) & 1)
+            return;
+        bits |= 1u << ev;
+        fire(onSet[ev]);
+    }
+
+    /** Clear @p ev and fire any on-clear callbacks. */
+    void
+    clear(unsigned ev)
+    {
+        sim_assert(ev < eventsPerCore, "event id %u out of range", ev);
+        if (!((bits >> ev) & 1))
+            return;
+        bits &= ~(1u << ev);
+        fire(onClear[ev]);
+    }
+
+    /** Run @p cb once, the next time @p ev becomes set. */
+    void
+    whenSet(unsigned ev, Callback cb)
+    {
+        sim_assert(ev < eventsPerCore, "event id %u out of range", ev);
+        onSet[ev].push_back(std::move(cb));
+    }
+
+    /** Run @p cb once, the next time @p ev becomes clear. */
+    void
+    whenClear(unsigned ev, Callback cb)
+    {
+        sim_assert(ev < eventsPerCore, "event id %u out of range", ev);
+        onClear[ev].push_back(std::move(cb));
+    }
+
+  private:
+    void
+    fire(std::vector<Callback> &list)
+    {
+        // Swap out first: callbacks may register new waiters.
+        std::vector<Callback> run;
+        run.swap(list);
+        for (auto &cb : run)
+            cb();
+    }
+
+    std::uint32_t bits = 0;
+    std::vector<Callback> onSet[eventsPerCore];
+    std::vector<Callback> onClear[eventsPerCore];
+};
+
+} // namespace dpu::dms
+
+#endif // DPU_DMS_EVENT_FILE_HH

@@ -1,0 +1,85 @@
+#include "mbc/mbc.hh"
+
+#include "sim/logging.hh"
+
+namespace dpu::mbc {
+
+Mbc::Mbc(sim::EventQueue &eq_, std::vector<core::DpCore *> &cores_)
+    : eq(eq_), cores(cores_), stats("mbc"),
+      boxes(cores_.size() + 2), handlers(cores_.size() + 2)
+{
+}
+
+void
+Mbc::deliver(unsigned dst, std::uint64_t msg)
+{
+    boxes[dst].push_back(msg);
+    ++stats.counter("delivered");
+    if (dst < cores.size() && cores[dst]) {
+        // Raise the mailbox interrupt line: wake a blocked receiver.
+        cores[dst]->wake(eq.now());
+    } else if (handlers[dst]) {
+        handlers[dst]();
+    }
+}
+
+void
+Mbc::send(core::DpCore &sender, unsigned dst, std::uint64_t msg)
+{
+    sim_assert(dst < boxes.size(), "bad mailbox %u", dst);
+    // Two memory-mapped register writes (control + data).
+    sender.cycles(4);
+    sender.sync();
+    ++stats.counter("sent");
+    eq.schedule(eq.now() + sim::dpCoreClock.cyclesToTicks(mbcLatency),
+                [this, dst, msg] { deliver(dst, msg); });
+}
+
+void
+Mbc::sendFromHost(unsigned dst, std::uint64_t msg)
+{
+    sim_assert(dst < boxes.size(), "bad mailbox %u", dst);
+    ++stats.counter("sent");
+    eq.schedule(eq.now() + sim::dpCoreClock.cyclesToTicks(mbcLatency),
+                [this, dst, msg] { deliver(dst, msg); });
+}
+
+std::uint64_t
+Mbc::recv(core::DpCore &c)
+{
+    auto &box = boxes[c.id()];
+    c.blockUntil([&box] { return !box.empty(); });
+    std::uint64_t msg = box.front();
+    box.pop_front();
+    // Read of the data register.
+    c.cycles(2);
+    return msg;
+}
+
+bool
+Mbc::tryRecv(unsigned mailbox, std::uint64_t &msg)
+{
+    sim_assert(mailbox < boxes.size(), "bad mailbox %u", mailbox);
+    auto &box = boxes[mailbox];
+    if (box.empty())
+        return false;
+    msg = box.front();
+    box.pop_front();
+    return true;
+}
+
+std::size_t
+Mbc::depth(unsigned mailbox) const
+{
+    sim_assert(mailbox < boxes.size(), "bad mailbox %u", mailbox);
+    return boxes[mailbox].size();
+}
+
+void
+Mbc::onMessage(unsigned mailbox, std::function<void()> handler)
+{
+    sim_assert(mailbox < boxes.size(), "bad mailbox %u", mailbox);
+    handlers[mailbox] = std::move(handler);
+}
+
+} // namespace dpu::mbc

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Functional byte store for DDR DRAM contents.
+ *
+ * Timing is modelled separately by DdrChannel; this class only holds
+ * the bytes. Agents that bypass the cache hierarchy (the DMS, which
+ * sits at the memory controller) read and write here directly, which
+ * is exactly why software-managed coherence (flush before DMS read,
+ * invalidate before cached read of DMS output) is required on the
+ * real chip and in this simulator alike.
+ */
+
+#ifndef DPU_MEM_BACKING_STORE_HH
+#define DPU_MEM_BACKING_STORE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "mem/addr.hh"
+#include "sim/logging.hh"
+
+namespace dpu::mem {
+
+/** Plain byte-addressable storage for the DDR channel. */
+class BackingStore
+{
+  public:
+    explicit BackingStore(std::size_t bytes) : mem(bytes, 0) {}
+
+    std::size_t size() const { return mem.size(); }
+
+    void
+    read(Addr addr, void *dst, std::size_t len) const
+    {
+        sim_assert(addr + len <= mem.size(),
+                   "DDR read out of range: addr=%llx len=%zu",
+                   (unsigned long long)addr, len);
+        std::memcpy(dst, mem.data() + addr, len);
+    }
+
+    void
+    write(Addr addr, const void *src, std::size_t len)
+    {
+        sim_assert(addr + len <= mem.size(),
+                   "DDR write out of range: addr=%llx len=%zu",
+                   (unsigned long long)addr, len);
+        std::memcpy(mem.data() + addr, src, len);
+    }
+
+    template <typename T>
+    T
+    load(Addr addr) const
+    {
+        T v;
+        read(addr, &v, sizeof(T));
+        return v;
+    }
+
+    template <typename T>
+    void
+    store(Addr addr, T v)
+    {
+        write(addr, &v, sizeof(T));
+    }
+
+    /** Direct pointer for bulk workload setup (host-side only). */
+    std::uint8_t *raw() { return mem.data(); }
+    const std::uint8_t *raw() const { return mem.data(); }
+
+  private:
+    std::vector<std::uint8_t> mem;
+};
+
+} // namespace dpu::mem
+
+#endif // DPU_MEM_BACKING_STORE_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Non-coherent write-back cache.
+ *
+ * The DPU's caches hold real data and are NOT kept coherent by
+ * hardware (Section 2.3): software issues explicit flush and
+ * invalidate instructions. This model stores actual line contents,
+ * so a core that reads a shared structure without invalidating first
+ * genuinely observes stale data — the same bug a programmer would
+ * hit on silicon, and the behaviour the coherence tests pin down.
+ *
+ * Geometry per the paper: 16 KB L1-D and 8 KB L1-I per dpCore and a
+ * 256 KB L2 shared by the 8 dpCores of a macro.
+ */
+
+#ifndef DPU_MEM_CACHE_HH
+#define DPU_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/mem_port.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace dpu::mem {
+
+/** Configuration for one cache level. */
+struct CacheParams
+{
+    std::uint32_t sizeBytes;
+    std::uint32_t assoc;
+    sim::Cycles hitCycles;   ///< lookup latency in core cycles
+};
+
+/** Set-associative, write-back, write-allocate, true-LRU cache. */
+class Cache : public MemPort
+{
+  public:
+    /**
+     * @param name  Stats prefix, e.g. "core3.l1d".
+     * @param params Geometry and hit latency.
+     * @param downstream The next level (L2 or main memory).
+     */
+    Cache(const std::string &name, const CacheParams &params,
+          MemPort &downstream);
+
+    /**
+     * Read @p len bytes through the cache (may span lines).
+     * @return completion tick.
+     */
+    sim::Tick read(Addr addr, void *dst, std::uint32_t len,
+                   sim::Tick when);
+
+    /** Write @p len bytes through the cache (write-allocate). */
+    sim::Tick write(Addr addr, const void *src, std::uint32_t len,
+                    sim::Tick when);
+
+    /** MemPort interface used when this cache is a downstream. */
+    sim::Tick readLine(Addr addr, void *dst, sim::Tick when) override;
+    sim::Tick writeLine(Addr addr, const void *src,
+                        sim::Tick when) override;
+
+    /**
+     * Write back any dirty lines intersecting [addr, addr+len) to
+     * the downstream level; lines stay resident and clean. This is
+     * the dpCore's cache-flush instruction.
+     * @return completion tick of the last writeback.
+     */
+    sim::Tick flushRange(Addr addr, std::uint64_t len, sim::Tick when);
+
+    /**
+     * Drop any lines intersecting [addr, addr+len) WITHOUT writing
+     * them back — dirty data is lost, exactly as the invalidate
+     * instruction behaves on chip.
+     */
+    sim::Tick invalidateRange(Addr addr, std::uint64_t len,
+                              sim::Tick when);
+
+    /** Flush then invalidate the whole cache. */
+    sim::Tick flushAll(sim::Tick when);
+
+    /** True if the line holding @p addr is resident. */
+    bool contains(Addr addr) const;
+
+    /** True if the line holding @p addr is resident and dirty. */
+    bool isDirty(Addr addr) const;
+
+    sim::StatGroup &statGroup() { return stats; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr tag = 0;
+        std::uint64_t lastUse = 0;
+        std::uint8_t data[lineBytes] = {};
+    };
+
+    /** Locate a resident line; nullptr on miss. */
+    Line *findLine(Addr line_addr);
+    const Line *findLine(Addr line_addr) const;
+
+    /**
+     * Ensure the line holding @p line_addr is resident, evicting and
+     * refilling as needed. @return (line, completion tick).
+     */
+    std::pair<Line *, sim::Tick> getLine(Addr line_addr,
+                                         sim::Tick when,
+                                         bool fill_from_downstream);
+
+    std::uint32_t setIndex(Addr line_addr) const;
+
+    sim::StatGroup stats;
+    CacheParams p;
+    MemPort &next;
+    std::uint32_t nSets;
+    std::vector<Line> lines;   ///< nSets * assoc, set-major
+    std::uint64_t useClock = 0;
+    sim::Tick hitLatency;
+};
+
+} // namespace dpu::mem
+
+#endif // DPU_MEM_CACHE_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Main memory: the DDR channel timing model bound to its functional
+ * backing store, exposed both as a line-granularity MemPort (for the
+ * cache hierarchy) and as a bulk transaction interface (for the DMS,
+ * which sits at the memory controller and bypasses the caches).
+ */
+
+#ifndef DPU_MEM_MAIN_MEMORY_HH
+#define DPU_MEM_MAIN_MEMORY_HH
+
+#include <cstdint>
+
+#include "mem/backing_store.hh"
+#include "mem/ddr.hh"
+#include "mem/mem_port.hh"
+#include "sim/stats.hh"
+
+namespace dpu::mem {
+
+/** The DPU's single DDR channel plus its contents. */
+class MainMemory : public MemPort
+{
+  public:
+    MainMemory(const DdrParams &params, std::size_t bytes)
+        : stats("ddr"), channel(params, stats), backing(bytes)
+    {
+    }
+
+    sim::Tick
+    readLine(Addr addr, void *dst, sim::Tick when) override
+    {
+        backing.read(addr, dst, lineBytes);
+        return channel.access(addr, lineBytes, false, when);
+    }
+
+    sim::Tick
+    writeLine(Addr addr, const void *src, sim::Tick when) override
+    {
+        backing.write(addr, src, lineBytes);
+        return channel.access(addr, lineBytes, true, when);
+    }
+
+    /**
+     * Bulk DMS-side transaction: functional copy plus channel
+     * timing. @return completion tick of the last beat.
+     */
+    sim::Tick
+    dmsRead(Addr addr, void *dst, std::uint32_t len, sim::Tick when)
+    {
+        backing.read(addr, dst, len);
+        return channel.access(addr, len, false, when);
+    }
+
+    /** Bulk DMS-side write; see dmsRead. */
+    sim::Tick
+    dmsWrite(Addr addr, const void *src, std::uint32_t len,
+             sim::Tick when)
+    {
+        backing.write(addr, src, len);
+        return channel.access(addr, len, true, when);
+    }
+
+    BackingStore &store() { return backing; }
+    const BackingStore &store() const { return backing; }
+    DdrChannel &ddr() { return channel; }
+    sim::StatGroup &statGroup() { return stats; }
+
+  private:
+    sim::StatGroup stats;
+    DdrChannel channel;
+    BackingStore backing;
+};
+
+} // namespace dpu::mem
+
+#endif // DPU_MEM_MAIN_MEMORY_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Line-granularity memory interface shared by caches and main memory.
+ */
+
+#ifndef DPU_MEM_MEM_PORT_HH
+#define DPU_MEM_MEM_PORT_HH
+
+#include <cstdint>
+
+#include "mem/addr.hh"
+#include "sim/types.hh"
+
+namespace dpu::mem {
+
+/** Cache-line size across the chip (Section 4: the compiler aligns
+ *  globals to cache-block boundaries to avoid false sharing). */
+constexpr std::uint32_t lineBytes = 64;
+
+/** Align an address down to its cache line. */
+constexpr Addr
+lineAlign(Addr a)
+{
+    return a & ~Addr(lineBytes - 1);
+}
+
+/**
+ * Anything that can source/sink whole cache lines with timing: a
+ * lower-level cache or the DDR channel itself.
+ */
+class MemPort
+{
+  public:
+    virtual ~MemPort() = default;
+
+    /**
+     * Read one 64 B line.
+     * @param addr Line-aligned address.
+     * @param dst  Destination for 64 bytes.
+     * @param when Time the request is issued.
+     * @return completion tick.
+     */
+    virtual sim::Tick readLine(Addr addr, void *dst,
+                               sim::Tick when) = 0;
+
+    /** Write one 64 B line; mirror of readLine. */
+    virtual sim::Tick writeLine(Addr addr, const void *src,
+                                sim::Tick when) = 0;
+};
+
+} // namespace dpu::mem
+
+#endif // DPU_MEM_MEM_PORT_HH

@@ -1,0 +1,224 @@
+#include "rt/dms_ctl.hh"
+
+#include "sim/logging.hh"
+
+namespace dpu::rt {
+
+DescHandle
+DmsCtl::setup(const dms::Descriptor &d)
+{
+    sim_assert(arenaNext + 16 <= mem::dmemBytes,
+               "descriptor arena exhausted on core %u", core.id());
+    dms::EncodedDesc e = dms::encode(d);
+    std::uint16_t at = std::uint16_t(arenaNext);
+    core.dmem().write(at, e.w.data(), sizeof(e.w));
+    // Building the 16 B descriptor costs a handful of stores.
+    core.dualIssue(4, 4);
+    arenaNext += 16;
+    return at;
+}
+
+void
+DmsCtl::rewrite(DescHandle at, const dms::Descriptor &d)
+{
+    dms::EncodedDesc e = dms::encode(d);
+    core.dmem().write(at, e.w.data(), sizeof(e.w));
+    core.dualIssue(4, 4);
+}
+
+DescHandle
+DmsCtl::setupDdrToDmem(std::uint32_t rows, std::uint8_t width,
+                       mem::Addr src, std::uint16_t dst, int event,
+                       bool src_inc)
+{
+    dms::Descriptor d;
+    d.type = dms::DescType::DdrToDmem;
+    d.rows = rows;
+    d.colWidth = width;
+    d.ddrAddr = src;
+    d.dmemAddr = dst;
+    d.notifyEvent = std::int8_t(event);
+    d.srcAddrInc = src_inc;
+    return setup(d);
+}
+
+DescHandle
+DmsCtl::setupDmemToDdr(std::uint32_t rows, std::uint8_t width,
+                       std::uint16_t src, mem::Addr dst, int event,
+                       bool dst_inc)
+{
+    dms::Descriptor d;
+    d.type = dms::DescType::DmemToDdr;
+    d.rows = rows;
+    d.colWidth = width;
+    d.ddrAddr = dst;
+    d.dmemAddr = src;
+    d.notifyEvent = std::int8_t(event);
+    d.srcAddrInc = dst_inc; // the auto-incremented side is the DDR one
+    return setup(d);
+}
+
+DescHandle
+DmsCtl::setupLoop(DescHandle target, std::uint16_t iterations)
+{
+    dms::Descriptor d;
+    d.type = dms::DescType::Loop;
+    d.linkAddr = target;
+    d.iterations = iterations;
+    return setup(d);
+}
+
+void
+DmsCtl::push(DescHandle desc, unsigned ch)
+{
+    dmsRef.push(core, ch, desc);
+}
+
+// ----------------------------------------------------------------
+// StreamReader
+// ----------------------------------------------------------------
+
+StreamReader::StreamReader(DmsCtl &ctl_, mem::Addr src,
+                           std::uint64_t total_bytes,
+                           std::uint16_t dmem_base,
+                           std::uint32_t buf_bytes, unsigned n_bufs,
+                           unsigned first_event, unsigned channel)
+    : ctl(ctl_), totalBytes(total_bytes), dmemBase(dmem_base),
+      bufBytes(buf_bytes), nBufs(n_bufs), firstEvent(first_event)
+{
+    sim_assert(buf_bytes % 4 == 0, "buffer size must be 4 B aligned");
+    sim_assert(total_bytes > 0, "empty stream");
+
+    const std::uint64_t full_bufs = total_bytes / buf_bytes;
+    const std::uint32_t partial =
+        std::uint32_t(total_bytes % buf_bytes);
+    const std::uint64_t full_groups = full_bufs / n_bufs;
+    const unsigned rem_full = unsigned(full_bufs % n_bufs);
+
+    // Listing 1: n descriptors sharing one auto-incremented source
+    // register, plus a loop descriptor re-running the group. The
+    // loop covers only FULL groups — an overshooting transfer would
+    // park the channel on an event nobody will ever clear — and
+    // explicit descriptors mop up the remainder (the final one
+    // right-sized so the stream reads exactly total_bytes, rounded
+    // up to whole 4 B elements).
+    if (full_groups > 0) {
+        std::vector<DescHandle> handles;
+        for (unsigned b = 0; b < n_bufs; ++b) {
+            handles.push_back(ctl.setupDdrToDmem(
+                buf_bytes / 4, 4, src,
+                std::uint16_t(dmem_base + b * buf_bytes),
+                int(first_event + b), true));
+        }
+        DescHandle loop = ctl.setupLoop(
+            handles.front(), std::uint16_t(full_groups - 1));
+        for (DescHandle h : handles)
+            ctl.push(h, channel);
+        ctl.push(loop, channel);
+    }
+    unsigned ring_pos = 0;
+    for (unsigned b = 0; b < rem_full; ++b, ++ring_pos) {
+        DescHandle h = ctl.setupDdrToDmem(
+            buf_bytes / 4, 4, src,
+            std::uint16_t(dmem_base + ring_pos * buf_bytes),
+            int(first_event + ring_pos), true);
+        ctl.push(h, channel);
+    }
+    if (partial > 0) {
+        DescHandle h = ctl.setupDdrToDmem(
+            (partial + 3) / 4, 4, src,
+            std::uint16_t(dmem_base + ring_pos * buf_bytes),
+            int(first_event + ring_pos), true);
+        ctl.push(h, channel);
+    }
+}
+
+void
+StreamReader::forEach(
+    const std::function<void(std::uint32_t, std::uint32_t)> &fn)
+{
+    std::uint64_t consumed = 0;
+    unsigned buf = 0;
+    while (consumed < totalBytes) {
+        unsigned ev = firstEvent + buf;
+        ctl.wfe(ev);
+        std::uint32_t valid = std::uint32_t(
+            std::min<std::uint64_t>(bufBytes, totalBytes - consumed));
+        fn(dmemBase + buf * bufBytes, valid);
+        ctl.clearEvent(ev);
+        consumed += valid;
+        buf = (buf + 1) % nBufs;
+    }
+}
+
+// ----------------------------------------------------------------
+// StreamWriter
+// ----------------------------------------------------------------
+
+StreamWriter::StreamWriter(DmsCtl &ctl_, mem::Addr dst_,
+                           std::uint16_t dmem_base,
+                           std::uint32_t buf_bytes, unsigned n_bufs,
+                           unsigned first_event, unsigned channel_)
+    : ctl(ctl_), dst(dst_), dmemBase(dmem_base), bufBytes(buf_bytes),
+      nBufs(n_bufs), firstEvent(first_event), channel(channel_),
+      pending(n_bufs, false), slots(n_bufs)
+{
+    sim_assert(buf_bytes % 4 == 0, "buffer size must be 4 B aligned");
+    // Pre-allocate one rewritable arena slot per ring buffer so a
+    // long stream does not exhaust the descriptor arena.
+    dms::Descriptor nop;
+    for (unsigned b = 0; b < n_bufs; ++b)
+        slots[b] = ctl.setup(nop);
+}
+
+std::uint32_t
+StreamWriter::acquire()
+{
+    if (pending[cur]) {
+        unsigned ev = firstEvent + cur;
+        ctl.wfe(ev);
+        ctl.clearEvent(ev);
+        pending[cur] = false;
+    }
+    return dmemBase + cur * bufBytes;
+}
+
+void
+StreamWriter::commit(std::uint32_t bytes)
+{
+    sim_assert(bytes % 4 == 0 && bytes <= bufBytes,
+               "bad commit size %u", bytes);
+    if (bytes == 0)
+        return;
+    sim_assert(!pending[cur], "commit without acquire");
+    unsigned ev = firstEvent + cur;
+
+    dms::Descriptor d;
+    d.type = dms::DescType::DmemToDdr;
+    d.rows = bytes / 4;
+    d.colWidth = 4;
+    d.dmemAddr = std::uint16_t(dmemBase + cur * bufBytes);
+    d.ddrAddr = dst + written;
+    d.notifyEvent = std::int8_t(ev);
+    ctl.rewrite(slots[cur], d);
+    ctl.push(slots[cur], channel);
+
+    pending[cur] = true;
+    written += bytes;
+    cur = (cur + 1) % nBufs;
+}
+
+void
+StreamWriter::finish()
+{
+    for (unsigned b = 0; b < nBufs; ++b) {
+        unsigned slot = (cur + b) % nBufs;
+        if (pending[slot]) {
+            ctl.wfe(firstEvent + slot);
+            ctl.clearEvent(firstEvent + slot);
+            pending[slot] = false;
+        }
+    }
+}
+
+} // namespace dpu::rt

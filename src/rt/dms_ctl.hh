@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The DMS programming interface of Section 3.1 / Listing 1.
+ *
+ * DmsCtl wraps one dpCore's view of the DMS: it carves a descriptor
+ * arena out of the top of the core's DMEM, offers the paper's
+ * dms_setup_* / dms_push / dms_wfe / clear_event calls (camelCased),
+ * and provides the double/triple-buffered streaming helpers every
+ * co-design application uses (StreamReader / StreamWriter).
+ */
+
+#ifndef DPU_RT_DMS_CTL_HH
+#define DPU_RT_DMS_CTL_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/dp_core.hh"
+#include "dms/dms.hh"
+
+namespace dpu::rt {
+
+/** A descriptor handle: the DMEM offset where it was encoded. */
+using DescHandle = std::uint16_t;
+
+/** One core's DMS control block. */
+class DmsCtl
+{
+  public:
+    /** Top-of-DMEM bytes reserved for the descriptor arena. */
+    static constexpr std::uint32_t arenaBytes = 2048;
+
+    /** First DMEM offset used by the arena. */
+    static constexpr std::uint32_t arenaBase =
+        mem::dmemBytes - arenaBytes;
+
+    DmsCtl(core::DpCore &c, dms::Dms &dms) : core(c), dmsRef(dms) {}
+
+    // ------------------------------------------------------------
+    // Listing 1 interface
+    // ------------------------------------------------------------
+
+    /**
+     * dms_setup_ddr_to_dmem: move @p rows elements of @p width
+     * bytes from DDR @p src to DMEM offset @p dst, setting @p event
+     * on completion (and waiting for it to be clear first). With
+     * @p src_inc the DDR address auto-increments across loop
+     * iterations exactly as in Listing 1.
+     */
+    DescHandle setupDdrToDmem(std::uint32_t rows, std::uint8_t width,
+                              mem::Addr src, std::uint16_t dst,
+                              int event, bool src_inc = true);
+
+    /** DMEM -> DDR mirror of setupDdrToDmem. */
+    DescHandle setupDmemToDdr(std::uint32_t rows, std::uint8_t width,
+                              std::uint16_t src, mem::Addr dst,
+                              int event, bool dst_inc = true);
+
+    /** dms_setup_loop: jump back to @p target @p iterations times. */
+    DescHandle setupLoop(DescHandle target, std::uint16_t iterations);
+
+    /** Encode an arbitrary descriptor into the arena. */
+    DescHandle setup(const dms::Descriptor &d);
+
+    /**
+     * Re-encode a descriptor in place over an existing arena slot.
+     * The DMAD copies descriptors at push time, so a slot may be
+     * safely rewritten once its previous push has been consumed
+     * (i.e. after waiting on its completion event).
+     */
+    void rewrite(DescHandle at, const dms::Descriptor &d);
+
+    /** dms_push onto channel @p ch (0 = read, 1 = write typically). */
+    void push(DescHandle desc, unsigned ch = 0);
+
+    /** dms_wfe: block until @p event is set. */
+    void wfe(unsigned event) { dmsRef.wfe(core, event); }
+
+    /** clear_event: hand the buffer back to the DMS. */
+    void clearEvent(unsigned event) { dmsRef.clearEvent(core, event); }
+
+    /** Poll an event without blocking. */
+    bool
+    eventSet(unsigned event) const
+    {
+        return dmsRef.eventSet(localId(), event);
+    }
+
+    /** Reset the descriptor arena (new program phase). */
+    void
+    resetArena()
+    {
+        arenaNext = arenaBase;
+    }
+
+    core::DpCore &dpCore() { return core; }
+    dms::Dms &dms() { return dmsRef; }
+
+  private:
+    unsigned
+    localId() const
+    {
+        return core.id() % 32;
+    }
+
+    core::DpCore &core;
+    dms::Dms &dmsRef;
+    std::uint32_t arenaNext = arenaBase;
+};
+
+/**
+ * Stream a DDR range through DMEM with an N-buffer descriptor loop
+ * (the Listing 1 pattern generalized). The source region must be
+ * readable up to the next nBufs*bufBytes boundary — the trailing
+ * loop iteration may prefetch past the logical end, exactly as the
+ * paper's 3-descriptor/16 MB example relies on exact fit.
+ */
+class StreamReader
+{
+  public:
+    /**
+     * @param ctl         The core's DMS control block.
+     * @param src         DDR source base.
+     * @param total_bytes Logical bytes to consume.
+     * @param dmem_base   DMEM offset of the buffer ring.
+     * @param buf_bytes   Bytes per buffer (multiple of 4).
+     * @param n_bufs      Ring depth (2 = double buffering).
+     * @param first_event First of n_bufs consecutive event ids.
+     */
+    StreamReader(DmsCtl &ctl, mem::Addr src,
+                 std::uint64_t total_bytes, std::uint16_t dmem_base,
+                 std::uint32_t buf_bytes, unsigned n_bufs = 2,
+                 unsigned first_event = 0, unsigned channel = 0);
+
+    /**
+     * Consume the stream: @p fn is called once per buffer with
+     * (dmem_offset, bytes_valid). Charges no per-byte cycles itself;
+     * the consumer reads DMEM through the core as usual.
+     */
+    void forEach(const std::function<void(std::uint32_t,
+                                          std::uint32_t)> &fn);
+
+  private:
+    DmsCtl &ctl;
+    std::uint64_t totalBytes;
+    std::uint16_t dmemBase;
+    std::uint32_t bufBytes;
+    unsigned nBufs;
+    unsigned firstEvent;
+};
+
+/**
+ * Mirror of StreamReader for writing results back at line rate:
+ * acquire() a DMEM slot, fill it, commit(bytes), and the DMS drains
+ * it to DDR behind the computation. Appends sequentially at @p dst.
+ */
+class StreamWriter
+{
+  public:
+    StreamWriter(DmsCtl &ctl, mem::Addr dst, std::uint16_t dmem_base,
+                 std::uint32_t buf_bytes, unsigned n_bufs = 2,
+                 unsigned first_event = 8, unsigned channel = 1);
+
+    /**
+     * DMEM offset of the next buffer to fill; blocks until the
+     * slot's previous drain (if any) has completed.
+     */
+    std::uint32_t acquire();
+
+    /** Queue the filled slot for draining (@p bytes, 4 B aligned). */
+    void commit(std::uint32_t bytes);
+
+    /** Block until every queued buffer has drained to DDR. */
+    void finish();
+
+    /** Total bytes committed so far. */
+    std::uint64_t bytesWritten() const { return written; }
+
+  private:
+    DmsCtl &ctl;
+    mem::Addr dst;
+    std::uint16_t dmemBase;
+    std::uint32_t bufBytes;
+    unsigned nBufs;
+    unsigned firstEvent;
+    unsigned channel;
+    unsigned cur = 0;
+    std::uint64_t written = 0;
+    std::vector<bool> pending;
+    std::vector<DescHandle> slots;
+};
+
+} // namespace dpu::rt
+
+#endif // DPU_RT_DMS_CTL_HH

@@ -1,0 +1,110 @@
+#include "rt/heap.hh"
+
+#include "sim/logging.hh"
+
+namespace dpu::rt {
+
+namespace {
+
+/** Fast-path and central-path cycle charges. */
+constexpr sim::Cycles localAllocCycles = 24;
+constexpr sim::Cycles centralAllocCycles = 180;
+constexpr sim::Cycles localFreeCycles = 16;
+
+} // namespace
+
+Heap::Heap(mem::Addr base, std::uint64_t bytes, unsigned n_cores)
+    : baseAddr((base + 63) & ~mem::Addr(63)), endAddr(base + bytes),
+      nextSuper(baseAddr), bins(n_cores)
+{
+    sim_assert(endAddr > baseAddr + superblockBytes,
+               "heap arena too small");
+}
+
+unsigned
+Heap::classOf(std::uint64_t bytes)
+{
+    std::uint32_t sz = 16;
+    for (unsigned k = 0; k < nSizeClasses; ++k, sz *= 2) {
+        if (bytes <= sz)
+            return k;
+    }
+    return nSizeClasses;
+}
+
+std::uint32_t
+Heap::classBytes(unsigned k)
+{
+    return 16u << k;
+}
+
+mem::Addr
+Heap::grabSuperblock(core::DpCore &c, std::uint64_t bytes)
+{
+    // Central path: on chip this serializes on an ATE-owned mutex;
+    // charge that cost to the requesting core.
+    c.cycles(centralAllocCycles);
+    std::uint64_t need =
+        (bytes + superblockBytes - 1) / superblockBytes *
+        superblockBytes;
+    if (nextSuper + need > endAddr)
+        fatal("DPU heap exhausted: %llu bytes requested",
+              (unsigned long long)bytes);
+    mem::Addr p = nextSuper;
+    nextSuper += need;
+    return p;
+}
+
+mem::Addr
+Heap::alloc(core::DpCore &c, std::uint64_t bytes)
+{
+    sim_assert(bytes > 0, "zero-byte allocation");
+    unsigned k = classOf(bytes);
+
+    if (k == nSizeClasses) {
+        // Huge allocation: straight from the central allocator.
+        mem::Addr p = grabSuperblock(c, bytes);
+        blockSize[p] = bytes;
+        live += bytes;
+        return p;
+    }
+
+    auto &list = bins[c.id()].freeLists[k];
+    if (list.empty()) {
+        // Refill: carve a whole superblock into blocks of class k.
+        mem::Addr sb = grabSuperblock(c, superblockBytes);
+        std::uint32_t step = std::max<std::uint32_t>(classBytes(k),
+                                                     64);
+        for (mem::Addr p = sb; p + step <= sb + superblockBytes;
+             p += step)
+            list.push_back(p);
+    }
+
+    c.cycles(localAllocCycles);
+    mem::Addr p = list.back();
+    list.pop_back();
+    blockSize[p] = classBytes(k);
+    live += classBytes(k);
+    return p;
+}
+
+void
+Heap::free(core::DpCore &c, mem::Addr p)
+{
+    auto it = blockSize.find(p);
+    sim_assert(it != blockSize.end(), "free of unallocated %llx",
+               (unsigned long long)p);
+    std::uint64_t sz = it->second;
+    live -= sz;
+
+    unsigned k = classOf(sz);
+    if (k < nSizeClasses) {
+        c.cycles(localFreeCycles);
+        bins[c.id()].freeLists[k].push_back(p);
+    }
+    // Huge blocks are not recycled (arena high-water only); fine
+    // for the workloads at hand and documented behaviour.
+    blockSize.erase(it);
+}
+
+} // namespace dpu::rt

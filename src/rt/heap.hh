@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Two-level heap allocator over DDR (Section 4: "A two-level heap
+ * allocator similar to Hoard or TCMalloc allows efficient, dynamic
+ * management of most of DRAM space").
+ *
+ * Level 1: a central superblock allocator carving 64 KB superblocks
+ * out of the managed DDR range, guarded by a mutex word (on the real
+ * chip an ATE-serialized structure; the simulator charges the
+ * synchronization cost through the provided core handle).
+ * Level 2: per-core size-class free lists that own whole
+ * superblocks, so the common path allocates with no cross-core
+ * traffic at all — the paper's "little sharing of data between
+ * processors" observation.
+ *
+ * Allocation metadata lives host-side; the returned values are
+ * simulated physical addresses. Blocks are cache-line aligned so
+ * allocations never false-share (Section 4: the compiler aligns
+ * globals to cache-block boundaries for the same reason).
+ */
+
+#ifndef DPU_RT_HEAP_HH
+#define DPU_RT_HEAP_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/dp_core.hh"
+#include "mem/addr.hh"
+
+namespace dpu::rt {
+
+/** The DPU heap. One instance manages one DDR range for all cores. */
+class Heap
+{
+  public:
+    static constexpr std::uint32_t superblockBytes = 64 * 1024;
+    static constexpr unsigned nSizeClasses = 10; // 16 B .. 8 KB
+
+    /**
+     * @param base    First managed DDR address (64 B aligned).
+     * @param bytes   Managed range size.
+     * @param n_cores Cores that may allocate.
+     */
+    Heap(mem::Addr base, std::uint64_t bytes, unsigned n_cores);
+
+    /**
+     * Allocate @p bytes for core @p c. Charges the local fast path
+     * (~tens of cycles) or the central refill path. Requests above
+     * the largest size class are served directly from the central
+     * allocator, rounded to superblocks.
+     * @return 64 B aligned simulated address; panics when exhausted.
+     */
+    mem::Addr alloc(core::DpCore &c, std::uint64_t bytes);
+
+    /** Return a block to the allocating core's free list. */
+    void free(core::DpCore &c, mem::Addr p);
+
+    /** Bytes currently handed out. */
+    std::uint64_t liveBytes() const { return live; }
+
+    /** Bytes of DDR consumed from the arena (high-water mark). */
+    std::uint64_t
+    arenaUsed() const
+    {
+        return nextSuper - baseAddr;
+    }
+
+  private:
+    /** Size class index for a request, or nSizeClasses if huge. */
+    static unsigned classOf(std::uint64_t bytes);
+
+    /** Block size of a size class. */
+    static std::uint32_t classBytes(unsigned k);
+
+    /** Carve a fresh superblock (central, mutex-charged). */
+    mem::Addr grabSuperblock(core::DpCore &c, std::uint64_t bytes);
+
+    struct CoreBins
+    {
+        std::array<std::vector<mem::Addr>, nSizeClasses> freeLists;
+    };
+
+    mem::Addr baseAddr;
+    mem::Addr endAddr;
+    mem::Addr nextSuper;
+    std::vector<CoreBins> bins;
+    /** Size of every live or freed block, by address. */
+    std::map<mem::Addr, std::uint64_t> blockSize;
+    std::uint64_t live = 0;
+};
+
+} // namespace dpu::rt
+
+#endif // DPU_RT_HEAP_HH

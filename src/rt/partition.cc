@@ -1,0 +1,189 @@
+#include "rt/partition.hh"
+
+#include "sim/logging.hh"
+
+namespace dpu::rt {
+
+namespace {
+
+/** Build the three-descriptor chunk group for pipeline slot @p b. */
+void
+pushChunk(DmsCtl &ctl, const PartitionJob &job, unsigned b,
+          std::uint32_t rows, bool src_inc, mem::Addr explicit_src,
+          std::vector<DescHandle> *handles)
+{
+    using dms::Descriptor;
+    using dms::DescType;
+
+    Descriptor load;
+    load.type = DescType::DdrToDms;
+    load.rows = rows;
+    load.colWidth = job.colWidth;
+    load.nCols = job.nCols;
+    load.colStride = job.colStride;
+    load.colMask = job.colMask;
+    load.ddrAddr = explicit_src;
+    load.ibank = std::uint8_t(b % dms::nCmemBanks);
+    load.srcAddrInc = src_inc;
+
+    Descriptor hash;
+    hash.type = DescType::HashCol;
+    hash.rows = rows;
+    hash.colWidth = job.colWidth;
+    hash.nCols = job.nCols;
+    hash.ibank = load.ibank;
+    hash.ibank2 = std::uint8_t(b % dms::nCrcBanks);
+    hash.cidBank = std::uint8_t(b % dms::nCidBanks);
+    hash.rangeMode =
+        job.scheme.kind == PartitionScheme::Kind::Range;
+
+    Descriptor store;
+    store.type = DescType::DmsToDmem;
+    store.rows = rows;
+    store.colWidth = job.colWidth;
+    store.nCols = job.nCols;
+    store.ibank = load.ibank;
+    store.cidBank = hash.cidBank;
+
+    DescHandle hl = ctl.setup(load);
+    DescHandle hh = ctl.setup(hash);
+    DescHandle hs = ctl.setup(store);
+    if (handles) {
+        handles->push_back(hl);
+        handles->push_back(hh);
+        handles->push_back(hs);
+    } else {
+        ctl.push(hl, 0);
+        ctl.push(hh, 0);
+        ctl.push(hs, 0);
+    }
+}
+
+} // namespace
+
+void
+runPartition(DmsCtl &ctl, const PartitionJob &job)
+{
+    using dms::Descriptor;
+    using dms::DescType;
+
+    sim_assert(job.nRows > 0, "empty partition job");
+    sim_assert(job.colMask == 0 || (job.colMask & 1),
+               "projection must keep the key column");
+    sim_assert(job.chunkRows <= dms::cidBankBytes,
+               "chunk exceeds CID bank: %u rows", job.chunkRows);
+    sim_assert(job.chunkRows * job.nCols * job.colWidth <=
+               dms::cmemBankBytes, "chunk exceeds CMEM bank");
+    sim_assert(job.dstBufBytes >
+               4u + unsigned(job.nCols) * job.colWidth,
+               "partition buffer smaller than one tuple");
+
+    core::DpCore &c = ctl.dpCore();
+
+    // 1. Program the hash or range engine.
+    if (job.scheme.kind == PartitionScheme::Kind::Range) {
+        sim_assert(job.scheme.bounds.size() == 32,
+                   "range scheme needs exactly 32 bounds");
+        for (unsigned i = 0; i < 32; ++i) {
+            c.dmem().store<std::uint64_t>(rtScratchBase + 256 + i * 8,
+                                          job.scheme.bounds[i]);
+        }
+        c.dualIssue(32, 32);
+        Descriptor rp;
+        rp.type = DescType::RangeProg;
+        rp.dmemAddr = std::uint16_t(rtScratchBase + 256);
+        ctl.push(ctl.setup(rp), 0);
+    } else {
+        Descriptor hp;
+        hp.type = DescType::HashProg;
+        hp.hashUseCrc =
+            job.scheme.kind == PartitionScheme::Kind::HashRadix;
+        hp.radixBits = job.scheme.radixBits;
+        hp.radixShift = job.scheme.radixShift;
+        ctl.push(ctl.setup(hp), 0);
+    }
+
+    // 2. Configure every destination ring (8 B entries in DMEM).
+    for (unsigned i = 0; i < job.nTargets; ++i) {
+        std::uint32_t off = rtScratchBase + i * 8;
+        c.dmem().store<std::uint16_t>(off, job.dstBase);
+        c.dmem().store<std::uint16_t>(off + 2, job.dstBufBytes);
+        c.dmem().store<std::uint8_t>(off + 4, job.dstFirstEvent);
+        c.dmem().store<std::uint8_t>(off + 5, job.dstNBufs);
+        c.dmem().store<std::uint16_t>(off + 6, 0);
+    }
+    c.dualIssue(job.nTargets * 2, job.nTargets * 2);
+    Descriptor cfg;
+    cfg.type = DescType::PartDstCfg;
+    cfg.rows = job.nTargets;
+    cfg.dmemAddr = std::uint16_t(rtScratchBase);
+    ctl.push(ctl.setup(cfg), 0);
+
+    // 3. The pipelined chunk chain (Figure 10): groups of three
+    // full chunks rotate the CMEM banks; a loop descriptor replays
+    // the group; explicit descriptors mop up the remainder.
+    const std::uint32_t full = job.nRows / job.chunkRows;
+    const std::uint32_t tail = job.nRows % job.chunkRows;
+    const std::uint32_t groups = full / dms::nCmemBanks;
+    const std::uint32_t rem_full = full % dms::nCmemBanks;
+
+    unsigned bank = 0;
+    if (groups > 0) {
+        std::vector<DescHandle> handles;
+        for (unsigned b = 0; b < dms::nCmemBanks; ++b)
+            pushChunk(ctl, job, b, job.chunkRows, true, job.table,
+                      &handles);
+        DescHandle loop =
+            ctl.setupLoop(handles.front(),
+                          std::uint16_t(groups - 1));
+        for (DescHandle h : handles)
+            ctl.push(h, 0);
+        ctl.push(loop, 0);
+        bank = 0; // after a whole group the rotation re-starts at 0
+    }
+
+    // Every load keeps srcAddrInc set: the first executed load arms
+    // the channel's source register with job.table and each later
+    // one continues from where the previous chunk ended.
+    for (unsigned i = 0; i < rem_full; ++i, ++bank)
+        pushChunk(ctl, job, bank, job.chunkRows, true, job.table,
+                  nullptr);
+    if (tail > 0)
+        pushChunk(ctl, job, bank, tail, true, job.table, nullptr);
+
+    // 4. Flush partial buffers; its completion raises doneEvent.
+    Descriptor flush;
+    flush.type = DescType::PartFlush;
+    flush.notifyEvent = std::int8_t(job.doneEvent);
+    ctl.push(ctl.setup(flush), 0);
+}
+
+std::uint64_t
+consumePartition(
+    DmsCtl &ctl, std::uint16_t base, std::uint16_t buf_bytes,
+    std::uint8_t n_bufs, std::uint8_t first_event,
+    const std::function<void(std::uint32_t, std::uint32_t)> &fn)
+{
+    core::DpCore &c = ctl.dpCore();
+    std::uint64_t total = 0;
+    unsigned buf = 0;
+    while (true) {
+        unsigned ev = first_event + buf;
+        ctl.wfe(ev);
+        std::uint32_t off = base + std::uint32_t(buf) * buf_bytes;
+        std::uint32_t hdr = c.dmem().load<std::uint32_t>(off);
+        c.dualIssue(2, 1);
+        std::uint32_t rows = hdr & 0x7fffffffu;
+        bool final_buf = hdr >> 31;
+        if (rows > 0)
+            fn(off + 4, rows);
+        total += rows;
+        ctl.clearEvent(ev);
+        if (final_buf)
+            break;
+        buf = (buf + 1) % n_bufs;
+    }
+    return total;
+}
+
+} // namespace dpu::rt

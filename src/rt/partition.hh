@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Hardware partitioning driver — the Figure 10 descriptor
+ * choreography, packaged.
+ *
+ * One issuing core programs the hash/range engine, configures every
+ * destination core's DMEM buffer ring, and pushes the three-stage
+ * pipelined chunk chain (load -> hash+CID -> store) with a loop
+ * descriptor; destination cores consume their rings with
+ * consumePartition(). Flow control is entirely in hardware: a slow
+ * consumer back-pressures the store stage (Section 3.1).
+ *
+ * Layout contract: the input table is column-major with uniform
+ * column width; the key is column 0. Output buffers hold row-major
+ * tuples behind a 4 B header (row count; top bit = final buffer).
+ */
+
+#ifndef DPU_RT_PARTITION_HH
+#define DPU_RT_PARTITION_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "rt/dms_ctl.hh"
+
+namespace dpu::rt {
+
+/** DMEM scratch region the runtime owns (below the desc arena). */
+constexpr std::uint32_t rtScratchBase = DmsCtl::arenaBase - 512;
+
+/** How rows are mapped to destination cores. */
+struct PartitionScheme
+{
+    enum class Kind
+    {
+        HashRadix, ///< CRC32 the key, take radix bits (Figure 13)
+        RawRadix,  ///< radix bits straight from the key
+        Range,     ///< 32 programmed range boundaries
+    };
+
+    Kind kind = Kind::HashRadix;
+    std::uint8_t radixBits = 5; ///< 5 bits -> 32-way
+    std::uint8_t radixShift = 0;
+    /** Ascending inclusive upper bounds (Range only; 32 entries). */
+    std::vector<std::uint64_t> bounds;
+};
+
+/** A whole-table partition operation. */
+struct PartitionJob
+{
+    mem::Addr table = 0;        ///< base of column 0 (column-major)
+    std::uint32_t nRows = 0;
+    std::uint8_t colWidth = 4;  ///< uniform column width
+    std::uint8_t nCols = 4;     ///< tuple = nCols * colWidth bytes
+    std::uint32_t colStride = 0; ///< bytes between column arrays
+    /** Projection mask (see dms::Descriptor::colMask); bit 0 (the
+     *  key column) must be selected when non-zero. */
+    std::uint16_t colMask = 0;
+
+    PartitionScheme scheme{};
+
+    /** Destination ring layout, identical on every target core. */
+    std::uint16_t dstBase = 0;
+    std::uint16_t dstBufBytes = 2048 + 4;
+    std::uint8_t dstNBufs = 2;
+    std::uint8_t dstFirstEvent = 16;
+    std::uint8_t nTargets = 32;
+
+    /** Issuer event set when the final flush lands. */
+    int doneEvent = 30;
+
+    /** Rows per pipeline chunk (<= 256, the CID bank capacity). */
+    std::uint32_t chunkRows = 256;
+};
+
+/**
+ * Push the full descriptor program for @p job on the issuing core's
+ * channel 0. Returns immediately (the chain runs asynchronously);
+ * wait on job.doneEvent for the flush.
+ */
+void runPartition(DmsCtl &ctl, const PartitionJob &job);
+
+/**
+ * Consume this core's partition ring until the final buffer.
+ * @param fn Called per sealed buffer with (payload DMEM offset,
+ *           row count).
+ * @return total rows received.
+ */
+std::uint64_t consumePartition(
+    DmsCtl &ctl, std::uint16_t base, std::uint16_t buf_bytes,
+    std::uint8_t n_bufs, std::uint8_t first_event,
+    const std::function<void(std::uint32_t, std::uint32_t)> &fn);
+
+} // namespace dpu::rt
+
+#endif // DPU_RT_PARTITION_HH

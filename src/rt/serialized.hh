@@ -1,0 +1,75 @@
+/**
+ * @file
+ * dpu_serialized — the Section 4 idiom for manipulating shared data
+ * on a non-coherent machine:
+ *
+ *   void* dpu_serialized(core_id_t _id, void(*rpc)(void*), void*
+ *       args, visitor_fp args_visitor, visitor_fp return_visitor);
+ *
+ * Shared structures are pinned to one owner dpCore; every
+ * manipulation is forced through a serialized ATE software RPC. The
+ * runtime (a) flushes argument objects on the issuing core,
+ * (b) invalidates them on the remote core, (c) invokes the RPC on
+ * the remote dpCore, (d) flushes the return-region objects on the
+ * remote core, and (e) invalidates those regions back on the sender.
+ */
+
+#ifndef DPU_RT_SERIALIZED_HH
+#define DPU_RT_SERIALIZED_HH
+
+#include <functional>
+#include <vector>
+
+#include "ate/ate.hh"
+#include "core/dp_core.hh"
+
+namespace dpu::rt {
+
+/** A physical-address region named by an argument/return visitor. */
+struct MemRegion
+{
+    mem::Addr base;
+    std::uint64_t len;
+};
+
+/** Visitor: enumerate the regions reachable from a parameter. */
+using RegionVisitor = std::function<std::vector<MemRegion>()>;
+
+/**
+ * Run @p rpc on core @p owner with full flush/invalidate
+ * choreography for the argument and return regions.
+ *
+ * @param c       The issuing core (blocks until the RPC returns).
+ * @param ate     The complex's ATE.
+ * @param owner   The core owning the shared structure.
+ * @param rpc     The manipulation to run remotely.
+ * @param args    DDR regions the RPC reads (sender wrote them).
+ * @param rets    DDR regions the RPC writes (sender reads after).
+ */
+inline void
+dpuSerialized(core::DpCore &c, ate::Ate &ate, unsigned owner,
+              const std::function<void(core::DpCore &)> &rpc,
+              const std::vector<MemRegion> &args = {},
+              const std::vector<MemRegion> &rets = {})
+{
+    // (a) flush argument objects on the issuing core.
+    for (const MemRegion &r : args)
+        c.cacheFlush(r.base, r.len);
+
+    // (b)+(c)+(d) happen on the remote core inside one sw RPC.
+    ate.swRpc(c, owner, [rpc, args, rets](core::DpCore &rc) {
+        for (const MemRegion &r : args)
+            rc.cacheInvalidate(r.base, r.len);
+        rpc(rc);
+        for (const MemRegion &r : rets)
+            rc.cacheFlush(r.base, r.len);
+    });
+
+    // (e) invalidate the return regions on the sender.
+    for (const MemRegion &r : rets)
+        c.cacheInvalidate(r.base, r.len);
+}
+
+} // namespace dpu::rt
+
+#endif // DPU_RT_SERIALIZED_HH

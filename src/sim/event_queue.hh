@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Global discrete-event queue.
+ *
+ * Every timed behaviour in the simulated SoC — core wakeups, DMS
+ * pipeline stage completions, DDR transactions, ATE message hops —
+ * is an event on this queue. Events scheduled for the same tick fire
+ * in insertion order, which gives the deterministic FIFO semantics
+ * the ATE and DMAX crossbars rely on.
+ */
+
+#ifndef DPU_SIM_EVENT_QUEUE_HH
+#define DPU_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace dpu::sim {
+
+/** Discrete-event queue with a monotonically advancing clock. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick now() const { return curTick; }
+
+    /** Schedule @p cb to run at absolute time @p when (>= now). */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        sim_assert(when >= curTick,
+                   "scheduling in the past (%llu < %llu)",
+                   (unsigned long long)when,
+                   (unsigned long long)curTick);
+        heap.push(Entry{when, nextSeq++, std::move(cb)});
+    }
+
+    /** Schedule @p cb to run @p delta ticks from now. */
+    void
+    scheduleIn(Tick delta, Callback cb)
+    {
+        schedule(curTick + delta, std::move(cb));
+    }
+
+    /** True when no events remain. */
+    bool empty() const { return heap.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap.size(); }
+
+    /**
+     * Run events until the queue drains or @p limit is reached.
+     * @return the number of events executed.
+     */
+    std::uint64_t
+    run(Tick limit = maxTick)
+    {
+        std::uint64_t executed = 0;
+        while (!heap.empty()) {
+            const Entry &top = heap.top();
+            if (top.when > limit)
+                break;
+            // Move the callback out before popping so that the
+            // callback may itself schedule new events.
+            Tick when = top.when;
+            Callback cb = std::move(const_cast<Entry &>(top).cb);
+            heap.pop();
+            curTick = when;
+            cb();
+            ++executed;
+        }
+        if (heap.empty() && limit != maxTick && curTick < limit)
+            curTick = limit;
+        return executed;
+    }
+
+    /** Execute exactly one event if one exists. @return true if so. */
+    bool
+    step()
+    {
+        if (heap.empty())
+            return false;
+        Tick when = heap.top().when;
+        Callback cb = std::move(const_cast<Entry &>(heap.top()).cb);
+        heap.pop();
+        curTick = when;
+        cb();
+        return true;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    Tick curTick = 0;
+    std::uint64_t nextSeq = 0;
+};
+
+} // namespace dpu::sim
+
+#endif // DPU_SIM_EVENT_QUEUE_HH

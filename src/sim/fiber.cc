@@ -1,0 +1,67 @@
+#include "sim/fiber.hh"
+
+#include "sim/logging.hh"
+
+namespace dpu::sim {
+
+namespace {
+thread_local Fiber *currentFiber = nullptr;
+} // namespace
+
+Fiber::Fiber(std::function<void()> fn, std::size_t stack_size)
+    : body(std::move(fn)), stack(stack_size)
+{
+}
+
+Fiber::~Fiber()
+{
+    // A fiber destroyed mid-flight simply abandons its stack; the
+    // simulation tear-down path (Soc::~Soc) only does this after the
+    // event queue has stopped, so no callbacks can resume it again.
+}
+
+Fiber *
+Fiber::current()
+{
+    return currentFiber;
+}
+
+void
+Fiber::trampoline()
+{
+    Fiber *f = currentFiber;
+    f->body();
+    f->done = true;
+    // Return to whoever resumed us for the last time.
+    swapcontext(&f->ctx, &f->returnCtx);
+}
+
+void
+Fiber::resume()
+{
+    sim_assert(!done, "resuming a finished fiber");
+    sim_assert(currentFiber == nullptr,
+               "nested fiber resume is not supported");
+    if (!started) {
+        started = true;
+        getcontext(&ctx);
+        ctx.uc_stack.ss_sp = stack.data();
+        ctx.uc_stack.ss_size = stack.size();
+        ctx.uc_link = nullptr;
+        makecontext(&ctx, reinterpret_cast<void (*)()>(&trampoline), 0);
+    }
+    currentFiber = this;
+    swapcontext(&returnCtx, &ctx);
+    currentFiber = nullptr;
+}
+
+void
+Fiber::yield()
+{
+    sim_assert(currentFiber == this, "yield from outside the fiber");
+    currentFiber = nullptr;
+    swapcontext(&ctx, &returnCtx);
+    currentFiber = this;
+}
+
+} // namespace dpu::sim

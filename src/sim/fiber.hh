@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Cooperative user-level fibers.
+ *
+ * Each simulated dpCore (and the A9 host model) runs its software as a
+ * fiber: ordinary blocking C++ code that suspends back to the event
+ * loop whenever it needs simulated time to pass (cycle charging, DMS
+ * wait-for-event, ATE response, mailbox receive). This is the same
+ * structure as SystemC SC_THREADs and keeps application kernels
+ * looking like the code in the paper's Listing 1.
+ *
+ * Implemented over POSIX ucontext. Fibers are strictly cooperative
+ * and all run on the host thread that owns the event queue, so no
+ * locking is needed anywhere in the simulator.
+ */
+
+#ifndef DPU_SIM_FIBER_HH
+#define DPU_SIM_FIBER_HH
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace dpu::sim {
+
+/** A cooperative fiber with its own stack. */
+class Fiber
+{
+  public:
+    /**
+     * Create a fiber that will execute @p fn when first resumed.
+     * @param fn         The fiber body.
+     * @param stack_size Stack size in bytes (default 256 KiB).
+     */
+    explicit Fiber(std::function<void()> fn,
+                   std::size_t stack_size = 256 * 1024);
+
+    Fiber(const Fiber &) = delete;
+    Fiber &operator=(const Fiber &) = delete;
+    ~Fiber();
+
+    /**
+     * Switch from the scheduler context into this fiber. Returns when
+     * the fiber calls yield() or its body returns.
+     */
+    void resume();
+
+    /**
+     * Switch from inside this fiber back to the scheduler context.
+     * Must be called from within the fiber.
+     */
+    void yield();
+
+    /** True once the fiber body has returned. */
+    bool finished() const { return done; }
+
+    /** The fiber currently executing, or nullptr in the scheduler. */
+    static Fiber *current();
+
+  private:
+    static void trampoline();
+
+    std::function<void()> body;
+    std::vector<std::uint8_t> stack;
+    ucontext_t ctx;
+    ucontext_t returnCtx;
+    bool started = false;
+    bool done = false;
+};
+
+} // namespace dpu::sim
+
+#endif // DPU_SIM_FIBER_HH

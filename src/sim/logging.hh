@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Error and status reporting in the gem5 idiom.
+ *
+ * panic()  - an internal simulator invariant was violated (a bug in
+ *            this code base); aborts so a debugger or core dump can
+ *            capture the state.
+ * fatal()  - the simulation cannot continue because of a user error
+ *            (bad configuration, invalid arguments); exits cleanly
+ *            with a non-zero status.
+ * warn()   - something is modelled approximately or looks suspicious
+ *            but the simulation continues.
+ * inform() - normal operational status for the user.
+ */
+
+#ifndef DPU_SIM_LOGGING_HH
+#define DPU_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace dpu::sim {
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output (benches silence it). */
+void setVerbose(bool verbose);
+bool verbose();
+
+} // namespace dpu::sim
+
+#define panic(...) \
+    ::dpu::sim::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) \
+    ::dpu::sim::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define warn(...) ::dpu::sim::warnImpl(__VA_ARGS__)
+#define inform(...) ::dpu::sim::informImpl(__VA_ARGS__)
+
+/** Assert a simulator invariant; cheap enough to keep in release. */
+#define sim_assert(cond, ...)                                          \
+    do {                                                               \
+        if (!(cond)) {                                                 \
+            ::dpu::sim::warnImpl("assertion '%s' failed", #cond);      \
+            panic(__VA_ARGS__);                                        \
+        }                                                              \
+    } while (0)
+
+#endif // DPU_SIM_LOGGING_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload
+ * generators and tests. A thin wrapper over xoshiro256** so that
+ * results are reproducible across standard-library implementations
+ * (std::mt19937 streams are portable, but distributions are not).
+ */
+
+#ifndef DPU_SIM_RNG_HH
+#define DPU_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace dpu::sim {
+
+/** xoshiro256** by Blackman & Vigna; public domain reference. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // SplitMix64 seeding as recommended by the authors.
+        std::uint64_t x = seed;
+        for (auto &word : s) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Uniform 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+        const std::uint64_t t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound). @p bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Multiply-shift bounded generation (Lemire).
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return double(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Approximately standard-normal variate (Box-Muller). */
+    double
+    gaussian()
+    {
+        if (haveSpare) {
+            haveSpare = false;
+            return spare;
+        }
+        double u, v, r2;
+        do {
+            u = 2.0 * uniform() - 1.0;
+            v = 2.0 * uniform() - 1.0;
+            r2 = u * u + v * v;
+        } while (r2 >= 1.0 || r2 == 0.0);
+        double f = __builtin_sqrt(-2.0 * __builtin_log(r2) / r2);
+        spare = v * f;
+        haveSpare = true;
+        return u * f;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s[4];
+    bool haveSpare = false;
+    double spare = 0.0;
+};
+
+} // namespace dpu::sim
+
+#endif // DPU_SIM_RNG_HH

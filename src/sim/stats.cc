@@ -1,0 +1,23 @@
+#include "sim/stats.hh"
+
+namespace dpu::sim {
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[name, value] : counters)
+        os << groupName << "." << name << " = " << value << "\n";
+    for (const auto &[name, value] : scalars)
+        os << groupName << "." << name << " = " << value << "\n";
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &[name, value] : counters)
+        value = 0;
+    for (auto &[name, value] : scalars)
+        value = 0.0;
+}
+
+} // namespace dpu::sim

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Lightweight statistics registry.
+ *
+ * Components register named counters with a StatGroup; the SoC can
+ * dump all groups as a flat name = value listing. Counters are plain
+ * uint64_t / double cells so hot paths pay only an increment.
+ */
+
+#ifndef DPU_SIM_STATS_HH
+#define DPU_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace dpu::sim {
+
+/** A named group of scalar statistics. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : groupName(std::move(name)) {}
+
+    /** Register (or fetch) a counter cell by name. */
+    std::uint64_t &
+    counter(const std::string &name)
+    {
+        return counters[name];
+    }
+
+    /** Register (or fetch) a floating-point cell by name. */
+    double &
+    scalar(const std::string &name)
+    {
+        return scalars[name];
+    }
+
+    /** Read a counter (0 if never touched). */
+    std::uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters.find(name);
+        return it == counters.end() ? 0 : it->second;
+    }
+
+    const std::string &name() const { return groupName; }
+
+    /** Write "group.name = value" lines for every cell. */
+    void dump(std::ostream &os) const;
+
+    /** Zero every cell (used between benchmark repetitions). */
+    void reset();
+
+  private:
+    std::string groupName;
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> scalars;
+};
+
+} // namespace dpu::sim
+
+#endif // DPU_SIM_STATS_HH

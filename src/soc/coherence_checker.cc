@@ -1,0 +1,41 @@
+#include "soc/coherence_checker.hh"
+
+#include "soc/soc.hh"
+
+namespace dpu::soc {
+
+CoherenceChecker::CoherenceChecker(Soc &soc) : chip(soc)
+{
+    for (unsigned i = 0; i < chip.nCores(); ++i) {
+        chip.core(i).setMemTrace(
+            [this](unsigned core, mem::Addr addr, std::uint32_t len,
+                   bool write) { check(core, addr, len, write); });
+    }
+}
+
+CoherenceChecker::~CoherenceChecker()
+{
+    for (unsigned i = 0; i < chip.nCores(); ++i)
+        chip.core(i).setMemTrace(nullptr);
+}
+
+void
+CoherenceChecker::check(unsigned core, mem::Addr addr,
+                        std::uint32_t len, bool write)
+{
+    mem::Addr first = mem::lineAlign(addr);
+    mem::Addr last = mem::lineAlign(addr + (len ? len - 1 : 0));
+    for (mem::Addr line = first; line <= last;
+         line += mem::lineBytes) {
+        for (unsigned other = 0; other < chip.nCores(); ++other) {
+            if (other == core)
+                continue;
+            if (chip.core(other).l1d().isDirty(line)) {
+                log.push_back({line, core, other, write,
+                               chip.now()});
+            }
+        }
+    }
+}
+
+} // namespace dpu::soc

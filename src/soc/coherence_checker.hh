@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Coherence-violation detector (Section 4: "We developed debugging
+ * tools that identify data races and coherence violations, ranging
+ * from simulator extensions that monitor code execution at
+ * instruction level...").
+ *
+ * The DPU has no hardware coherence, so a load that hits a line
+ * dirty in ANOTHER core's private cache observes stale data unless
+ * the program inserted the right flush/invalidate pair (or routed
+ * the access through the owner with an ATE RPC). This checker hooks
+ * every direct cached access and records exactly those hazards:
+ *
+ *  - stale-read:  core A reads a DDR line that is dirty in core B's
+ *    L1 — A cannot see B's bytes;
+ *  - write-write: core A dirties a line that is already dirty in
+ *    core B's L1 — one of the writebacks will be lost.
+ *
+ * ATE remote operations are exempt by construction (they execute in
+ * the owner's pipeline), which is why the paper's "pin the structure
+ * to one owner core" idiom passes clean.
+ */
+
+#ifndef DPU_SOC_COHERENCE_CHECKER_HH
+#define DPU_SOC_COHERENCE_CHECKER_HH
+
+#include <vector>
+
+#include "mem/addr.hh"
+#include "sim/types.hh"
+
+namespace dpu::soc {
+
+class Soc;
+
+/** One detected hazard. */
+struct CoherenceViolation
+{
+    mem::Addr line;       ///< 64 B line address
+    unsigned accessor;    ///< core performing the access
+    unsigned dirtyOwner;  ///< core holding the line dirty
+    bool accessWasWrite;
+    sim::Tick when;
+};
+
+/** Opt-in cross-core coherence monitor. */
+class CoherenceChecker
+{
+  public:
+    /** Attach to every dpCore of @p soc. Detaches on destruction. */
+    explicit CoherenceChecker(Soc &soc);
+    ~CoherenceChecker();
+
+    CoherenceChecker(const CoherenceChecker &) = delete;
+    CoherenceChecker &operator=(const CoherenceChecker &) = delete;
+
+    const std::vector<CoherenceViolation> &violations() const
+    {
+        return log;
+    }
+
+    std::size_t
+    staleReads() const
+    {
+        std::size_t n = 0;
+        for (const auto &v : log)
+            n += !v.accessWasWrite;
+        return n;
+    }
+
+    std::size_t
+    conflictingWrites() const
+    {
+        return log.size() - staleReads();
+    }
+
+    void clear() { log.clear(); }
+
+  private:
+    void check(unsigned core, mem::Addr addr, std::uint32_t len,
+               bool write);
+
+    Soc &chip;
+    std::vector<CoherenceViolation> log;
+};
+
+} // namespace dpu::soc
+
+#endif // DPU_SOC_COHERENCE_CHECKER_HH

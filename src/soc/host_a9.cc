@@ -1,0 +1,67 @@
+#include "soc/host_a9.hh"
+
+#include "sim/logging.hh"
+
+namespace dpu::soc {
+
+HostA9::HostA9(sim::EventQueue &eq_, mbc::Mbc &mbc_)
+    : eq(eq_), mbcRef(mbc_)
+{
+    // The driver's interrupt handler: wake the host fiber whenever
+    // its mailbox raises.
+    mbcRef.onMessage(mbcRef.a9Box(), [this] {
+        if (blocked) {
+            blocked = false;
+            eq.scheduleIn(0, [this] { resume(); });
+        }
+    });
+}
+
+void
+HostA9::start(HostFn fn)
+{
+    sim_assert(!fiber, "A9 program already started");
+    program = std::move(fn);
+    fiber = std::make_unique<sim::Fiber>([this] { program(*this); });
+    eq.scheduleIn(0, [this] { resume(); });
+}
+
+void
+HostA9::resume()
+{
+    fiber->resume();
+    if (fiber->finished())
+        done = true;
+}
+
+void
+HostA9::yield()
+{
+    fiber->yield();
+}
+
+void
+HostA9::sendToCore(unsigned core, std::uint64_t msg)
+{
+    mbcRef.sendFromHost(core, msg);
+}
+
+std::uint64_t
+HostA9::recv()
+{
+    std::uint64_t msg;
+    while (!mbcRef.tryRecv(mbcRef.a9Box(), msg)) {
+        blocked = true;
+        yield();
+    }
+    return msg;
+}
+
+void
+HostA9::busyUs(double us)
+{
+    eq.scheduleIn(sim::Tick(us * 1e6), [this] { resume(); });
+    yield();
+}
+
+} // namespace dpu::soc

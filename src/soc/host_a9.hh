@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The ARM Cortex-A9 host complex, thinly modelled (Section 2.4).
+ *
+ * On the chip the dual-core A9 runs Linux, the Infiniband/PCIe
+ * network stack, and the offload driver that feeds work to the
+ * dpCores; all evaluation-relevant interaction happens through the
+ * MailBox Controller ("sending a pointer to a buffer in memory,
+ * while the bulk of the data is communicated through main memory").
+ * This model runs host software as a fiber at a (slower) A9 clock,
+ * exchanging pointer-sized messages with the dpCores over the MBC.
+ */
+
+#ifndef DPU_SOC_HOST_A9_HH
+#define DPU_SOC_HOST_A9_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "mbc/mbc.hh"
+#include "sim/event_queue.hh"
+#include "sim/fiber.hh"
+
+namespace dpu::soc {
+
+/** The A9 host complex's software environment. */
+class HostA9
+{
+  public:
+    /** Host program: blocking C++ against this class's API. */
+    using HostFn = std::function<void(HostA9 &)>;
+
+    HostA9(sim::EventQueue &eq, mbc::Mbc &mbc);
+
+    /** Start @p fn on the A9 at the current tick. */
+    void start(HostFn fn);
+
+    bool finished() const { return done; }
+
+    // ------------------------------------------------------------
+    // Host-side primitives (call from inside the host program)
+    // ------------------------------------------------------------
+
+    /** Post a pointer-sized message to dpCore @p core's mailbox. */
+    void sendToCore(unsigned core, std::uint64_t msg);
+
+    /** Block until a message arrives on the A9 mailbox. */
+    std::uint64_t recv();
+
+    /** Burn host time (driver work, syscalls...). The A9 runs at
+     *  a fraction of the dpCore clock; @p us is wall microseconds. */
+    void busyUs(double us);
+
+    sim::Tick now() const { return eq.now(); }
+
+  private:
+    void resume();
+    void yield();
+
+    sim::EventQueue &eq;
+    mbc::Mbc &mbcRef;
+    std::unique_ptr<sim::Fiber> fiber;
+    HostFn program;
+    bool done = false;
+    bool blocked = false;
+};
+
+} // namespace dpu::soc
+
+#endif // DPU_SOC_HOST_A9_HH

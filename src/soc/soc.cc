@@ -1,0 +1,116 @@
+#include "soc/soc.hh"
+
+#include "sim/logging.hh"
+
+namespace dpu::soc {
+
+namespace {
+
+/** Shared L2 per 8-core macro (Section 2.3: 256 KB). */
+const mem::CacheParams l2Params{256 * 1024, 8, 6};
+
+} // namespace
+
+Soc::Soc(const SocParams &params)
+    : p(params), powerModel(params), started(params.nCores(), false)
+{
+    mm = std::make_unique<mem::MainMemory>(p.ddr, p.ddrBytes);
+
+    const unsigned n = p.nCores();
+    const unsigned n_macros = n / core::coresPerMacro;
+    l2s.reserve(n_macros);
+    for (unsigned m = 0; m < n_macros; ++m) {
+        l2s.push_back(std::make_unique<mem::Cache>(
+            "macro" + std::to_string(m) + ".l2", l2Params, *mm));
+    }
+
+    cores.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        cores.push_back(std::make_unique<core::DpCore>(
+            i, eq, *mm, *l2s[i / core::coresPerMacro], p.isa));
+        corePtrs.push_back(cores.back().get());
+    }
+
+    dmsUnits.reserve(p.nComplexes);
+    ateUnits.reserve(p.nComplexes);
+    for (unsigned cx = 0; cx < p.nComplexes; ++cx) {
+        const unsigned base = cx * p.coresPerComplex;
+        dmsUnits.push_back(std::make_unique<dms::Dms>(
+            eq, *mm, p.coresPerComplex, p.dms, base));
+        for (unsigned i = 0; i < p.coresPerComplex; ++i)
+            dmsUnits[cx]->attachCore(i, &cores[base + i]->dmem());
+
+        std::vector<core::DpCore *> complex_cores(
+            corePtrs.begin() + base,
+            corePtrs.begin() + base + p.coresPerComplex);
+        ateUnits.push_back(std::make_unique<ate::Ate>(
+            eq, std::move(complex_cores), p.ate));
+    }
+
+    mbcUnit = std::make_unique<mbc::Mbc>(eq, corePtrs);
+}
+
+void
+Soc::start(unsigned id, core::Kernel kernel)
+{
+    sim_assert(id < nCores(), "bad core id %u", id);
+    started[id] = true;
+    cores[id]->start(std::move(kernel));
+}
+
+void
+Soc::startAll(core::Kernel kernel)
+{
+    for (unsigned i = 0; i < nCores(); ++i)
+        start(i, kernel);
+}
+
+sim::Tick
+Soc::run()
+{
+    eq.run();
+    return eq.now();
+}
+
+sim::Tick
+Soc::runFor(sim::Tick limit)
+{
+    eq.run(eq.now() + limit);
+    return eq.now();
+}
+
+std::vector<unsigned>
+Soc::unfinishedCores() const
+{
+    std::vector<unsigned> ids;
+    for (unsigned i = 0; i < nCores(); ++i) {
+        if (started[i] && !cores[i]->finished())
+            ids.push_back(i);
+    }
+    return ids;
+}
+
+bool
+Soc::allFinished() const
+{
+    for (unsigned i = 0; i < nCores(); ++i) {
+        if (started[i] && !cores[i]->finished())
+            return false;
+    }
+    return true;
+}
+
+void
+Soc::dumpStats(std::ostream &os)
+{
+    mm->statGroup().dump(os);
+    for (auto &c : cores)
+        c->statGroup().dump(os);
+    for (auto &d : dmsUnits)
+        d->dmac().statGroup().dump(os);
+    for (auto &a : ateUnits)
+        a->statGroup().dump(os);
+    mbcUnit->statGroup().dump(os);
+}
+
+} // namespace dpu::soc

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The DPU System-on-Chip, assembled (Section 2.4, Figure 3).
+ *
+ * Wires together: N 32-core complexes (each with 4 macros of 8
+ * dpCores, per-macro shared L2s, and a DMS), the ATE crossbars, the
+ * MBC, the single DDR channel, and the power model. At 40 nm there
+ * is one complex; the 16 nm configuration replicates five.
+ *
+ * The A9 host complex and M0 power manager are modelled thinly: the
+ * A9 is a dispatch endpoint on the MBC (see HostA9), the M0 is the
+ * PowerModel's gating interface. Their Linux/network stack is out
+ * of evaluation scope (all paper experiments are on-die).
+ */
+
+#ifndef DPU_SOC_SOC_HH
+#define DPU_SOC_SOC_HH
+
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "ate/ate.hh"
+#include "core/dp_core.hh"
+#include "dms/dms.hh"
+#include "mbc/mbc.hh"
+#include "mem/cache.hh"
+#include "mem/main_memory.hh"
+#include "sim/event_queue.hh"
+#include "soc/power.hh"
+#include "soc/soc_params.hh"
+
+namespace dpu::soc {
+
+/** One simulated DPU. */
+class Soc
+{
+  public:
+    explicit Soc(const SocParams &params = dpu40nm());
+
+    const SocParams &params() const { return p; }
+    unsigned nCores() const { return p.nCores(); }
+
+    // ------------------------------------------------------------
+    // Program control
+    // ------------------------------------------------------------
+
+    /** Start @p kernel on core @p id at the current tick. */
+    void start(unsigned id, core::Kernel kernel);
+
+    /**
+     * Start the same kernel image on every dpCore — the chip's
+     * execution model (Section 4: "Each dpCore executes the same
+     * binary executable image").
+     */
+    void startAll(core::Kernel kernel);
+
+    /** Run the event queue until it drains; @return end tick. */
+    sim::Tick run();
+
+    /** Run with a simulated-time limit (deadlock detection). */
+    sim::Tick runFor(sim::Tick limit);
+
+    /** True when every started kernel has returned. */
+    bool allFinished() const;
+
+    /** Ids of started cores whose kernels have not returned (the
+     *  first thing to look at when a run deadlocks). */
+    std::vector<unsigned> unfinishedCores() const;
+
+    sim::Tick now() const { return eq.now(); }
+
+    /** Seconds of simulated time elapsed. */
+    double seconds() const { return double(eq.now()) * 1e-12; }
+
+    // ------------------------------------------------------------
+    // Blocks
+    // ------------------------------------------------------------
+
+    sim::EventQueue &eventQueue() { return eq; }
+    mem::MainMemory &memory() { return *mm; }
+    core::DpCore &core(unsigned id) { return *cores[id]; }
+    dms::Dms &dms(unsigned complex = 0) { return *dmsUnits[complex]; }
+    ate::Ate &ate(unsigned complex = 0) { return *ateUnits[complex]; }
+    mbc::Mbc &mbc() { return *mbcUnit; }
+    PowerModel &power() { return powerModel; }
+
+    /** The DMS complex serving core @p id. */
+    dms::Dms &
+    dmsFor(unsigned id)
+    {
+        return *dmsUnits[id / p.coresPerComplex];
+    }
+
+    /** The ATE complex serving core @p id. */
+    ate::Ate &
+    ateFor(unsigned id)
+    {
+        return *ateUnits[id / p.coresPerComplex];
+    }
+
+    /** Dump all stat groups. */
+    void dumpStats(std::ostream &os);
+
+  private:
+    SocParams p;
+    sim::EventQueue eq;
+    std::unique_ptr<mem::MainMemory> mm;
+    std::vector<std::unique_ptr<mem::Cache>> l2s;
+    std::vector<std::unique_ptr<core::DpCore>> cores;
+    std::vector<core::DpCore *> corePtrs;
+    std::vector<std::unique_ptr<dms::Dms>> dmsUnits;
+    std::vector<std::unique_ptr<ate::Ate>> ateUnits;
+    std::unique_ptr<mbc::Mbc> mbcUnit;
+    PowerModel powerModel;
+    std::vector<bool> started;
+};
+
+} // namespace dpu::soc
+
+#endif // DPU_SOC_SOC_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Dense bit vectors. Used as scatter/gather masks by the DMS bit
+ * vector memory, as the output of the dpCore FILT instruction, and as
+ * selection vectors in the SQL engine.
+ */
+
+#ifndef DPU_UTIL_BITVEC_HH
+#define DPU_UTIL_BITVEC_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace dpu::util {
+
+/** A resizable dense bit vector with word-level access. */
+class BitVec
+{
+  public:
+    BitVec() = default;
+    explicit BitVec(std::size_t nbits)
+        : bits(nbits), words((nbits + 63) / 64, 0)
+    {
+    }
+
+    std::size_t size() const { return bits; }
+
+    bool
+    test(std::size_t i) const
+    {
+        return (words[i >> 6] >> (i & 63)) & 1;
+    }
+
+    void
+    set(std::size_t i, bool v = true)
+    {
+        if (v)
+            words[i >> 6] |= std::uint64_t(1) << (i & 63);
+        else
+            words[i >> 6] &= ~(std::uint64_t(1) << (i & 63));
+    }
+
+    /** Population count over the whole vector. */
+    std::size_t
+    count() const
+    {
+        std::size_t n = 0;
+        for (auto w : words)
+            n += std::size_t(__builtin_popcountll(w));
+        return n;
+    }
+
+    /** Raw 64-bit words (the BVLD instruction loads these). */
+    const std::vector<std::uint64_t> &data() const { return words; }
+    std::vector<std::uint64_t> &data() { return words; }
+
+    /** Byte size of the backing words. */
+    std::size_t byteSize() const { return words.size() * 8; }
+
+    void
+    clear()
+    {
+        for (auto &w : words)
+            w = 0;
+    }
+
+  private:
+    std::size_t bits = 0;
+    std::vector<std::uint64_t> words;
+};
+
+} // namespace dpu::util
+
+#endif // DPU_UTIL_BITVEC_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * CRC32 hash used by the DMS hash engine and by the dpCore's
+ * single-cycle CRC32 hashcode instruction (Section 2.2).
+ *
+ * The chip implements the reflected IEEE 802.3 polynomial
+ * (0xEDB88320); we use the same so that software partitioning on the
+ * Xeon baseline and hardware partitioning in the DMS agree bit for
+ * bit, which the partitioning tests rely on.
+ */
+
+#ifndef DPU_UTIL_CRC32_HH
+#define DPU_UTIL_CRC32_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace dpu::util {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+inline constexpr auto crcTable = makeCrcTable();
+
+} // namespace detail
+
+/** Incrementally extend a CRC32 over @p len bytes. */
+inline std::uint32_t
+crc32Update(std::uint32_t crc, const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    crc = ~crc;
+    for (std::size_t i = 0; i < len; ++i)
+        crc = detail::crcTable[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+    return ~crc;
+}
+
+/** One-shot CRC32 of a buffer. */
+inline std::uint32_t
+crc32(const void *data, std::size_t len)
+{
+    return crc32Update(0, data, len);
+}
+
+/** CRC32 of a single little-endian 32-bit key (the hot DMS path). */
+inline std::uint32_t
+crc32Key(std::uint32_t key)
+{
+    return crc32(&key, sizeof(key));
+}
+
+/** CRC32 of a single little-endian 64-bit key. */
+inline std::uint32_t
+crc32Key64(std::uint64_t key)
+{
+    return crc32(&key, sizeof(key));
+}
+
+} // namespace dpu::util
+
+#endif // DPU_UTIL_CRC32_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Compressed Sparse Row matrices for the similarity-search workload
+ * (Section 5.2): the document index B and query batch A of the SpMM
+ * formulation C = A x B are both CSR with Q10.22 tf-idf weights.
+ */
+
+#ifndef DPU_UTIL_CSR_HH
+#define DPU_UTIL_CSR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/fixed_point.hh"
+
+namespace dpu::util {
+
+/** CSR matrix with 32-bit column ids and Q10.22 values. */
+struct CsrMatrix
+{
+    std::uint32_t rows = 0;
+    std::uint32_t cols = 0;
+    /** rowPtr[r]..rowPtr[r+1] index into colIdx/values; size rows+1. */
+    std::vector<std::uint32_t> rowPtr;
+    std::vector<std::uint32_t> colIdx;
+    std::vector<Fx22> values;
+
+    std::size_t nnz() const { return colIdx.size(); }
+
+    /** Bytes occupied by the index+value arrays (excluding rowPtr). */
+    std::size_t
+    payloadBytes() const
+    {
+        return colIdx.size() * sizeof(std::uint32_t) +
+               values.size() * sizeof(Fx22);
+    }
+};
+
+} // namespace dpu::util
+
+#endif // DPU_UTIL_CSR_HH

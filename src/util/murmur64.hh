@@ -1,0 +1,84 @@
+/**
+ * @file
+ * MurmurHash64A, used by the HyperLogLog experiment (Section 5.4) as
+ * the "expensive on the dpCore" hash: it needs three 64x64 multiplies
+ * which hit the dpCore's multi-cycle iterative multiplier, whereas
+ * CRC32 is a single-cycle instruction.
+ */
+
+#ifndef DPU_UTIL_MURMUR64_HH
+#define DPU_UTIL_MURMUR64_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace dpu::util {
+
+/** MurmurHash64A (Austin Appleby, public domain). */
+inline std::uint64_t
+murmur64(const void *key, std::size_t len,
+         std::uint64_t seed = 0x8445d61a4e774912ull)
+{
+    const std::uint64_t m = 0xc6a4a7935bd1e995ull;
+    const int r = 47;
+
+    std::uint64_t h = seed ^ (len * m);
+
+    const auto *data = static_cast<const std::uint8_t *>(key);
+    const std::size_t nblocks = len / 8;
+
+    for (std::size_t i = 0; i < nblocks; ++i) {
+        std::uint64_t k;
+        std::memcpy(&k, data + i * 8, 8);
+        k *= m;
+        k ^= k >> r;
+        k *= m;
+        h ^= k;
+        h *= m;
+    }
+
+    const std::uint8_t *tail = data + nblocks * 8;
+    std::uint64_t k = 0;
+    switch (len & 7) {
+      case 7: k ^= std::uint64_t(tail[6]) << 48; [[fallthrough]];
+      case 6: k ^= std::uint64_t(tail[5]) << 40; [[fallthrough]];
+      case 5: k ^= std::uint64_t(tail[4]) << 32; [[fallthrough]];
+      case 4: k ^= std::uint64_t(tail[3]) << 24; [[fallthrough]];
+      case 3: k ^= std::uint64_t(tail[2]) << 16; [[fallthrough]];
+      case 2: k ^= std::uint64_t(tail[1]) << 8; [[fallthrough]];
+      case 1: k ^= std::uint64_t(tail[0]);
+              h ^= k;
+              h *= m;
+    }
+
+    h ^= h >> r;
+    h *= m;
+    h ^= h >> r;
+    return h;
+}
+
+/** Murmur of a single 64-bit key. */
+inline std::uint64_t
+murmur64Key(std::uint64_t key)
+{
+    return murmur64(&key, sizeof(key));
+}
+
+/** Number of 64x64 multiplies murmur64 performs on @p len bytes. */
+inline std::uint64_t
+murmur64MulCount(std::size_t len)
+{
+    // h*m seed mix happens at compile time for constant len in the
+    // real code, but on the dpCore it is a runtime multiply too.
+    std::uint64_t muls = 1; // len * m
+    muls += (len / 8) * 3;  // k*m, k*m, h*m per block
+    if (len & 7)
+        muls += 1;          // tail h*m
+    muls += 1;              // final h*m
+    return muls;
+}
+
+} // namespace dpu::util
+
+#endif // DPU_UTIL_MURMUR64_HH

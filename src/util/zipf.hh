@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Zipf-distributed sampling for workload generators (term frequencies
+ * in the similarity-search index, group-by key skew, JSON string
+ * lengths). Uses the classic inverse-CDF-over-partial-harmonic table
+ * for exact sampling with O(log n) draws.
+ */
+
+#ifndef DPU_UTIL_ZIPF_HH
+#define DPU_UTIL_ZIPF_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace dpu::util {
+
+/** Samples ranks in [0, n) with P(k) proportional to 1/(k+1)^s. */
+class Zipf
+{
+  public:
+    Zipf(std::size_t n, double s) : cdf(n)
+    {
+        double sum = 0.0;
+        for (std::size_t k = 0; k < n; ++k) {
+            sum += 1.0 / std::pow(double(k + 1), s);
+            cdf[k] = sum;
+        }
+        for (auto &c : cdf)
+            c /= sum;
+    }
+
+    /** Draw one rank. */
+    std::size_t
+    sample(sim::Rng &rng) const
+    {
+        double u = rng.uniform();
+        auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+        return std::size_t(it - cdf.begin());
+    }
+
+    std::size_t size() const { return cdf.size(); }
+
+  private:
+    std::vector<double> cdf;
+};
+
+} // namespace dpu::util
+
+#endif // DPU_UTIL_ZIPF_HH

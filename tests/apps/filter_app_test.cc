@@ -1,0 +1,76 @@
+/**
+ * @file
+ * SQL filter primitive tests (Section 5.3, Figure 15): exact
+ * selection counts vs the baseline, the single-core tuple rate near
+ * the paper's 482 Mtuples/s (1.65 cycles/tuple), tile-size scaling,
+ * and the 32-core aggregate approaching channel bandwidth.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/sql/filter.hh"
+
+using namespace dpu;
+using namespace dpu::apps;
+using namespace dpu::apps::sql;
+
+TEST(FilterApp, DpuMatchesBaselineCount)
+{
+    FilterConfig cfg;
+    cfg.nCores = 4;
+    cfg.rowsPerCore = 64 << 10;
+    AppResult r = filterApp(cfg);
+    EXPECT_TRUE(r.matched);
+}
+
+TEST(FilterApp, SingleCoreNear482Mtuples)
+{
+    FilterConfig cfg;
+    cfg.nCores = 1;
+    cfg.rowsPerCore = 1 << 20;
+    cfg.tileBytes = 8192;
+    FilterResult r = dpuFilter(soc::dpu40nm(), cfg);
+    double cpt = r.cyclesPerTuple(1);
+    // Paper: 482 Mtuples/s = 1.65 cycles/tuple end to end.
+    EXPECT_GT(cpt, 1.4);
+    EXPECT_LT(cpt, 2.2);
+    EXPECT_GT(r.mtuplesPerSec(), 350.0);
+    EXPECT_LT(r.mtuplesPerSec(), 700.0);
+}
+
+TEST(FilterApp, SmallTilesAreSlower)
+{
+    FilterConfig small, big;
+    small.nCores = 1;
+    small.rowsPerCore = 256 << 10;
+    small.tileBytes = 512;
+    big = small;
+    big.tileBytes = 8192;
+    FilterResult rs = dpuFilter(soc::dpu40nm(), small);
+    FilterResult rb = dpuFilter(soc::dpu40nm(), big);
+    EXPECT_LT(rs.mtuplesPerSec(), rb.mtuplesPerSec());
+}
+
+TEST(FilterApp, ThirtyTwoCoresNearChannelBandwidth)
+{
+    FilterConfig cfg;
+    cfg.nCores = 32;
+    cfg.rowsPerCore = 128 << 10;
+    cfg.tileBytes = 8192;
+    FilterResult r = dpuFilter(soc::dpu40nm(), cfg);
+    // Paper: 9.6 GB/s across 32 dpCores.
+    EXPECT_GT(r.gbPerSec(), 8.0);
+    EXPECT_LT(r.gbPerSec(), 12.8);
+}
+
+TEST(FilterApp, SelectivityIsAsConfigured)
+{
+    FilterConfig cfg;
+    cfg.nCores = 2;
+    cfg.rowsPerCore = 128 << 10;
+    cfg.lo = 0;
+    cfg.hi = 499; // 50%
+    FilterResult r = dpuFilter(soc::dpu40nm(), cfg);
+    double sel = double(r.passed) / double(r.rows);
+    EXPECT_NEAR(sel, 0.5, 0.02);
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * TPCH-like query tests (Section 5.3, Figure 16): exact aggregate
+ * agreement between the DPU pipelines and the baseline plans for
+ * every query, non-trivial results, and the perf/watt shape (every
+ * query gains; join-heavy queries gain more than pure scans).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/sql/tpch.hh"
+
+using namespace dpu;
+using namespace dpu::apps;
+using namespace dpu::apps::sql;
+
+namespace {
+
+TpchConfig
+smallCfg()
+{
+    TpchConfig cfg;
+    cfg.scale = 0.5;
+    return cfg;
+}
+
+} // namespace
+
+class TpchQuery : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(TpchQuery, DpuMatchesBaselineExactly)
+{
+    AppResult r = tpchApp(smallCfg(), GetParam());
+    EXPECT_TRUE(r.matched) << GetParam();
+    EXPECT_GT(r.gain(), 1.0) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, TpchQuery,
+                         ::testing::ValuesIn(tpchQueries));
+
+TEST(Tpch, ResultsAreNonTrivial)
+{
+    TpchConfig cfg = smallCfg();
+    QueryResult q1 = xeonTpch(cfg, "Q1");
+    std::uint64_t total = 0;
+    for (auto &[k, v] : q1.values)
+        total += v;
+    EXPECT_GT(total, 0u);
+    QueryResult q6 = xeonTpch(cfg, "Q6");
+    EXPECT_GT(q6.values.at("revenue"), 0u);
+    QueryResult q3 = xeonTpch(cfg, "Q3");
+    EXPECT_GT(q3.values.at("groups"), 10u);
+    QueryResult q12 = xeonTpch(cfg, "Q12");
+    EXPECT_GT(q12.values.at("modeA_high") +
+                  q12.values.at("modeA_low"),
+              0u);
+    QueryResult q14 = xeonTpch(cfg, "Q14");
+    EXPECT_GT(q14.values.at("total_revenue"),
+              q14.values.at("promo_revenue"));
+}
+
+TEST(Tpch, JoinQueriesGainMoreThanScans)
+{
+    TpchConfig cfg = smallCfg();
+    AppResult q6 = tpchApp(cfg, "Q6");
+    AppResult q3 = tpchApp(cfg, "Q3");
+    // Scans are bandwidth-per-watt bound; joins add the DPU's
+    // co-partitioned DMEM tables vs spilled Xeon probes.
+    EXPECT_GT(q3.gain(), q6.gain());
+}
+
+TEST(Tpch, GeomeanGainInPaperBand)
+{
+    TpchConfig cfg = smallCfg();
+    double log_sum = 0;
+    for (const char *q : tpchQueries) {
+        AppResult r = tpchApp(cfg, q);
+        EXPECT_TRUE(r.matched) << q;
+        log_sum += std::log(r.gain());
+    }
+    double geomean = std::exp(log_sum / 5);
+    // Figure 16 reports an overall 15x against a COMMERCIAL
+    // columnar engine; our baseline is a hand-written plan (which
+    // flatters the Xeon), and our 5-query mix is scan-heavier, so
+    // the reproduced geomean is conservative: scans gain 3-5x,
+    // the join-heavy query >20x.
+    EXPECT_GT(geomean, 4.5);
+    EXPECT_LT(geomean, 30.0);
+}

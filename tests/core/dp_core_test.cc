@@ -1,0 +1,263 @@
+/**
+ * @file
+ * dpCore model tests: lazy-clock cycle accounting, the dual-issue
+ * and branch-predictor cost model, the analytics ISA extensions
+ * (functional results + cycle costs), DMEM vs cached-DDR routing,
+ * interrupts, blocking, and watchpoints.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/dp_core.hh"
+#include "mem/cache.hh"
+#include "mem/main_memory.hh"
+#include "util/crc32.hh"
+
+using namespace dpu;
+using core::DpCore;
+
+namespace {
+
+const mem::CacheParams l2Params{256 * 1024, 8, 6};
+
+struct CoreFixture : ::testing::Test
+{
+    CoreFixture()
+        : mm(mem::ddr3_1600, 4 << 20), l2("l2", l2Params, mm),
+          core0(std::make_unique<DpCore>(0, eq, mm, l2)),
+          core1(std::make_unique<DpCore>(1, eq, mm, l2))
+    {
+    }
+
+    /** Run a kernel on core0 to completion; return elapsed ticks. */
+    sim::Tick
+    runOn0(core::Kernel k)
+    {
+        sim::Tick start = eq.now();
+        core0->start(std::move(k));
+        eq.run();
+        EXPECT_TRUE(core0->finished());
+        return eq.now() - start;
+    }
+
+    sim::EventQueue eq;
+    mem::MainMemory mm;
+    mem::Cache l2;
+    std::unique_ptr<DpCore> core0, core1;
+};
+
+} // namespace
+
+TEST_F(CoreFixture, CycleChargingAdvancesTime)
+{
+    sim::Tick t = runOn0([](DpCore &c) { c.cycles(1000); });
+    EXPECT_EQ(t, sim::dpCoreClock.cyclesToTicks(1000));
+}
+
+TEST_F(CoreFixture, DualIssuePairsAluAndLsu)
+{
+    // 100 ALU ops co-issued with 100 LSU ops = 100 cycles, not 200.
+    sim::Tick t = runOn0([](DpCore &c) { c.dualIssue(100, 100); });
+    EXPECT_EQ(t, sim::dpCoreClock.cyclesToTicks(100));
+}
+
+TEST_F(CoreFixture, BranchPredictorBackwardTaken)
+{
+    // A taken backward branch (loop) is predicted: 1 cycle.
+    sim::Tick loop = runOn0([](DpCore &c) { c.branch(true, true); });
+    // A taken FORWARD branch is mispredicted: 1 + penalty.
+    core0 = std::make_unique<DpCore>(0, eq, mm, l2);
+    sim::Tick fwd = runOn0([](DpCore &c) { c.branch(true, false); });
+    EXPECT_GT(fwd, loop);
+    EXPECT_EQ(fwd - loop,
+              sim::dpCoreClock.cyclesToTicks(core::IsaCosts{}.branchMiss));
+}
+
+TEST_F(CoreFixture, MultiplierIsVariableLatency)
+{
+    core::IsaCosts costs;
+    // A 64-bit multiply stalls longer than an 8-bit one (Section 5.4:
+    // "variable latency multiplier").
+    EXPECT_GT(costs.mulCycles(64), costs.mulCycles(8));
+    sim::Tick t8 = runOn0([](DpCore &c) { c.mul(8); });
+    core0 = std::make_unique<DpCore>(0, eq, mm, l2);
+    sim::Tick t64 = runOn0([](DpCore &c) { c.mul(64); });
+    EXPECT_GT(t64, t8);
+}
+
+TEST_F(CoreFixture, NtzIsCheaperThanNlz)
+{
+    // Section 5.4: NTZ = 4 cycles via popcount, NLZ = 13 cycles.
+    unsigned ntz = 0, nlz = 0;
+    runOn0([&](DpCore &c) {
+        ntz = c.ntz(0b1000);
+        nlz = c.nlz(0b1000);
+    });
+    EXPECT_EQ(ntz, 3u);
+    EXPECT_EQ(nlz, 60u);
+    EXPECT_EQ(core0->statGroup().get("ntzOps"), 1u);
+    core::IsaCosts costs;
+    EXPECT_LT(costs.ntz, costs.nlz);
+}
+
+TEST_F(CoreFixture, CrcHashMatchesUtil)
+{
+    std::uint32_t h = 0;
+    runOn0([&](DpCore &c) { h = c.crcHash(1234); });
+    EXPECT_EQ(h, util::crc32Key(1234));
+}
+
+TEST_F(CoreFixture, FiltProducesExactBitvector)
+{
+    std::uint64_t passed = 0;
+    runOn0([&](DpCore &c) {
+        // 100 x 4 B values 0..99 at DMEM offset 0.
+        for (std::uint32_t i = 0; i < 100; ++i)
+            c.dmem().store<std::uint32_t>(i * 4, i);
+        passed = c.filt(0, 100, 4, 10, 19, 1024);
+    });
+    EXPECT_EQ(passed, 10u);
+    // Bits 10..19 set, everything else clear.
+    for (std::uint32_t i = 0; i < 100; ++i) {
+        bool bit = (core0->dmem().load<std::uint8_t>(1024 + i / 8) >>
+                    (i % 8)) & 1;
+        EXPECT_EQ(bit, i >= 10 && i <= 19) << "row " << i;
+    }
+}
+
+TEST_F(CoreFixture, FiltRateNearPaperCyclesPerTuple)
+{
+    // The compute loop runs at ~1.66 cycles/tuple so the end-to-end
+    // filter matches the paper's 482 Mtuples/s (Section 5.3).
+    const std::uint32_t n = 4096;
+    sim::Tick t = runOn0([&](DpCore &c) {
+        c.filt(0, n, 4, 0, 0, 20000);
+    });
+    double cpt = double(sim::dpCoreClock.ticksToCycles(t)) / n;
+    EXPECT_GT(cpt, 1.4);
+    EXPECT_LT(cpt, 1.8);
+}
+
+TEST_F(CoreFixture, DmemAccessRoundTrips)
+{
+    std::uint64_t out = 0;
+    runOn0([&](DpCore &c) {
+        c.store<std::uint64_t>(c.dmemBase() + 256, 0xfeedface);
+        out = c.load<std::uint64_t>(c.dmemBase() + 256);
+    });
+    EXPECT_EQ(out, 0xfeedfaceull);
+    EXPECT_EQ(core0->dmem().load<std::uint64_t>(256), 0xfeedfaceull);
+}
+
+TEST_F(CoreFixture, DdrAccessGoesThroughCache)
+{
+    mm.store().store<std::uint32_t>(0x1000, 77);
+    std::uint32_t v = 0;
+    runOn0([&](DpCore &c) { v = c.load<std::uint32_t>(0x1000); });
+    EXPECT_EQ(v, 77u);
+    EXPECT_TRUE(core0->l1d().contains(0x1000));
+}
+
+TEST_F(CoreFixture, CachedLoadIsFasterSecondTime)
+{
+    sim::Tick t = runOn0([&](DpCore &c) {
+        sim::Tick t0 = c.now();
+        (void)c.load<std::uint32_t>(0x2000);
+        sim::Tick t1 = c.now();
+        (void)c.load<std::uint32_t>(0x2000);
+        sim::Tick t2 = c.now();
+        EXPECT_GT(t1 - t0, (t2 - t1) * 10);
+    });
+    (void)t;
+}
+
+TEST_F(CoreFixture, FlushMakesDataVisibleToDms)
+{
+    runOn0([&](DpCore &c) {
+        c.store<std::uint32_t>(0x3000, 5);
+        EXPECT_EQ(mm.store().load<std::uint32_t>(0x3000), 0u);
+        c.cacheFlush(0x3000, 4);
+        EXPECT_EQ(mm.store().load<std::uint32_t>(0x3000), 5u);
+    });
+}
+
+TEST_F(CoreFixture, InterruptsDeliveredToBlockedCore)
+{
+    bool isr_ran = false;
+    bool woke = false;
+    core0->start([&](DpCore &c) {
+        c.blockUntil([&] { return isr_ran; });
+        woke = true;
+    });
+    // Post the interrupt after 1 us of simulated time.
+    eq.schedule(1'000'000, [&] {
+        core0->postInterrupt([&](DpCore &) { isr_ran = true; });
+    });
+    eq.run();
+    EXPECT_TRUE(isr_ran);
+    EXPECT_TRUE(woke);
+    EXPECT_EQ(core0->statGroup().get("interruptsTaken"), 1u);
+}
+
+TEST_F(CoreFixture, InterruptChargesOverhead)
+{
+    core0->start([&](DpCore &c) {
+        c.postInterrupt([](DpCore &) {});
+        c.sync();
+    });
+    eq.run();
+    EXPECT_GE(sim::dpCoreClock.ticksToCycles(eq.now()),
+              core::IsaCosts{}.interrupt);
+}
+
+TEST_F(CoreFixture, TwoCoresInterleaveInTime)
+{
+    std::vector<int> order;
+    core0->start([&](DpCore &c) {
+        c.sleepCycles(100);
+        order.push_back(0);
+        c.sleepCycles(200);
+        order.push_back(2);
+    });
+    core1->start([&](DpCore &c) {
+        c.sleepCycles(150);
+        order.push_back(1);
+        c.sleepCycles(400);
+        order.push_back(3);
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST_F(CoreFixture, WatchpointFiresOnWrite)
+{
+    int hits = 0;
+    runOn0([&](DpCore &c) {
+        c.addWatchpoint(0x5000, 64, [&](mem::Addr, bool write) {
+            if (write)
+                ++hits;
+        });
+        c.store<std::uint32_t>(0x5000, 1);  // hit
+        c.store<std::uint32_t>(0x5040, 1);  // outside
+        (void)c.load<std::uint32_t>(0x5000); // read, not counted
+    });
+    EXPECT_EQ(hits, 1);
+}
+
+TEST_F(CoreFixture, BlockedCoreWakesOnCondition)
+{
+    bool flag = false;
+    sim::Tick woke_at = 0;
+    core0->start([&](DpCore &c) {
+        c.blockUntil([&] { return flag; });
+        woke_at = c.now();
+    });
+    eq.schedule(5'000'000, [&] {
+        flag = true;
+        core0->wake(eq.now());
+    });
+    eq.run();
+    EXPECT_EQ(woke_at, 5'000'000u);
+}

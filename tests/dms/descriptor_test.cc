@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Descriptor wire-format tests: explicit Table 2 bit positions for
+ * the DDR->DMEM layout, plus encode/decode round-trip properties
+ * over every descriptor type.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dms/descriptor.hh"
+#include "sim/rng.hh"
+
+using namespace dpu::dms;
+
+TEST(Descriptor, Table2BitPositions)
+{
+    Descriptor d;
+    d.type = DescType::DdrToDmem;
+    d.notifyEvent = 5;
+    d.waitEvent = 3;
+    d.linkAddr = 0xBEEF;
+    d.colWidth = 4;
+    d.srcAddrInc = true;
+    d.rows = 256;
+    d.dmemAddr = 0x1234;
+    d.ddrAddr = 0x3'4567'89ABull; // 36-bit address
+
+    EncodedDesc e = encode(d);
+
+    // Word0: Type[31:28], NotifyEn[27], WaitEn[26], Notify[25:21],
+    // Wait[20:16], LinkAddr[15:0].
+    EXPECT_EQ(e.w[0] >> 28, 1u);
+    EXPECT_EQ((e.w[0] >> 27) & 1, 1u);
+    EXPECT_EQ((e.w[0] >> 26) & 1, 1u);
+    EXPECT_EQ((e.w[0] >> 21) & 0x1f, 5u);
+    EXPECT_EQ((e.w[0] >> 16) & 0x1f, 3u);
+    EXPECT_EQ(e.w[0] & 0xffff, 0xBEEFu);
+
+    // Word1: ColWidth[30:28] (code 2 = 4 B), SrcAddrInc[17],
+    // DDRAddr[3:0].
+    EXPECT_EQ((e.w[1] >> 28) & 0x7, 2u);
+    EXPECT_EQ((e.w[1] >> 17) & 1, 1u);
+    EXPECT_EQ((e.w[1] >> 16) & 1, 0u);
+    EXPECT_EQ(e.w[1] & 0xf, 0xBu);
+
+    // Word2: Rows[31:16], DMEMAddr[15:0].
+    EXPECT_EQ(e.w[2] >> 16, 256u);
+    EXPECT_EQ(e.w[2] & 0xffff, 0x1234u);
+
+    // Word3: DDRAddr[35:4].
+    EXPECT_EQ(e.w[3], std::uint32_t(0x3'4567'89ABull >> 4));
+}
+
+TEST(Descriptor, RoundTripDdrToDmem)
+{
+    Descriptor d;
+    d.type = DescType::DdrToDmem;
+    d.notifyEvent = 0; // event 0 is legal (Listing 1)
+    d.rows = 1024;
+    d.colWidth = 8;
+    d.ddrAddr = 0xFEDCBA98ull;
+    d.dmemAddr = 4096;
+    d.srcAddrInc = true;
+
+    Descriptor back = decode(encode(d));
+    EXPECT_EQ(back.type, d.type);
+    EXPECT_EQ(back.notifyEvent, 0);
+    EXPECT_EQ(back.waitEvent, -1);
+    EXPECT_EQ(back.rows, d.rows);
+    EXPECT_EQ(back.colWidth, d.colWidth);
+    EXPECT_EQ(back.ddrAddr, d.ddrAddr);
+    EXPECT_EQ(back.dmemAddr, d.dmemAddr);
+    EXPECT_TRUE(back.srcAddrInc);
+    EXPECT_FALSE(back.dstAddrInc);
+}
+
+TEST(Descriptor, RoundTripGatherCarriesBvBank)
+{
+    Descriptor d;
+    d.type = DescType::DdrToDmem;
+    d.gatherSrc = true;
+    d.ibank = 3;
+    d.rows = 500;
+    d.colWidth = 4;
+    d.ddrAddr = 0x1000; // must be 4 B aligned for gather
+    d.dmemAddr = 64;
+
+    Descriptor back = decode(encode(d));
+    EXPECT_TRUE(back.gatherSrc);
+    EXPECT_EQ(back.ibank, 3);
+    EXPECT_EQ(back.ddrAddr, 0x1000u);
+}
+
+TEST(Descriptor, RoundTripDdrToDms)
+{
+    Descriptor d;
+    d.type = DescType::DdrToDms;
+    d.rows = 256;
+    d.colWidth = 4;
+    d.nCols = 4;
+    d.colStride = 1 << 20;
+    d.ibank = 2;
+    d.ddrAddr = 0xABCDE0ull;
+    d.srcAddrInc = false;
+
+    Descriptor back = decode(encode(d));
+    EXPECT_EQ(back.type, d.type);
+    EXPECT_EQ(back.rows, 256u);
+    EXPECT_EQ(back.nCols, 4);
+    EXPECT_EQ(back.colStride, 1u << 20);
+    EXPECT_EQ(back.ibank, 2);
+    EXPECT_EQ(back.imem, IMem::Cmem);
+    EXPECT_EQ(back.ddrAddr, 0xABCDE0ull);
+}
+
+TEST(Descriptor, RoundTripHashCol)
+{
+    Descriptor d;
+    d.type = DescType::HashCol;
+    d.rows = 200;
+    d.colWidth = 4;
+    d.nCols = 5;
+    d.ibank = 1;
+    d.ibank2 = 1;
+    d.cidBank = 1;
+    d.rangeMode = true;
+
+    Descriptor back = decode(encode(d));
+    EXPECT_EQ(back.rows, 200u);
+    EXPECT_EQ(back.nCols, 5);
+    EXPECT_EQ(back.ibank, 1);
+    EXPECT_EQ(back.ibank2, 1);
+    EXPECT_EQ(back.cidBank, 1);
+    EXPECT_TRUE(back.rangeMode);
+}
+
+TEST(Descriptor, RoundTripLoop)
+{
+    Descriptor d;
+    d.type = DescType::Loop;
+    d.linkAddr = 0x7F00;
+    d.iterations = 8191; // the Listing 1 value
+
+    Descriptor back = decode(encode(d));
+    EXPECT_EQ(back.type, DescType::Loop);
+    EXPECT_EQ(back.linkAddr, 0x7F00u);
+    EXPECT_EQ(back.iterations, 8191u);
+}
+
+TEST(Descriptor, RoundTripEventCtl)
+{
+    Descriptor d;
+    d.type = DescType::EventCtl;
+    d.eventOp = EventOp::WaitClear;
+    d.eventMask = 0xdeadbeef;
+
+    Descriptor back = decode(encode(d));
+    EXPECT_EQ(back.eventOp, EventOp::WaitClear);
+    EXPECT_EQ(back.eventMask, 0xdeadbeefu);
+}
+
+TEST(Descriptor, RoundTripHashProg)
+{
+    Descriptor d;
+    d.type = DescType::HashProg;
+    d.hashUseCrc = false;
+    d.radixBits = 7;
+    d.radixShift = 12;
+
+    Descriptor back = decode(encode(d));
+    EXPECT_FALSE(back.hashUseCrc);
+    EXPECT_EQ(back.radixBits, 7);
+    EXPECT_EQ(back.radixShift, 12);
+}
+
+/** Property: random DDR<->DMEM descriptors survive the wire. */
+class DescRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DescRoundTrip, RandomizedRoundTrip)
+{
+    dpu::sim::Rng rng{std::uint64_t(GetParam()) * 77 + 1};
+    const std::uint8_t widths[] = {1, 2, 4, 8};
+    for (int i = 0; i < 200; ++i) {
+        Descriptor d;
+        d.type = (i & 1) ? DescType::DdrToDmem : DescType::DmemToDdr;
+        d.notifyEvent =
+            rng.below(3) == 0 ? -1 : std::int8_t(rng.below(32));
+        d.waitEvent =
+            rng.below(3) == 0 ? -1 : std::int8_t(rng.below(32));
+        d.linkAddr = std::uint16_t(rng.below(1 << 16));
+        d.colWidth = widths[rng.below(4)];
+        d.rows = std::uint32_t(rng.below(1 << 16));
+        d.dmemAddr = std::uint16_t(rng.below(1 << 16));
+        d.srcAddrInc = rng.below(2);
+        d.dstAddrInc = rng.below(2);
+        if (rng.below(2)) {
+            d.gatherSrc = d.type == DescType::DdrToDmem;
+            d.scatterDst = d.type == DescType::DmemToDdr;
+            d.rle = rng.below(2);
+            d.ibank = std::uint8_t(rng.below(4));
+            d.ddrAddr = (rng.next() & ((1ull << 36) - 1)) & ~3ull;
+        } else {
+            d.ddrAddr = rng.next() & ((1ull << 36) - 1);
+        }
+
+        Descriptor back = decode(encode(d));
+        EXPECT_EQ(back, d) << "iteration " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DescRoundTrip, ::testing::Range(0, 6));

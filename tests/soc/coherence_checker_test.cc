@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Coherence-checker tests (the Section 4 debugging tool): stale
+ * reads and conflicting writes across cores are flagged; the
+ * sanctioned idioms — dpu_serialized RPCs through an owner core and
+ * explicit flush/invalidate pairs — run clean.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rt/serialized.hh"
+#include "soc/coherence_checker.hh"
+#include "soc/soc.hh"
+
+using namespace dpu;
+
+namespace {
+
+soc::SocParams
+smallParams()
+{
+    soc::SocParams p = soc::dpu40nm();
+    p.ddrBytes = 8 << 20;
+    return p;
+}
+
+} // namespace
+
+TEST(CoherenceChecker, FlagsStaleReadAcrossCores)
+{
+    soc::Soc s(smallParams());
+    soc::CoherenceChecker checker(s);
+
+    bool writer_done = false;
+    s.start(0, [&](core::DpCore &c) {
+        c.store<std::uint32_t>(0x4000, 42); // dirty in core 0's L1
+        writer_done = true;
+        s.core(1).wake(c.now());
+    });
+    s.start(1, [&](core::DpCore &c) {
+        c.blockUntil([&] { return writer_done; });
+        (void)c.load<std::uint32_t>(0x4000); // stale read!
+    });
+    s.run();
+    ASSERT_TRUE(s.allFinished());
+    ASSERT_GE(checker.staleReads(), 1u);
+    const auto &v = checker.violations().back();
+    EXPECT_EQ(v.line, 0x4000u);
+    EXPECT_EQ(v.accessor, 1u);
+    EXPECT_EQ(v.dirtyOwner, 0u);
+}
+
+TEST(CoherenceChecker, FlagsConflictingWrites)
+{
+    soc::Soc s(smallParams());
+    soc::CoherenceChecker checker(s);
+
+    bool first_done = false;
+    s.start(2, [&](core::DpCore &c) {
+        c.store<std::uint32_t>(0x8000, 1);
+        first_done = true;
+        s.core(3).wake(c.now());
+    });
+    s.start(3, [&](core::DpCore &c) {
+        c.blockUntil([&] { return first_done; });
+        c.store<std::uint32_t>(0x8004, 2); // same line, both dirty
+    });
+    s.run();
+    ASSERT_TRUE(s.allFinished());
+    EXPECT_GE(checker.conflictingWrites(), 1u);
+}
+
+TEST(CoherenceChecker, FlushInvalidatePairRunsClean)
+{
+    soc::Soc s(smallParams());
+    soc::CoherenceChecker checker(s);
+
+    bool flushed = false;
+    s.start(0, [&](core::DpCore &c) {
+        c.store<std::uint32_t>(0x4000, 42);
+        c.cacheFlush(0x4000, 4); // through L1 + L2 to DDR
+        flushed = true;
+        s.core(1).wake(c.now());
+    });
+    s.start(1, [&](core::DpCore &c) {
+        c.blockUntil([&] { return flushed; });
+        c.cacheInvalidate(0x4000, 4);
+        EXPECT_EQ(c.load<std::uint32_t>(0x4000), 42u);
+    });
+    s.run();
+    ASSERT_TRUE(s.allFinished());
+    EXPECT_EQ(checker.violations().size(), 0u);
+}
+
+TEST(CoherenceChecker, OwnerPinnedAteAccessIsExempt)
+{
+    // The paper's idiom: pin the structure to one owner; every
+    // manipulation goes through ATE RPCs in the owner's pipeline.
+    soc::Soc s(smallParams());
+    soc::CoherenceChecker checker(s);
+
+    const mem::Addr shared = 0xA000;
+    const unsigned owner = 4;
+    bool idle = false;
+    s.start(owner, [&](core::DpCore &c) {
+        c.blockUntil([&] { return idle; });
+    });
+    s.start(0, [&](core::DpCore &c) {
+        s.ate().remoteStore(c, owner, shared, 5, 8);
+        EXPECT_EQ(s.ate().remoteLoad(c, owner, shared, 8), 5u);
+        s.ate().fetchAdd(c, owner, shared, 2, 8);
+        EXPECT_EQ(s.ate().remoteLoad(c, owner, shared, 8), 7u);
+        idle = true;
+        s.core(owner).wake(c.now());
+    });
+    s.run();
+    ASSERT_TRUE(s.allFinished());
+    EXPECT_EQ(checker.violations().size(), 0u);
+}
+
+TEST(CoherenceChecker, DpuSerializedRunsClean)
+{
+    soc::Soc s(smallParams());
+    soc::CoherenceChecker checker(s);
+
+    const mem::Addr arg = 0xC000;
+    const unsigned owner = 6;
+    bool stop = false;
+    std::uint64_t seen = 0;
+    s.start(owner, [&](core::DpCore &c) {
+        c.blockUntil([&] { return stop; });
+    });
+    s.start(0, [&](core::DpCore &c) {
+        c.store<std::uint64_t>(arg, 99);
+        rt::dpuSerialized(
+            c, s.ate(), owner,
+            [&](core::DpCore &rc) {
+                seen = rc.load<std::uint64_t>(arg);
+                rc.store<std::uint64_t>(arg + 8, seen + 1);
+            },
+            {{arg, 8}}, {{arg + 8, 8}});
+        EXPECT_EQ(c.load<std::uint64_t>(arg + 8), 100u);
+        stop = true;
+        s.core(owner).wake(c.now());
+    });
+    s.run();
+    ASSERT_TRUE(s.allFinished());
+    EXPECT_EQ(seen, 99u);
+    EXPECT_EQ(checker.violations().size(), 0u);
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Bit-vector tests (the DMS scatter/gather masks and FILT outputs).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hh"
+#include "util/bitvec.hh"
+
+using dpu::util::BitVec;
+
+TEST(BitVec, SetTestClear)
+{
+    BitVec bv(130);
+    EXPECT_EQ(bv.size(), 130u);
+    EXPECT_FALSE(bv.test(0));
+    bv.set(0);
+    bv.set(64);
+    bv.set(129);
+    EXPECT_TRUE(bv.test(0));
+    EXPECT_TRUE(bv.test(64));
+    EXPECT_TRUE(bv.test(129));
+    EXPECT_FALSE(bv.test(63));
+    bv.set(64, false);
+    EXPECT_FALSE(bv.test(64));
+}
+
+TEST(BitVec, CountMatchesSetBits)
+{
+    BitVec bv(1000);
+    dpu::sim::Rng rng(3);
+    std::size_t expected = 0;
+    for (std::size_t i = 0; i < 1000; ++i) {
+        if (rng.uniform() < 0.3) {
+            bv.set(i);
+            ++expected;
+        }
+    }
+    EXPECT_EQ(bv.count(), expected);
+}
+
+TEST(BitVec, ClearZeroesEverything)
+{
+    BitVec bv(256);
+    for (std::size_t i = 0; i < 256; i += 3)
+        bv.set(i);
+    bv.clear();
+    EXPECT_EQ(bv.count(), 0u);
+}
+
+TEST(BitVec, ByteSizeRoundsToWords)
+{
+    EXPECT_EQ(BitVec(1).byteSize(), 8u);
+    EXPECT_EQ(BitVec(64).byteSize(), 8u);
+    EXPECT_EQ(BitVec(65).byteSize(), 16u);
+}
+
+TEST(BitVec, DensePatternFromPaper)
+{
+    // Figure 12 uses a repeating dense 0xF7 mask (7 of 8 bits set)
+    // and a sparse 0x13 mask (3 of 8 bits set).
+    BitVec dense(64);
+    for (std::size_t i = 0; i < 64; ++i)
+        if ((0xF7 >> (i % 8)) & 1)
+            dense.set(i);
+    EXPECT_EQ(dense.count(), 56u);
+
+    BitVec sparse(64);
+    for (std::size_t i = 0; i < 64; ++i)
+        if ((0x13 >> (i % 8)) & 1)
+            sparse.set(i);
+    EXPECT_EQ(sparse.count(), 24u);
+}

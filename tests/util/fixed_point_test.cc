@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Q10.22 fixed-point tests: exactness of representable values,
+ * arithmetic identities, accumulator behaviour, and a property sweep
+ * comparing against double within the representation's tolerance —
+ * the basis for the paper's claim that normalized ML workloads lose
+ * negligible accuracy in 10.22 (Section 5).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.hh"
+#include "util/fixed_point.hh"
+
+using dpu::util::Fx22;
+using dpu::util::Fx22Acc;
+
+TEST(Fx22, ExactSmallIntegers)
+{
+    EXPECT_EQ(Fx22::fromInt(0).toDouble(), 0.0);
+    EXPECT_EQ(Fx22::fromInt(1).toDouble(), 1.0);
+    EXPECT_EQ(Fx22::fromInt(-3).toDouble(), -3.0);
+    EXPECT_EQ(Fx22::fromInt(511).toDouble(), 511.0);
+}
+
+TEST(Fx22, Resolution)
+{
+    // Smallest step is 2^-22.
+    Fx22 eps = Fx22::fromRaw(1);
+    EXPECT_DOUBLE_EQ(eps.toDouble(), std::ldexp(1.0, -22));
+}
+
+TEST(Fx22, AddSubInverse)
+{
+    Fx22 a = Fx22::fromDouble(1.25);
+    Fx22 b = Fx22::fromDouble(-0.75);
+    EXPECT_EQ((a + b - b).raw(), a.raw());
+    EXPECT_EQ((a - a).raw(), 0);
+}
+
+TEST(Fx22, MulExactPowersOfTwo)
+{
+    Fx22 half = Fx22::fromDouble(0.5);
+    Fx22 four = Fx22::fromInt(4);
+    EXPECT_DOUBLE_EQ((half * four).toDouble(), 2.0);
+    EXPECT_DOUBLE_EQ((half * half).toDouble(), 0.25);
+}
+
+TEST(Fx22, DivRoundTrip)
+{
+    Fx22 a = Fx22::fromDouble(3.5);
+    Fx22 b = Fx22::fromDouble(1.75);
+    EXPECT_NEAR((a / b).toDouble(), 2.0, 1e-6);
+}
+
+TEST(Fx22, AccumulatorAvoidsIntermediateOverflow)
+{
+    // Summing 1M products of 0.5 * 0.5 = 262144; far beyond what a
+    // 32-bit Q10.22 could hold mid-sum if each product were rounded
+    // and accumulated in 32 bits.
+    Fx22Acc acc;
+    Fx22 h = Fx22::fromDouble(0.5);
+    for (int i = 0; i < 1000; ++i)
+        acc.mulAdd(h, h);
+    EXPECT_NEAR(acc.result().toDouble(), 250.0, 1e-4);
+}
+
+/** Property sweep: fixed point tracks double within quantization. */
+class Fx22PropertyTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(Fx22PropertyTest, TracksDoubleWithinTolerance)
+{
+    dpu::sim::Rng rng{std::uint64_t(GetParam())};
+    // Normalized-data regime: values in [-8, 8) as after the
+    // normalization the paper says ML workloads perform.
+    for (int i = 0; i < 200; ++i) {
+        double a = (rng.uniform() - 0.5) * 16.0;
+        double b = (rng.uniform() - 0.5) * 16.0;
+        Fx22 fa = Fx22::fromDouble(a);
+        Fx22 fb = Fx22::fromDouble(b);
+        const double q = std::ldexp(1.0, -22);
+        EXPECT_NEAR((fa + fb).toDouble(), a + b, 4 * q);
+        EXPECT_NEAR((fa - fb).toDouble(), a - b, 4 * q);
+        // Product error: inputs quantized at q, magnitudes < 8.
+        EXPECT_NEAR((fa * fb).toDouble(), a * b, 20 * q);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fx22PropertyTest,
+                         ::testing::Range(1, 9));
