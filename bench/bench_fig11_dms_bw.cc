@@ -122,6 +122,7 @@ main()
 
     bench::compare("peak R bandwidth at 8 KB tiles", 9.3,
                    run(4, 8192, false), "GB/s");
+    bench::flushTrace();
     bench::row("  paper shape: >9 GB/s at 8 KB tiles (75%% of DDR3"
                " peak); small tiles lose bandwidth to fixed DMS"
                " configuration overheads. (Our bank model prices"

@@ -11,6 +11,8 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "sim/trace.hh"
+
 namespace bench {
 
 inline void
@@ -36,6 +38,19 @@ compare(const char *what, double paper, double measured,
 {
     std::printf("  %-44s paper %8.2f  measured %8.2f  %s\n", what,
                 paper, measured, unit);
+}
+
+/**
+ * Write the event trace to the DPU_TRACE file now, mid-process.
+ * Benches call this after their interesting phase so a user tracing
+ * with DPU_TRACE=out.json gets the file even if the bench keeps
+ * running (the atexit flush would also write it, but only with
+ * whatever still fits in the ring by then). No-op unless armed.
+ */
+inline void
+flushTrace()
+{
+    dpu::sim::tracer().flushToFileIfArmed();
 }
 
 } // namespace bench

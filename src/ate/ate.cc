@@ -1,6 +1,7 @@
 #include "ate/ate.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace dpu::ate {
 
@@ -10,6 +11,19 @@ sim::Tick
 cyc(sim::Cycles c)
 {
     return sim::dpCoreClock.cyclesToTicks(c);
+}
+
+const char *
+ateOpName(AteOp op)
+{
+    switch (op) {
+      case AteOp::Load: return "Load";
+      case AteOp::Store: return "Store";
+      case AteOp::FetchAdd: return "FetchAdd";
+      case AteOp::CompareSwap: return "CompareSwap";
+      case AteOp::SwRpc: return "SwRpc";
+    }
+    return "?";
 }
 
 } // namespace
@@ -146,12 +160,33 @@ Ate::issue(core::DpCore &c, unsigned target, AteOp op, mem::Addr addr,
     if (op == AteOp::SwRpc)
         panic("use swRpc() for software RPCs");
 
-    eq.schedule(deliver, [this, src, target, op, addr, a, b, bytes] {
+    // RPC round-trip span: 'b' at issue on the source core's track,
+    // an 'X' for the remote op on the target's track, 'e' when the
+    // response arrives back at the source.
+    const char *op_name = ateOpName(op);
+    std::uint32_t span_id = 0;
+    if (DPU_TRACE_ARMED) {
+        span_id = DPU_TRACE_NEXT_ID();
+        DPU_TRACE_SPAN_BEGIN(sim::TraceCat::Ate, src, op_name,
+                             span_id, eq.now(), "target", target,
+                             nullptr, 0);
+    }
+
+    eq.schedule(deliver, [this, src, target, op, addr, a, b, bytes,
+                          op_name, span_id] {
         sim::Tick op_done = 0;
+        sim::Tick op_start = eq.now();
         std::uint64_t value = doRemoteOp(target, op, addr, a, b,
-                                         bytes, eq.now(), op_done);
+                                         bytes, op_start, op_done);
+        DPU_TRACE_COMPLETE(sim::TraceCat::Ate, target, op_name,
+                           op_start, op_done - op_start, "src", src,
+                           nullptr, 0);
         sim::Tick resp = op_done + oneWay(target, src);
-        eq.schedule(resp, [this, src, value] {
+        eq.schedule(resp, [this, src, value, op_name, span_id] {
+            if (span_id) {
+                DPU_TRACE_SPAN_END(sim::TraceCat::Ate, src, op_name,
+                                   span_id, eq.now());
+            }
             Outstanding &out = pending[local(src)];
             out.ready = true;
             out.value = value;
@@ -221,15 +256,29 @@ Ate::swRpc(core::DpCore &c, unsigned target,
     const unsigned src = c.id();
     sim::Tick deliver = deliveryTick(src, target) + cyc(p.swDeliver);
 
-    eq.schedule(deliver, [this, src, target, fn = std::move(fn)] {
+    std::uint32_t span_id = 0;
+    if (DPU_TRACE_ARMED) {
+        span_id = DPU_TRACE_NEXT_ID();
+        DPU_TRACE_SPAN_BEGIN(sim::TraceCat::Ate, src, "SwRpc",
+                             span_id, eq.now(), "target", target,
+                             nullptr, 0);
+    }
+
+    eq.schedule(deliver, [this, src, target, span_id,
+                          fn = std::move(fn)] {
         cores[local(target)]->postInterrupt(
-            [this, src, target, fn](core::DpCore &rc) {
+            [this, src, target, span_id, fn](core::DpCore &rc) {
                 fn(rc);
                 // Ack once the handler ran to completion.
                 sim::Tick resp =
                     rc.now() + oneWay(target, src);
                 eq.schedule(std::max(resp, eq.now()),
-                            [this, src] {
+                            [this, src, span_id] {
+                                if (span_id) {
+                                    DPU_TRACE_SPAN_END(
+                                        sim::TraceCat::Ate, src,
+                                        "SwRpc", span_id, eq.now());
+                                }
                                 unsigned l = local(src);
                                 pending[l].ready = true;
                                 pending[l].value = 0;

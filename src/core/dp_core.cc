@@ -111,12 +111,19 @@ void
 DpCore::blockUntil(const std::function<bool()> &pred)
 {
     sync();
+    const sim::Tick t0 = eq.now();
+    bool blocked = false;
     while (!pred()) {
         state = State::Blocked;
         ++stat.counter("blocks");
+        blocked = true;
         yieldToScheduler();
         // Woken by wake(); state is Running again here.
         deliverInterrupts();
+    }
+    if (blocked) {
+        DPU_TRACE_COMPLETE(sim::TraceCat::Core, coreId, "blocked", t0,
+                           eq.now() - t0, nullptr, 0, nullptr, 0);
     }
 }
 
@@ -148,9 +155,12 @@ DpCore::deliverInterrupts()
         Isr isr = std::move(pendingIsrs.front());
         pendingIsrs.pop_front();
         inIsr = true;
+        const sim::Tick t0 = now();
         cycles(costs.interrupt);
         ++stat.counter("interruptsTaken");
         isr(*this);
+        DPU_TRACE_COMPLETE(sim::TraceCat::Core, coreId, "isr", t0,
+                           now() - t0, nullptr, 0, nullptr, 0);
         inIsr = false;
     }
 }

@@ -36,6 +36,7 @@
 #include "sim/event_queue.hh"
 #include "sim/fiber.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 #include "sim/types.hh"
 
 namespace dpu::core {
@@ -122,7 +123,13 @@ class DpCore
     mul(unsigned bits = 32)
     {
         ++stat.counter("muls");
-        cycles(costs.mulCycles(bits));
+        const sim::Cycles c = costs.mulCycles(bits);
+        if (DPU_TRACE_ARMED) {
+            DPU_TRACE_COMPLETE(sim::TraceCat::Core, coreId, "mul",
+                               now(), sim::dpCoreClock.cyclesToTicks(c),
+                               "bits", bits, nullptr, 0);
+        }
+        cycles(c);
     }
 
     /** Charge one iterative divide. */

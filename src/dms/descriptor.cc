@@ -307,4 +307,27 @@ decode(const EncodedDesc &e)
     return d;
 }
 
+const char *
+descTypeName(DescType t)
+{
+    switch (t) {
+      case DescType::Nop: return "Nop";
+      case DescType::DdrToDmem: return "DdrToDmem";
+      case DescType::DmemToDdr: return "DmemToDdr";
+      case DescType::DdrToDms: return "DdrToDms";
+      case DescType::DmsToDmem: return "DmsToDmem";
+      case DescType::DmemToDms: return "DmemToDms";
+      case DescType::DmsToDdr: return "DmsToDdr";
+      case DescType::DmsToDms: return "DmsToDms";
+      case DescType::HashCol: return "HashCol";
+      case DescType::Loop: return "Loop";
+      case DescType::EventCtl: return "EventCtl";
+      case DescType::HashProg: return "HashProg";
+      case DescType::RangeProg: return "RangeProg";
+      case DescType::PartDstCfg: return "PartDstCfg";
+      case DescType::PartFlush: return "PartFlush";
+    }
+    return "?";
+}
+
 } // namespace dpu::dms

@@ -170,6 +170,9 @@ EncodedDesc encode(const Descriptor &d);
 /** Decode from the wire format. */
 Descriptor decode(const EncodedDesc &e);
 
+/** Static display name for a descriptor type ("DdrToDmem", ...). */
+const char *descTypeName(DescType t);
+
 } // namespace dpu::dms
 
 #endif // DPU_DMS_DESCRIPTOR_HH

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 #include "util/crc32.hh"
 
 namespace dpu::dms {
@@ -243,6 +244,11 @@ Dmac::execDdrToDmem(unsigned core, const Descriptor &d,
     // overlap this transfer — which is what the real controller's
     // command queue achieves.
     loadEngine[m] = start + dmaxTicks(bytes);
+    DPU_TRACE_COMPLETE(sim::TraceCat::Dms,
+                       sim::dmstrack::loadEngine +
+                           ctx.baseCore / coresPerDmax + m,
+                       "DdrToDmem", start, t - start, "bytes", bytes,
+                       "core", ctx.baseCore + core);
     done(t);
 }
 
@@ -288,6 +294,11 @@ Dmac::execDmemToDdr(unsigned core, const Descriptor &d,
     }
 
     storeEngine[m] = start + dmaxTicks(bytes); // issue occupancy
+    DPU_TRACE_COMPLETE(sim::TraceCat::Dms,
+                       sim::dmstrack::storeEngine +
+                           ctx.baseCore / coresPerDmax + m,
+                       "DmemToDdr", start, t - start, "bytes", bytes,
+                       "core", ctx.baseCore + core);
     done(t);
 }
 
@@ -340,6 +351,11 @@ Dmac::execDdrToDms(unsigned core, const Descriptor &d, mem::Addr ddr,
     stats.counter("bytesToCmem") += bytes;
     loadEngine[m] = start + dmaxTicks(bytes); // issue occupancy
     cmemBusy[d.ibank] = t;
+    DPU_TRACE_COMPLETE(sim::TraceCat::Dms,
+                       sim::dmstrack::loadEngine +
+                           ctx.baseCore / coresPerDmax + m,
+                       "DdrToDms", start, t - start, "bytes", bytes,
+                       "bank", d.ibank);
     done(t);
 }
 
@@ -398,6 +414,10 @@ Dmac::execHashCol(const Descriptor &d, sim::Tick issue, DoneFn done)
     cmemBusy[d.ibank] = t;
     crcBusy[d.ibank2] = t;
     cidBusy[d.cidBank] = t;
+    DPU_TRACE_COMPLETE(sim::TraceCat::Dms,
+                       sim::dmstrack::hashEngine + ctx.baseCore,
+                       "HashCol", start, t - start, "rows", d.rows,
+                       "bank", d.ibank);
     done(t);
 }
 
@@ -498,6 +518,7 @@ Dmac::execStorePart(unsigned core, const Descriptor &d,
     job.d = d;
     job.row = 0;
     job.t = std::max({issue, cmemBusy[d.ibank], cidBusy[d.cidBank]});
+    job.traceStart = job.t;
     job.done = std::move(done);
     partQueue.push_back(std::move(job));
     if (!partActive) {
@@ -527,6 +548,11 @@ Dmac::partStep()
                     // The buffer to seal is still owned by the
                     // consumer; the seal-time clear hook resumes us.
                     ++stats.counter("partStalls");
+                    DPU_TRACE_INSTANT(sim::TraceCat::Dms,
+                                      sim::dmstrack::partPipe +
+                                          ctx.baseCore,
+                                      "partStall", ctx.eq.now(),
+                                      "dst", dst);
                     return;
                 }
                 finalizeBuffer(dst, job.t, true);
@@ -536,6 +562,11 @@ Dmac::partStep()
                 ++job.row;
             }
             sim::Tick t = job.t;
+            DPU_TRACE_COMPLETE(sim::TraceCat::Dms,
+                               sim::dmstrack::partPipe + ctx.baseCore,
+                               "PartFlush", job.traceStart,
+                               t - job.traceStart, nullptr, 0,
+                               nullptr, 0);
             DoneFn fn = std::move(job.done);
             partQueue.pop_front();
             if (!partQueue.empty())
@@ -573,6 +604,11 @@ Dmac::partStep()
                 // Back-pressure: the consumer still owns the next
                 // buffer; the seal-time clear hook resumes us.
                 ++stats.counter("partStalls");
+                DPU_TRACE_INSTANT(sim::TraceCat::Dms,
+                                  sim::dmstrack::partPipe +
+                                      ctx.baseCore,
+                                  "partStall", ctx.eq.now(),
+                                  "dst", dst);
                 return;
             }
 
@@ -590,6 +626,11 @@ Dmac::partStep()
         cmemBusy[d.ibank] = job.t;
         cidBusy[d.cidBank] = job.t;
         sim::Tick t = job.t;
+        DPU_TRACE_COMPLETE(sim::TraceCat::Dms,
+                           sim::dmstrack::partPipe + ctx.baseCore,
+                           "StorePart", job.traceStart,
+                           t - job.traceStart, "rows", d.rows,
+                           nullptr, 0);
         DoneFn fn = std::move(job.done);
         partQueue.pop_front();
         if (!partQueue.empty())
@@ -610,6 +651,7 @@ Dmac::execPartFlush(sim::Tick issue, DoneFn done)
     job.flush = true;
     job.row = 0;
     job.t = issue + cyc(ctx.nCores());
+    job.traceStart = job.t;
     job.done = std::move(done);
     partQueue.push_back(std::move(job));
     if (!partActive) {

@@ -161,6 +161,8 @@ class Dmac
         /** Next row (stores) or next destination core (flush). */
         std::uint32_t row = 0;
         sim::Tick t = 0;
+        /** Model tick the job entered the pipeline (trace span). */
+        sim::Tick traceStart = 0;
         DoneFn done;
     };
 

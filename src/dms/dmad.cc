@@ -1,6 +1,7 @@
 #include "dms/dmad.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace dpu::dms {
 
@@ -33,6 +34,8 @@ Dmad::push(unsigned ch, std::uint16_t desc_addr)
     entry.dmemAddr = desc_addr;
     entry.remaining = entry.d.iterations;
 
+    DPU_TRACE_INSTANT(sim::TraceCat::Dms, ctx.baseCore + coreId,
+                      "push", ctx.eq.now(), "ch", ch);
     channels[ch].list.push_back(entry);
     process(ch);
 }
@@ -227,13 +230,33 @@ Dmad::process(unsigned ch)
         if (d.notifyEvent >= 0)
             c.pendingSet |= 1u << unsigned(d.notifyEvent);
 
+        // Descriptor lifecycle span: DMAD issue -> DMAC completion.
+        // Async ('b'/'e') because up to `outstanding` descriptors
+        // overlap on one channel's track.
+        std::uint32_t span_id = 0;
+        if (DPU_TRACE_ARMED) {
+            span_id = DPU_TRACE_NEXT_ID();
+            DPU_TRACE_SPAN_BEGIN(sim::TraceCat::Dms,
+                                 ctx.baseCore + coreId,
+                                 descTypeName(d.type), span_id,
+                                 ctx.eq.now(), "rows", d.rows,
+                                 "bytes", bytes);
+        }
+
         const int notify = d.notifyEvent;
+        const char *desc_name = descTypeName(d.type);
         dmac.execute(
             coreId, d, eff_ddr, eff_dmem, ctx.eq.now(),
-            [this, ch, notify](sim::Tick t) {
+            [this, ch, notify, span_id, desc_name](sim::Tick t) {
                 ctx.eq.schedule(
                     std::max(t, ctx.eq.now()),
-                    [this, ch, notify] {
+                    [this, ch, notify, span_id, desc_name] {
+                        if (span_id) {
+                            DPU_TRACE_SPAN_END(
+                                sim::TraceCat::Dms,
+                                ctx.baseCore + coreId, desc_name,
+                                span_id, ctx.eq.now());
+                        }
                         Channel &chan = channels[ch];
                         if (notify >= 0) {
                             chan.pendingSet &=

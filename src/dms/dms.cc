@@ -6,6 +6,7 @@ Dms::Dms(sim::EventQueue &eq, mem::MainMemory &mm, unsigned n_cores,
          const DmsParams &params, unsigned base_core)
     : ctx(eq, mm, n_cores, params), baseCore(base_core)
 {
+    ctx.baseCore = base_core;
     dmacUnit = std::make_unique<Dmac>(ctx);
     dmads.reserve(n_cores);
     for (unsigned i = 0; i < n_cores; ++i)
@@ -55,6 +56,8 @@ Dms::clearEvent(core::DpCore &c, unsigned ev)
 {
     c.cycles(1);
     c.sync();
+    DPU_TRACE_INSTANT(sim::TraceCat::Dms, c.id(), "evClear",
+                      ctx.eq.now(), "event", ev);
     ctx.events[localId(c)].clear(ev);
 }
 

@@ -15,6 +15,7 @@
 #include "mem/dmem.hh"
 #include "mem/main_memory.hh"
 #include "sim/event_queue.hh"
+#include "sim/trace.hh"
 
 namespace dpu::dms {
 
@@ -32,6 +33,9 @@ struct DmsContext
     mem::MainMemory &mm;
     DmsParams params;
 
+    /** Global id of this complex's core 0 (trace track numbering). */
+    unsigned baseCore = 0;
+
     /** Per-core scratchpads, registered by the SoC at build time. */
     std::vector<mem::Dmem *> dmems;
 
@@ -44,8 +48,11 @@ struct DmsContext
     void
     scheduleSet(unsigned core, unsigned ev, sim::Tick when)
     {
-        eq.schedule(std::max(when, eq.now()),
-                    [this, core, ev] { events[core].set(ev); });
+        eq.schedule(std::max(when, eq.now()), [this, core, ev] {
+            DPU_TRACE_INSTANT(sim::TraceCat::Dms, baseCore + core,
+                              "evSet", eq.now(), "event", ev);
+            events[core].set(ev);
+        });
     }
 };
 

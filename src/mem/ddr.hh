@@ -25,6 +25,7 @@
 
 #include "mem/addr.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 #include "sim/types.hh"
 
 namespace dpu::mem {
@@ -119,6 +120,20 @@ class DdrChannel
             a += 64;
         }
         st.counter(write ? "bytesWritten" : "bytesRead") += bytes;
+        if (DPU_TRACE_ARMED) {
+            DPU_TRACE_COMPLETE(sim::TraceCat::Ddr, 0,
+                               write ? "write" : "read", earliest,
+                               done - earliest, "bytes", bytes,
+                               nullptr, 0);
+            // Sampled row-buffer counters: cheap to plot in
+            // Perfetto without one event per burst.
+            if (++tracedAccesses % 64 == 0) {
+                DPU_TRACE_COUNTER(sim::TraceCat::Ddr, 0, "rowBuffer",
+                                  done, "hits",
+                                  st.get("rowHits"), "misses",
+                                  st.get("rowMisses"));
+            }
+        }
         return done;
     }
 
@@ -185,6 +200,8 @@ class DdrChannel
     std::array<Bank, 64> banks;
     sim::Tick busFree = 0;
     bool lastWasWrite = false;
+    /** Accesses seen while tracing (row-buffer counter cadence). */
+    std::uint64_t tracedAccesses = 0;
 };
 
 } // namespace dpu::mem

@@ -10,6 +10,7 @@
 #define DPU_MEM_MAIN_MEMORY_HH
 
 #include <cstdint>
+#include <functional>
 
 #include "mem/backing_store.hh"
 #include "mem/ddr.hh"
@@ -57,8 +58,21 @@ class MainMemory : public MemPort
     dmsWrite(Addr addr, const void *src, std::uint32_t len,
              sim::Tick when)
     {
+        if (dmsWriteHook)
+            dmsWriteHook(addr, len);
         backing.write(addr, src, len);
         return channel.access(addr, len, true, when);
+    }
+
+    /**
+     * Observe every DMS-side write before it lands (coherence
+     * tooling: a cache-bypassing write can stale cores' caches).
+     * Pass nullptr to detach.
+     */
+    void
+    setDmsWriteHook(std::function<void(Addr, std::uint32_t)> hook)
+    {
+        dmsWriteHook = std::move(hook);
     }
 
     BackingStore &store() { return backing; }
@@ -70,6 +84,7 @@ class MainMemory : public MemPort
     sim::StatGroup stats;
     DdrChannel channel;
     BackingStore backing;
+    std::function<void(Addr, std::uint32_t)> dmsWriteHook;
 };
 
 } // namespace dpu::mem

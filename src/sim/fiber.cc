@@ -2,10 +2,51 @@
 
 #include "sim/logging.hh"
 
+// AddressSanitizer tracks one shadow stack per thread; every fiber
+// switch must be announced or ASan reports false stack-buffer
+// overflows / use-after-return across swapcontext. The annotations
+// compile away entirely in non-ASan builds.
+#if defined(__SANITIZE_ADDRESS__)
+#define DPU_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define DPU_ASAN_FIBERS 1
+#endif
+#endif
+#ifndef DPU_ASAN_FIBERS
+#define DPU_ASAN_FIBERS 0
+#endif
+
+#if DPU_ASAN_FIBERS
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace dpu::sim {
 
 namespace {
+
 thread_local Fiber *currentFiber = nullptr;
+
+inline void
+asanStartSwitch([[maybe_unused]] void **fake_save,
+                [[maybe_unused]] const void *bottom,
+                [[maybe_unused]] std::size_t size)
+{
+#if DPU_ASAN_FIBERS
+    __sanitizer_start_switch_fiber(fake_save, bottom, size);
+#endif
+}
+
+inline void
+asanFinishSwitch([[maybe_unused]] void *fake_save,
+                 [[maybe_unused]] const void **bottom_old,
+                 [[maybe_unused]] std::size_t *size_old)
+{
+#if DPU_ASAN_FIBERS
+    __sanitizer_finish_switch_fiber(fake_save, bottom_old, size_old);
+#endif
+}
+
 } // namespace
 
 Fiber::Fiber(std::function<void()> fn, std::size_t stack_size)
@@ -30,9 +71,15 @@ void
 Fiber::trampoline()
 {
     Fiber *f = currentFiber;
+    // First entry: no fake stack to restore, but learn the
+    // scheduler's stack bounds for the switches back out.
+    asanFinishSwitch(nullptr, &f->schedStackBottom,
+                     &f->schedStackSize);
     f->body();
     f->done = true;
-    // Return to whoever resumed us for the last time.
+    // Return to whoever resumed us for the last time. nullptr frees
+    // this (dying) fiber's ASan fake stack.
+    asanStartSwitch(nullptr, f->schedStackBottom, f->schedStackSize);
     swapcontext(&f->ctx, &f->returnCtx);
 }
 
@@ -51,7 +98,10 @@ Fiber::resume()
         makecontext(&ctx, reinterpret_cast<void (*)()>(&trampoline), 0);
     }
     currentFiber = this;
+    void *sched_fake = nullptr;
+    asanStartSwitch(&sched_fake, stack.data(), stack.size());
     swapcontext(&returnCtx, &ctx);
+    asanFinishSwitch(sched_fake, nullptr, nullptr);
     currentFiber = nullptr;
 }
 
@@ -60,7 +110,10 @@ Fiber::yield()
 {
     sim_assert(currentFiber == this, "yield from outside the fiber");
     currentFiber = nullptr;
+    void *fiber_fake = nullptr;
+    asanStartSwitch(&fiber_fake, schedStackBottom, schedStackSize);
     swapcontext(&ctx, &returnCtx);
+    asanFinishSwitch(fiber_fake, &schedStackBottom, &schedStackSize);
     currentFiber = this;
 }
 

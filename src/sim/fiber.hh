@@ -69,6 +69,9 @@ class Fiber
     ucontext_t returnCtx;
     bool started = false;
     bool done = false;
+    /** Scheduler stack bounds, captured for ASan fiber switching. */
+    const void *schedStackBottom = nullptr;
+    std::size_t schedStackSize = 0;
 };
 
 } // namespace dpu::sim

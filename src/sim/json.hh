@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Minimal JSON reader for simulator tooling.
+ *
+ * Parses the two dialects this repo itself produces — golden stats
+ * snapshots and Chrome trace-event files — into a simple ordered
+ * document tree. Integers that fit are preserved exactly (stat
+ * counters are uint64; doubles would silently round above 2^53).
+ * This is deliberately NOT a general-purpose library: no streaming,
+ * no \uXXXX surrogate pairs, documents are read fully into memory.
+ */
+
+#ifndef DPU_SIM_JSON_HH
+#define DPU_SIM_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dpu::sim::json {
+
+/** One parsed JSON value. */
+struct Value
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Int,    ///< number with no fraction/exponent; exact in i
+        Double, ///< any other number
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool b = false;
+    std::int64_t i = 0;
+    double d = 0.0;
+    std::string s;
+    std::vector<Value> arr;
+    /** Insertion-ordered members. */
+    std::vector<std::pair<std::string, Value>> obj;
+
+    bool isNum() const { return kind == Kind::Int || kind == Kind::Double; }
+    double asDouble() const { return kind == Kind::Int ? double(i) : d; }
+    std::uint64_t asU64() const { return std::uint64_t(i); }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const Value *find(const std::string &key) const;
+};
+
+/**
+ * Parse @p text.
+ * @return true on success; on failure @p err describes the problem
+ *         and @p out is left in an unspecified state.
+ */
+bool parse(const std::string &text, Value &out, std::string &err);
+
+} // namespace dpu::sim::json
+
+#endif // DPU_SIM_JSON_HH

@@ -1,6 +1,18 @@
 #include "sim/stats.hh"
 
+#include "sim/stats_registry.hh"
+
 namespace dpu::sim {
+
+StatGroup::StatGroup(std::string name) : groupName(std::move(name))
+{
+    StatsRegistry::instance().add(this);
+}
+
+StatGroup::~StatGroup()
+{
+    StatsRegistry::instance().remove(this);
+}
 
 void
 StatGroup::dump(std::ostream &os) const

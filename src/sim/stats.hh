@@ -5,6 +5,12 @@
  * Components register named counters with a StatGroup; the SoC can
  * dump all groups as a flat name = value listing. Counters are plain
  * uint64_t / double cells so hot paths pay only an increment.
+ *
+ * Every live StatGroup is also tracked by the process-wide
+ * StatsRegistry (see stats_registry.hh), which snapshots all groups
+ * for golden-stats regression testing. Registration happens in the
+ * constructor and deregistration in the destructor, so groups must
+ * not be copied or moved.
  */
 
 #ifndef DPU_SIM_STATS_HH
@@ -21,7 +27,11 @@ namespace dpu::sim {
 class StatGroup
 {
   public:
-    explicit StatGroup(std::string name) : groupName(std::move(name)) {}
+    explicit StatGroup(std::string name);
+    ~StatGroup();
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
 
     /** Register (or fetch) a counter cell by name. */
     std::uint64_t &
@@ -45,7 +55,29 @@ class StatGroup
         return it == counters.end() ? 0 : it->second;
     }
 
+    /** Read a floating-point cell (0.0 if never touched). */
+    double
+    getScalar(const std::string &name) const
+    {
+        auto it = scalars.find(name);
+        return it == scalars.end() ? 0.0 : it->second;
+    }
+
     const std::string &name() const { return groupName; }
+
+    /** All counter cells, name-ordered (snapshot/diff tooling). */
+    const std::map<std::string, std::uint64_t> &
+    counterCells() const
+    {
+        return counters;
+    }
+
+    /** All floating-point cells, name-ordered. */
+    const std::map<std::string, double> &
+    scalarCells() const
+    {
+        return scalars;
+    }
 
     /** Write "group.name = value" lines for every cell. */
     void dump(std::ostream &os) const;

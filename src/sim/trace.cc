@@ -1,0 +1,200 @@
+#include "sim/trace.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <numeric>
+
+#include "sim/logging.hh"
+
+namespace dpu::sim {
+
+namespace {
+
+const char *
+catName(std::uint8_t pid)
+{
+    switch (TraceCat(pid)) {
+      case TraceCat::Core: return "dpCore";
+      case TraceCat::Dms: return "DMS";
+      case TraceCat::Ate: return "ATE";
+      case TraceCat::Ddr: return "DDR";
+      case TraceCat::Soc: return "SoC";
+    }
+    return "?";
+}
+
+/** Ticks (ps) -> Chrome trace microseconds, exact to the ps. */
+void
+writeUs(std::ostream &os, Tick t)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%llu.%06llu",
+                  (unsigned long long)(t / 1'000'000),
+                  (unsigned long long)(t % 1'000'000));
+    os << buf;
+}
+
+void
+writeEscaped(std::ostream &os, const std::string &s)
+{
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            os << '\\' << c;
+        else if (static_cast<unsigned char>(c) < 0x20)
+            os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+               << "0123456789abcdef"[c & 0xf];
+        else
+            os << c;
+    }
+}
+
+} // namespace
+
+void
+Tracer::arm(std::size_t capacity)
+{
+    sim_assert(capacity > 0, "tracer capacity must be non-zero");
+    ring.assign(capacity, TraceRecord{});
+    total = 0;
+    isArmed = true;
+}
+
+void
+Tracer::clear()
+{
+    std::fill(ring.begin(), ring.end(), TraceRecord{});
+    total = 0;
+}
+
+std::size_t
+Tracer::size() const
+{
+    return std::size_t(std::min<std::uint64_t>(total, ring.size()));
+}
+
+std::uint64_t
+Tracer::dropped() const
+{
+    return total > ring.size() ? total - ring.size() : 0;
+}
+
+void
+Tracer::nameTrack(TraceCat cat, std::uint32_t tid, std::string name)
+{
+    trackNames[{std::uint8_t(cat), tid}] = std::move(name);
+}
+
+void
+Tracer::exportJson(std::ostream &os) const
+{
+    // Oldest-first indices into the ring, then a stable sort by
+    // timestamp so every track's events appear in monotone order.
+    const std::size_t n = size();
+    std::vector<std::uint32_t> order(n);
+    const std::uint64_t first = total - n;
+    for (std::size_t i = 0; i < n; ++i)
+        order[i] = std::uint32_t((first + i) % ring.size());
+    std::stable_sort(order.begin(), order.end(),
+                     [this](std::uint32_t a, std::uint32_t b) {
+                         return ring[a].ts < ring[b].ts;
+                     });
+
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool comma = false;
+
+    // Metadata: subsystem process names + registered track names,
+    // but only for pids that actually appear (or were registered).
+    bool pidSeen[256] = {};
+    for (std::size_t i = 0; i < n; ++i)
+        pidSeen[ring[order[i]].pid] = true;
+    for (const auto &[key, _] : trackNames)
+        pidSeen[key.first] = true;
+    for (unsigned pid = 0; pid < 256; ++pid) {
+        if (!pidSeen[pid])
+            continue;
+        if (comma)
+            os << ",";
+        comma = true;
+        os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+           << ",\"args\":{\"name\":\"" << catName(std::uint8_t(pid))
+           << "\"}}";
+    }
+    for (const auto &[key, name] : trackNames) {
+        os << ",{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":"
+           << unsigned(key.first) << ",\"tid\":" << key.second
+           << ",\"args\":{\"name\":\"";
+        writeEscaped(os, name);
+        os << "\"}}";
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const TraceRecord &r = ring[order[i]];
+        if (comma)
+            os << ",";
+        comma = true;
+        os << "{\"ph\":\"" << r.ph << "\",\"pid\":"
+           << unsigned(r.pid) << ",\"tid\":" << r.tid
+           << ",\"name\":\"" << (r.name ? r.name : "?")
+           << "\",\"ts\":";
+        writeUs(os, r.ts);
+        if (r.ph == 'X') {
+            os << ",\"dur\":";
+            writeUs(os, r.dur);
+        }
+        if (r.ph == 'b' || r.ph == 'e') {
+            // Async events need a category and an id to pair up.
+            os << ",\"cat\":\"" << catName(r.pid) << "\",\"id\":"
+               << r.id;
+        }
+        if (r.ph == 'i')
+            os << ",\"s\":\"t\""; // thread-scoped instant
+        if (r.k0) {
+            os << ",\"args\":{\"" << r.k0 << "\":" << r.a0;
+            if (r.k1)
+                os << ",\"" << r.k1 << "\":" << r.a1;
+            os << "}";
+        }
+        os << "}";
+    }
+    os << "]}\n";
+}
+
+void
+Tracer::armFromEnvOnce()
+{
+    if (envChecked)
+        return;
+    envChecked = true;
+    const char *path = std::getenv("DPU_TRACE");
+    if (!path || !*path)
+        return;
+    std::size_t cap = defaultCapacity;
+    if (const char *c = std::getenv("DPU_TRACE_CAP")) {
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(c, &end, 10);
+        if (end != c && v > 0)
+            cap = std::size_t(v);
+    }
+    outPath = path;
+    arm(cap);
+    std::atexit([] { tracer().flushToFileIfArmed(); });
+}
+
+void
+Tracer::flushToFileIfArmed()
+{
+    if (!isArmed || outPath.empty())
+        return;
+    std::ofstream os(outPath, std::ios::trunc);
+    if (!os) {
+        warn("DPU_TRACE: cannot open '%s'", outPath.c_str());
+        return;
+    }
+    exportJson(os);
+    inform("trace: wrote %zu events to %s (%llu dropped)", size(),
+           outPath.c_str(), (unsigned long long)dropped());
+}
+
+} // namespace dpu::sim

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Low-overhead simulation event tracer.
+ *
+ * Components record spans (descriptor lifecycles, RPC round trips,
+ * DDR transactions, pipeline stalls) and instants/counters into a
+ * fixed-capacity ring buffer of POD records; export produces Chrome
+ * trace-event JSON that loads directly in Perfetto / chrome://tracing
+ * with one process ("pid") per subsystem and one named thread track
+ * ("tid") per unit (dpCore, DMAD channel, DMAC engine, DDR channel).
+ *
+ * Design rules:
+ *  - Disarmed cost is one inline load+branch per site; nothing is
+ *    allocated until the tracer is armed.
+ *  - Record names and argument keys must be string literals (static
+ *    storage duration) — records store the pointers only.
+ *  - Timestamps are simulation ticks (picoseconds), taken from the
+ *    clock domain of the recording component (a dpCore's lazy clock
+ *    or the global event queue); the exporter sorts records, so
+ *    per-track timestamp order in the JSON is monotone.
+ *  - Spans use Chrome "async" begin/end pairs ('b'/'e') keyed by a
+ *    tracer-issued id, so overlapping operations on one track (e.g.
+ *    4 outstanding DMS descriptors) pair up unambiguously.
+ *
+ * Arming: programmatically via tracer().arm(), or from the
+ * environment — DPU_TRACE=out.json (capacity: DPU_TRACE_CAP records)
+ * arms at the first Soc construction and writes the file at exit.
+ *
+ * Compile-out: build with -DDPU_TRACING=0 to turn every macro into a
+ * no-op that still odr-uses its arguments (no unused warnings).
+ */
+
+#ifndef DPU_SIM_TRACE_HH
+#define DPU_SIM_TRACE_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+#ifndef DPU_TRACING
+#define DPU_TRACING 1
+#endif
+
+namespace dpu::sim {
+
+/** Trace "process": one per subsystem, a top-level Perfetto group. */
+enum class TraceCat : std::uint8_t
+{
+    Core = 1, ///< dpCore pipelines (stalls, multiplier, ISRs)
+    Dms = 2,  ///< DMAD channels + DMAC engines
+    Ate = 3,  ///< RPC fabric
+    Ddr = 4,  ///< the DDR channel
+    Soc = 5,  ///< chip-level tools (coherence checker, host)
+};
+
+/**
+ * Well-known track ("tid") numbering within TraceCat::Dms.
+ * Per-core DMAD tracks use tid = global core id (< 0x100); DMAC
+ * engine tracks are offset by a per-kind base so no two complexes
+ * collide.
+ */
+namespace dmstrack {
+constexpr std::uint32_t loadEngine = 0x100;  ///< + global DMAX index
+constexpr std::uint32_t storeEngine = 0x200; ///< + global DMAX index
+constexpr std::uint32_t hashEngine = 0x300;  ///< + complex base core
+constexpr std::uint32_t partPipe = 0x400;    ///< + complex base core
+} // namespace dmstrack
+
+/** One trace record; all pointers must be string literals. */
+struct TraceRecord
+{
+    Tick ts = 0;
+    Tick dur = 0;              ///< 'X' records only
+    std::uint64_t a0 = 0, a1 = 0;
+    const char *name = nullptr;
+    const char *k0 = nullptr;  ///< arg key (nullptr = absent)
+    const char *k1 = nullptr;
+    std::uint32_t id = 0;      ///< async span pairing id
+    std::uint32_t tid = 0;
+    char ph = 'i';             ///< 'b','e','X','i','C'
+    std::uint8_t pid = 0;      ///< TraceCat
+};
+
+/** The global ring-buffered tracer (the simulator is one thread). */
+class Tracer
+{
+  public:
+    /** Default ring capacity (records). ~72 B each. */
+    static constexpr std::size_t defaultCapacity = 1u << 20;
+
+    bool armed() const { return isArmed; }
+
+    /** Enable recording into a fresh ring of @p capacity records. */
+    void arm(std::size_t capacity = defaultCapacity);
+
+    /** Stop recording (the ring's contents stay exportable). */
+    void disarm() { isArmed = false; }
+
+    /** Drop every record (and any pending drop count). */
+    void clear();
+
+    /** Records currently held (<= capacity). */
+    std::size_t size() const;
+
+    /** Records overwritten because the ring was full. */
+    std::uint64_t dropped() const;
+
+    /** Fresh id for pairing an async begin with its end. */
+    std::uint32_t nextId() { return ++idGen; }
+
+    /** Append one record (call sites go through the macros). */
+    void
+    record(char ph, TraceCat cat, std::uint32_t tid, const char *name,
+           Tick ts, Tick dur = 0, std::uint32_t id = 0,
+           const char *k0 = nullptr, std::uint64_t a0 = 0,
+           const char *k1 = nullptr, std::uint64_t a1 = 0)
+    {
+        if (!isArmed)
+            return;
+        TraceRecord &r = ring[total % ring.size()];
+        ++total;
+        r.ts = ts;
+        r.dur = dur;
+        r.a0 = a0;
+        r.a1 = a1;
+        r.name = name;
+        r.k0 = k0;
+        r.k1 = k1;
+        r.id = id;
+        r.tid = tid;
+        r.ph = ph;
+        r.pid = std::uint8_t(cat);
+    }
+
+    /**
+     * Give track (cat, tid) a display name ("core3", "dmax1.load").
+     * Cheap and callable while disarmed (the SoC registers names at
+     * construction so late arming still exports labelled tracks).
+     */
+    void nameTrack(TraceCat cat, std::uint32_t tid, std::string name);
+
+    /**
+     * Write the ring as Chrome trace-event JSON ("traceEvents"
+     * array; ts/dur in microseconds), sorted by timestamp, with
+     * process_name / thread_name metadata for every named track.
+     */
+    void exportJson(std::ostream &os) const;
+
+    /**
+     * Arm from the environment exactly once per process: DPU_TRACE
+     * names the output file, DPU_TRACE_CAP overrides the capacity.
+     * Registers an atexit hook that writes the file.
+     */
+    void armFromEnvOnce();
+
+    /** Write the JSON to the DPU_TRACE path now (no-op otherwise). */
+    void flushToFileIfArmed();
+
+  private:
+    bool isArmed = false;
+    std::vector<TraceRecord> ring;
+    std::uint64_t total = 0;   ///< records ever written
+    std::uint32_t idGen = 0;
+    std::string outPath;
+    bool envChecked = false;
+    std::map<std::pair<std::uint8_t, std::uint32_t>, std::string>
+        trackNames;
+};
+
+/** The process-wide tracer instance. */
+inline Tracer &
+tracer()
+{
+    static Tracer t;
+    return t;
+}
+
+/** Swallows trace arguments when tracing is compiled out. */
+template <typename... A>
+inline void
+traceSink(const A &...)
+{
+}
+
+} // namespace dpu::sim
+
+#if DPU_TRACING
+
+/** True when tracing is compiled in AND armed (hot-path guard). */
+#define DPU_TRACE_ARMED (::dpu::sim::tracer().armed())
+
+/** Id for a new span; 0 when tracing is compiled out. */
+#define DPU_TRACE_NEXT_ID() (::dpu::sim::tracer().nextId())
+
+#define DPU_TRACE_SPAN_BEGIN(cat, tid, name, id, ts, k0, v0, k1, v1) \
+    ::dpu::sim::tracer().record('b', (cat), (tid), (name), (ts), 0,  \
+                                (id), (k0), (v0), (k1), (v1))
+
+#define DPU_TRACE_SPAN_END(cat, tid, name, id, ts)                   \
+    ::dpu::sim::tracer().record('e', (cat), (tid), (name), (ts), 0,  \
+                                (id))
+
+#define DPU_TRACE_COMPLETE(cat, tid, name, ts, dur, k0, v0, k1, v1)  \
+    ::dpu::sim::tracer().record('X', (cat), (tid), (name), (ts),     \
+                                (dur), 0, (k0), (v0), (k1), (v1))
+
+#define DPU_TRACE_INSTANT(cat, tid, name, ts, k0, v0)                \
+    ::dpu::sim::tracer().record('i', (cat), (tid), (name), (ts), 0,  \
+                                0, (k0), (v0))
+
+#define DPU_TRACE_COUNTER(cat, tid, name, ts, k0, v0, k1, v1)        \
+    ::dpu::sim::tracer().record('C', (cat), (tid), (name), (ts), 0,  \
+                                0, (k0), (v0), (k1), (v1))
+
+#else // !DPU_TRACING
+
+#define DPU_TRACE_ARMED (false)
+#define DPU_TRACE_NEXT_ID() (0u)
+#define DPU_TRACE_SPAN_BEGIN(...) ::dpu::sim::traceSink(__VA_ARGS__)
+#define DPU_TRACE_SPAN_END(...) ::dpu::sim::traceSink(__VA_ARGS__)
+#define DPU_TRACE_COMPLETE(...) ::dpu::sim::traceSink(__VA_ARGS__)
+#define DPU_TRACE_INSTANT(...) ::dpu::sim::traceSink(__VA_ARGS__)
+#define DPU_TRACE_COUNTER(...) ::dpu::sim::traceSink(__VA_ARGS__)
+
+#endif // DPU_TRACING
+
+#endif // DPU_SIM_TRACE_HH

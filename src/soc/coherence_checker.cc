@@ -1,5 +1,6 @@
 #include "soc/coherence_checker.hh"
 
+#include "sim/trace.hh"
 #include "soc/soc.hh"
 
 namespace dpu::soc {
@@ -11,12 +12,45 @@ CoherenceChecker::CoherenceChecker(Soc &soc) : chip(soc)
             [this](unsigned core, mem::Addr addr, std::uint32_t len,
                    bool write) { check(core, addr, len, write); });
     }
+    chip.memory().setDmsWriteHook(
+        [this](mem::Addr addr, std::uint32_t len) {
+            onDmsWrite(addr, len);
+        });
 }
 
 CoherenceChecker::~CoherenceChecker()
 {
     for (unsigned i = 0; i < chip.nCores(); ++i)
         chip.core(i).setMemTrace(nullptr);
+    chip.memory().setDmsWriteHook(nullptr);
+}
+
+void
+CoherenceChecker::recordViolation(const CoherenceViolation &v)
+{
+    DPU_TRACE_INSTANT(sim::TraceCat::Soc, v.accessor,
+                      v.viaDms ? "staleDmsRead"
+                               : (v.accessWasWrite ? "writeWrite"
+                                                   : "staleRead"),
+                      v.when, "line", std::uint64_t(v.line));
+    log.push_back(v);
+}
+
+void
+CoherenceChecker::onDmsWrite(mem::Addr addr, std::uint32_t len)
+{
+    // A cache-bypassing write stales every cached copy: remember
+    // which cores hold the overwritten lines so a later cached read
+    // (without an intervening invalidate) can be flagged.
+    mem::Addr first = mem::lineAlign(addr);
+    mem::Addr last = mem::lineAlign(addr + (len ? len - 1 : 0));
+    for (mem::Addr line = first; line <= last;
+         line += mem::lineBytes) {
+        for (unsigned c = 0; c < chip.nCores(); ++c) {
+            if (chip.core(c).l1d().contains(line))
+                dmsStale.insert({c, line});
+        }
+    }
 }
 
 void
@@ -31,9 +65,21 @@ CoherenceChecker::check(unsigned core, mem::Addr addr,
             if (other == core)
                 continue;
             if (chip.core(other).l1d().isDirty(line)) {
-                log.push_back({line, core, other, write,
-                               chip.now()});
+                recordViolation({line, core, other, write,
+                                 chip.now()});
             }
+        }
+
+        auto it = dmsStale.find({core, line});
+        if (it != dmsStale.end()) {
+            // One-shot: either the hazard fires now (the stale copy
+            // is still resident, so this access hits old bytes) or
+            // the line was dropped/invalidated and refetched fresh.
+            if (!write && chip.core(core).l1d().contains(line)) {
+                recordViolation({line, core, core, write, chip.now(),
+                                 true});
+            }
+            dmsStale.erase(it);
         }
     }
 }

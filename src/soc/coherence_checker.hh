@@ -15,15 +15,24 @@
  *    L1 — A cannot see B's bytes;
  *  - write-write: core A dirties a line that is already dirty in
  *    core B's L1 — one of the writebacks will be lost.
+ *  - stale-DMS-read: the DMS (which bypasses the caches) writes a
+ *    DDR line while core A holds a cached copy, and A later reads
+ *    the line from its cache without invalidating first — A sees
+ *    pre-DMS data.
  *
  * ATE remote operations are exempt by construction (they execute in
  * the owner's pipeline), which is why the paper's "pin the structure
  * to one owner core" idiom passes clean.
+ *
+ * When the tracer is armed, every recorded hazard also emits an
+ * instant event on the SoC trace process (track = accessor core).
  */
 
 #ifndef DPU_SOC_COHERENCE_CHECKER_HH
 #define DPU_SOC_COHERENCE_CHECKER_HH
 
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "mem/addr.hh"
@@ -38,9 +47,12 @@ struct CoherenceViolation
 {
     mem::Addr line;       ///< 64 B line address
     unsigned accessor;    ///< core performing the access
-    unsigned dirtyOwner;  ///< core holding the line dirty
+    /** Core holding the line dirty (== accessor for DMS hazards). */
+    unsigned dirtyOwner;
     bool accessWasWrite;
     sim::Tick when;
+    /** True for a stale read of a line the DMS overwrote. */
+    bool viaDms = false;
 };
 
 /** Opt-in cross-core coherence monitor. */
@@ -74,14 +86,27 @@ class CoherenceChecker
         return log.size() - staleReads();
     }
 
+    std::size_t
+    staleDmsReads() const
+    {
+        std::size_t n = 0;
+        for (const auto &v : log)
+            n += v.viaDms;
+        return n;
+    }
+
     void clear() { log.clear(); }
 
   private:
     void check(unsigned core, mem::Addr addr, std::uint32_t len,
                bool write);
+    void onDmsWrite(mem::Addr addr, std::uint32_t len);
+    void recordViolation(const CoherenceViolation &v);
 
     Soc &chip;
     std::vector<CoherenceViolation> log;
+    /** (core, line) pairs staled by a DMS write, pending a read. */
+    std::set<std::pair<unsigned, mem::Addr>> dmsStale;
 };
 
 } // namespace dpu::soc

@@ -1,6 +1,7 @@
 #include "soc/soc.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace dpu::soc {
 
@@ -48,6 +49,44 @@ Soc::Soc(const SocParams &params)
     }
 
     mbcUnit = std::make_unique<mbc::Mbc>(eq, corePtrs);
+
+    // Tracing: honour DPU_TRACE=<file> on the first chip built, and
+    // label every track this chip can emit on (cheap while
+    // disarmed, so late programmatic arming still gets names).
+    sim::Tracer &tr = sim::tracer();
+    tr.armFromEnvOnce();
+    for (unsigned i = 0; i < n; ++i) {
+        const std::string cname = "core" + std::to_string(i);
+        tr.nameTrack(sim::TraceCat::Core, i, cname);
+        tr.nameTrack(sim::TraceCat::Ate, i, cname);
+        tr.nameTrack(sim::TraceCat::Soc, i, cname);
+        tr.nameTrack(sim::TraceCat::Dms, i,
+                     "dmad" + std::to_string(i));
+    }
+    tr.nameTrack(sim::TraceCat::Ddr, 0, p.ddr.name);
+    for (unsigned cx = 0; cx < p.nComplexes; ++cx) {
+        const unsigned base = cx * p.coresPerComplex;
+        const std::string prefix = "cx" + std::to_string(cx) + ".";
+        const unsigned dmax0 = base / core::coresPerMacro;
+        const unsigned n_dmax = p.coresPerComplex /
+                                core::coresPerMacro;
+        for (unsigned m = 0; m < n_dmax; ++m) {
+            const std::string dmax =
+                prefix + "dmax" + std::to_string(m);
+            tr.nameTrack(sim::TraceCat::Dms,
+                         sim::dmstrack::loadEngine + dmax0 + m,
+                         dmax + ".load");
+            tr.nameTrack(sim::TraceCat::Dms,
+                         sim::dmstrack::storeEngine + dmax0 + m,
+                         dmax + ".store");
+        }
+        tr.nameTrack(sim::TraceCat::Dms,
+                     sim::dmstrack::hashEngine + base,
+                     prefix + "hash");
+        tr.nameTrack(sim::TraceCat::Dms,
+                     sim::dmstrack::partPipe + base,
+                     prefix + "part");
+    }
 }
 
 void

@@ -11,11 +11,16 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <sstream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "rt/dms_ctl.hh"
 #include "rt/partition.hh"
+#include "sim/json.hh"
 #include "sim/rng.hh"
+#include "sim/trace.hh"
 #include "soc/soc.hh"
 #include "util/crc32.hh"
 
@@ -195,6 +200,101 @@ TEST_P(DmsFuzz, RandomPartitionShapesDeliverEveryRowOnce)
     EXPECT_EQ(wrong_core, 0u);
     for (std::uint32_t r = 0; r < n_rows; ++r)
         ASSERT_EQ(delivered[r], 1) << "row " << r;
+}
+
+/**
+ * Property: with tracing armed, any random descriptor chain produces
+ * a well-formed trace — the JSON parses, every async begin has a
+ * matching end (keyed by cat+id, begin first), and timestamps are
+ * monotone within each (pid, tid) track.
+ */
+TEST_P(DmsFuzz, RandomChainsEmitWellFormedTraceJson)
+{
+    if (!DPU_TRACING)
+        GTEST_SKIP() << "built with -DDPU_TRACING=0";
+    sim::Tracer &tr = sim::tracer();
+    tr.arm(1u << 18);
+
+    sim::Rng rng{std::uint64_t(GetParam()) * 977 + 11};
+    soc::Soc s(smallParams());
+    for (std::uint32_t i = 0; i < 4096; ++i)
+        s.memory().store().store<std::uint32_t>(
+            i * 4, std::uint32_t(rng.next()));
+
+    // A few cores run random-length chains of read/modify/write
+    // descriptor pairs so DMAD, load/store engines and event tracks
+    // all emit overlapping spans.
+    for (unsigned id = 0; id < 4; ++id) {
+        unsigned n_ops = 2 + unsigned(rng.below(6));
+        std::vector<std::uint32_t> words;
+        for (unsigned k = 0; k < n_ops; ++k)
+            words.push_back(16 + std::uint32_t(rng.below(800)));
+        s.start(id, [&s, id, words](core::DpCore &c) {
+            DmsCtl ctl(c, s.dms());
+            for (std::uint32_t w : words) {
+                ctl.resetArena();
+                auto rd = ctl.setupDdrToDmem(w, 4, 0, 0, 0, false);
+                ctl.push(rd, 0);
+                ctl.wfe(0);
+                c.dualIssue(w, w);
+                ctl.clearEvent(0);
+                auto wr = ctl.setupDmemToDdr(w, 4, 0, 0x8000, 1,
+                                             false);
+                ctl.push(wr, 1);
+                ctl.wfe(1);
+                ctl.clearEvent(1);
+            }
+        });
+    }
+    s.run();
+    ASSERT_TRUE(s.allFinished());
+    EXPECT_EQ(tr.dropped(), 0u);
+    EXPECT_GT(tr.size(), 0u);
+
+    std::ostringstream os;
+    tr.exportJson(os);
+    tr.disarm();
+    tr.clear();
+
+    sim::json::Value doc;
+    std::string err;
+    ASSERT_TRUE(sim::json::parse(os.str(), doc, err)) << err;
+    const sim::json::Value *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->kind, sim::json::Value::Kind::Array);
+
+    std::map<std::pair<std::string, std::uint64_t>, int> open;
+    std::map<std::pair<std::uint64_t, std::uint64_t>, double> last;
+    std::uint64_t spans = 0;
+    for (const auto &e : events->arr) {
+        const sim::json::Value *ph = e.find("ph");
+        ASSERT_NE(ph, nullptr);
+        if (ph->s == "M")
+            continue;
+        const double ts = e.find("ts")->asDouble();
+        auto track = std::make_pair(e.find("pid")->asU64(),
+                                    e.find("tid")->asU64());
+        auto it = last.find(track);
+        if (it != last.end()) {
+            ASSERT_GE(ts, it->second);
+        }
+        last[track] = ts;
+        if (ph->s == "b" || ph->s == "e") {
+            auto key = std::make_pair(e.find("cat")->s,
+                                      e.find("id")->asU64());
+            if (ph->s == "b") {
+                ++open[key];
+                ++spans;
+            } else {
+                ASSERT_GT(open[key], 0) << "orphan 'e' id "
+                                        << key.second;
+                --open[key];
+            }
+        }
+    }
+    EXPECT_GT(spans, 0u);
+    for (const auto &[key, count] : open)
+        EXPECT_EQ(count, 0) << "unclosed span id " << key.second;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DmsFuzz, ::testing::Range(0, 6));

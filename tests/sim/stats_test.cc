@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for StatGroup accessors, dump()/reset() ordering, the
+ * StatsRegistry snapshot, and snapshot JSON round-tripping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+#include "sim/stats_registry.hh"
+
+using namespace dpu::sim;
+
+TEST(StatGroup, CounterAndScalarAccessors)
+{
+    StatGroup g("g");
+    g.counter("hits") = 7;
+    g.counter("hits") += 3;
+    g.scalar("ratio") = 0.25;
+
+    EXPECT_EQ(g.get("hits"), 10u);
+    EXPECT_EQ(g.get("absent"), 0u);
+    EXPECT_DOUBLE_EQ(g.getScalar("ratio"), 0.25);
+    EXPECT_DOUBLE_EQ(g.getScalar("absent"), 0.0);
+}
+
+TEST(StatGroup, DumpIsNameOrderedCountersThenScalars)
+{
+    StatGroup g("grp");
+    g.counter("zeta") = 1;
+    g.counter("alpha") = 2;
+    g.scalar("mid") = 1.5;
+
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_EQ(os.str(),
+              "grp.alpha = 2\n"
+              "grp.zeta = 1\n"
+              "grp.mid = 1.5\n");
+
+    // A second dump after reset keeps the cells (zeroed), in the
+    // same order — reset must not unregister anything.
+    g.reset();
+    std::ostringstream os2;
+    g.dump(os2);
+    EXPECT_EQ(os2.str(),
+              "grp.alpha = 0\n"
+              "grp.zeta = 0\n"
+              "grp.mid = 0\n");
+}
+
+TEST(StatsRegistry, SnapshotCoversLiveGroupsOnly)
+{
+    const std::size_t before =
+        StatsRegistry::instance().groupCount();
+    StatsSnapshot outer;
+    {
+        StatGroup g("reg_test");
+        g.counter("x") = 42;
+        EXPECT_EQ(StatsRegistry::instance().groupCount(), before + 1);
+        outer = StatsRegistry::instance().snapshot();
+    }
+    EXPECT_EQ(StatsRegistry::instance().groupCount(), before);
+    EXPECT_EQ(outer.counters.at("reg_test.x"), 42u);
+    // After destruction the group must vanish from new snapshots.
+    StatsSnapshot after = StatsRegistry::instance().snapshot();
+    EXPECT_EQ(after.counters.count("reg_test.x"), 0u);
+}
+
+TEST(StatsRegistry, DuplicateGroupNamesAreDisambiguated)
+{
+    StatGroup a("dup");
+    StatGroup b("dup");
+    a.counter("n") = 1;
+    b.counter("n") = 2;
+    StatsSnapshot snap = StatsRegistry::instance().snapshot();
+    EXPECT_EQ(snap.counters.at("dup.n"), 1u);
+    EXPECT_EQ(snap.counters.at("dup#1.n"), 2u);
+}
+
+TEST(StatsSnapshot, JsonRoundTrip)
+{
+    StatsSnapshot snap;
+    snap.counters["a.big"] = 0xffffffffffffull; // > 2^32, exercises exactness
+    snap.counters["a.zero"] = 0;
+    snap.scalars["b.pi"] = 3.141592653589793;
+    snap.scalars["b.neg"] = -0.5;
+    snap.scalars["b.whole"] = 3.0;
+
+    std::ostringstream os;
+    snap.writeJson(os);
+
+    StatsSnapshot back;
+    std::string err;
+    ASSERT_TRUE(StatsSnapshot::readJson(os.str(), back, err)) << err;
+    EXPECT_TRUE(snap == back);
+}
+
+TEST(StatsSnapshot, ReadRejectsMalformedInput)
+{
+    StatsSnapshot out;
+    std::string err;
+    EXPECT_FALSE(StatsSnapshot::readJson("{", out, err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(StatsSnapshot::readJson("[]", out, err));
+    EXPECT_FALSE(StatsSnapshot::readJson(
+        "{\"counters\": {\"k\": -1}, \"scalars\": {}}", out, err));
+    EXPECT_FALSE(StatsSnapshot::readJson(
+        "{\"counters\": {\"k\": \"str\"}}", out, err));
+}
+
+TEST(StatsSnapshot, DiffFindsDriftMissingAndExtra)
+{
+    StatsSnapshot golden, actual;
+    golden.counters["g.same"] = 5;
+    golden.counters["g.drift"] = 100;
+    golden.counters["g.gone"] = 1;
+    golden.scalars["g.close"] = 1.0;
+    actual.counters["g.same"] = 5;
+    actual.counters["g.drift"] = 101;
+    actual.counters["g.new"] = 9;
+    actual.scalars["g.close"] = 1.0 + 1e-12; // inside 1e-9 rel tol
+
+    auto diffs = diffSnapshots(golden, actual);
+    ASSERT_EQ(diffs.size(), 3u);
+    // Map order: drift < gone < new.
+    EXPECT_EQ(diffs[0].key, "g.drift");
+    EXPECT_EQ(diffs[0].kind, "drift");
+    EXPECT_EQ(diffs[1].key, "g.gone");
+    EXPECT_EQ(diffs[1].kind, "missing");
+    EXPECT_EQ(diffs[2].key, "g.new");
+    EXPECT_EQ(diffs[2].kind, "extra");
+
+    EXPECT_FALSE(formatDiffs(diffs).empty());
+}
+
+TEST(StatsSnapshot, DiffHonoursPrefixTolerances)
+{
+    StatsSnapshot golden, actual;
+    golden.counters["noisy.t"] = 1000;
+    actual.counters["noisy.t"] = 1004;
+
+    EXPECT_EQ(diffSnapshots(golden, actual).size(), 1u);
+
+    DiffOptions opts;
+    opts.prefixRel.emplace_back("noisy.", 0.01);
+    EXPECT_TRUE(diffSnapshots(golden, actual, opts).empty());
+}

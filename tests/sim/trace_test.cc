@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for the event tracer: ring/drop accounting, arming,
+ * and well-formedness of the exported Chrome trace-event JSON
+ * (parsed back with the in-tree JSON reader).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "sim/json.hh"
+#include "sim/trace.hh"
+
+using namespace dpu::sim;
+
+namespace {
+
+/** Fixture that leaves the process-wide tracer clean afterwards. */
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        if (!DPU_TRACING)
+            GTEST_SKIP() << "built with -DDPU_TRACING=0";
+    }
+
+    void
+    TearDown() override
+    {
+        tracer().disarm();
+        tracer().clear();
+    }
+
+    /** Export, parse, and return the traceEvents array. */
+    const json::Value &
+    exportEvents()
+    {
+        static const json::Value empty;
+        std::ostringstream os;
+        tracer().exportJson(os);
+        std::string err;
+        if (!json::parse(os.str(), doc, err)) {
+            ADD_FAILURE() << "trace JSON does not parse: " << err;
+            return empty;
+        }
+        const json::Value *ev = doc.find("traceEvents");
+        if (!ev || ev->kind != json::Value::Kind::Array) {
+            ADD_FAILURE() << "missing traceEvents array";
+            return empty;
+        }
+        return *ev;
+    }
+
+    json::Value doc;
+};
+
+std::string
+str(const json::Value &obj, const char *key)
+{
+    const json::Value *v = obj.find(key);
+    return v && v->kind == json::Value::Kind::String ? v->s
+                                                     : std::string();
+}
+
+} // namespace
+
+TEST_F(TraceTest, DisarmedRecordIsANoOp)
+{
+    ASSERT_FALSE(tracer().armed());
+    DPU_TRACE_INSTANT(TraceCat::Core, 0, "ignored", 10, nullptr, 0);
+    EXPECT_EQ(tracer().size(), 0u);
+}
+
+TEST_F(TraceTest, RingOverwritesOldestAndCountsDrops)
+{
+    tracer().arm(4);
+    for (int i = 0; i < 6; ++i)
+        DPU_TRACE_INSTANT(TraceCat::Core, 0, "tick", Tick(i), "n",
+                          std::uint64_t(i));
+    EXPECT_EQ(tracer().size(), 4u);
+    EXPECT_EQ(tracer().dropped(), 2u);
+
+    // Export must contain only the newest four records (ts 2..5).
+    const json::Value &events = exportEvents();
+    std::vector<double> ts;
+    for (const auto &e : events.arr)
+        if (str(e, "ph") == "i")
+            ts.push_back(e.find("ts")->asDouble() * 1e6); // us -> ps
+    ASSERT_EQ(ts.size(), 4u);
+    EXPECT_DOUBLE_EQ(ts.front(), 2.0);
+    EXPECT_DOUBLE_EQ(ts.back(), 5.0);
+
+    tracer().clear();
+    EXPECT_EQ(tracer().size(), 0u);
+    EXPECT_EQ(tracer().dropped(), 0u);
+}
+
+TEST_F(TraceTest, DisarmStopsRecordingButKeepsRing)
+{
+    tracer().arm(16);
+    DPU_TRACE_INSTANT(TraceCat::Core, 0, "kept", 1, nullptr, 0);
+    tracer().disarm();
+    DPU_TRACE_INSTANT(TraceCat::Core, 0, "lost", 2, nullptr, 0);
+    EXPECT_EQ(tracer().size(), 1u);
+}
+
+TEST_F(TraceTest, SpanIdsAreUniqueAndNonZero)
+{
+    std::uint32_t a = tracer().nextId();
+    std::uint32_t b = tracer().nextId();
+    EXPECT_NE(a, 0u);
+    EXPECT_NE(b, 0u);
+    EXPECT_NE(a, b);
+}
+
+TEST_F(TraceTest, ExportedJsonIsWellFormed)
+{
+    tracer().arm(256);
+    tracer().nameTrack(TraceCat::Dms, 7, "dmad7");
+
+    // Two overlapping async spans on one track, an 'X', an instant
+    // and a counter — deliberately recorded out of timestamp order
+    // to exercise the exporter's sort.
+    std::uint32_t s1 = tracer().nextId();
+    std::uint32_t s2 = tracer().nextId();
+    DPU_TRACE_SPAN_BEGIN(TraceCat::Dms, 7, "DdrToDmem", s1, 100,
+                         "bytes", 1024, nullptr, 0);
+    DPU_TRACE_SPAN_BEGIN(TraceCat::Dms, 7, "DdrToDmem", s2, 150,
+                         "bytes", 1024, nullptr, 0);
+    DPU_TRACE_SPAN_END(TraceCat::Dms, 7, "DdrToDmem", s1, 300);
+    DPU_TRACE_COMPLETE(TraceCat::Ddr, 0, "read", 50, 25, "bytes", 64,
+                       nullptr, 0);
+    DPU_TRACE_SPAN_END(TraceCat::Dms, 7, "DdrToDmem", s2, 400);
+    DPU_TRACE_INSTANT(TraceCat::Core, 3, "evSet", 120, "event", 5);
+    DPU_TRACE_COUNTER(TraceCat::Ddr, 0, "rowBuffer", 200, "hits", 9,
+                      "misses", 1);
+
+    const json::Value &events = exportEvents();
+
+    // (a) every async begin pairs with exactly one end (cat+id key),
+    // and the end never precedes its begin.
+    std::map<std::pair<std::string, std::uint64_t>, int> open;
+    // (b) timestamps per (pid, tid) track are monotone.
+    std::map<std::pair<std::uint64_t, std::uint64_t>, double> lastTs;
+    bool sawThreadName = false;
+
+    for (const auto &e : events.arr) {
+        const std::string ph = str(e, "ph");
+        ASSERT_FALSE(ph.empty());
+        if (ph == "M") {
+            if (str(e, "name") == "thread_name" &&
+                e.find("tid")->asU64() == 7) {
+                const json::Value *args = e.find("args");
+                ASSERT_NE(args, nullptr);
+                EXPECT_EQ(str(*args, "name"), "dmad7");
+                sawThreadName = true;
+            }
+            continue;
+        }
+        ASSERT_NE(e.find("ts"), nullptr);
+        const double ts = e.find("ts")->asDouble();
+        auto track = std::make_pair(e.find("pid")->asU64(),
+                                    e.find("tid")->asU64());
+        auto it = lastTs.find(track);
+        if (it != lastTs.end()) {
+            EXPECT_GE(ts, it->second);
+        }
+        lastTs[track] = ts;
+
+        if (ph == "b" || ph == "e") {
+            auto key = std::make_pair(str(e, "cat"),
+                                      e.find("id")->asU64());
+            if (ph == "b") {
+                ++open[key];
+            } else {
+                ASSERT_GT(open[key], 0)
+                    << "'e' before matching 'b' for id " << key.second;
+                --open[key];
+            }
+        } else if (ph == "X") {
+            ASSERT_NE(e.find("dur"), nullptr);
+        } else if (ph == "i") {
+            EXPECT_EQ(str(e, "s"), "t");
+        }
+    }
+    for (const auto &[key, count] : open)
+        EXPECT_EQ(count, 0) << "unclosed span id " << key.second;
+    EXPECT_TRUE(sawThreadName);
+}

@@ -8,7 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
+#include "rt/dms_ctl.hh"
 #include "rt/serialized.hh"
+#include "sim/trace.hh"
 #include "soc/coherence_checker.hh"
 #include "soc/soc.hh"
 
@@ -115,6 +119,93 @@ TEST(CoherenceChecker, OwnerPinnedAteAccessIsExempt)
     });
     s.run();
     ASSERT_TRUE(s.allFinished());
+    EXPECT_EQ(checker.violations().size(), 0u);
+}
+
+TEST(CoherenceChecker, FlagsStaleDmsReadAndTracesIt)
+{
+    // The DMS bypasses the caches: a remote DMEM->DDR descriptor
+    // overwrites a line core 1 still holds in L1, and core 1 then
+    // re-reads it without invalidating. The checker must flag the
+    // hazard AND emit a trace instant for it.
+    sim::tracer().arm(1u << 14);
+
+    soc::Soc s(smallParams());
+    soc::CoherenceChecker checker(s);
+
+    const mem::Addr shared = 0x6000; // line-aligned DDR address
+    s.memory().store().store<std::uint32_t>(shared, 1);
+
+    bool dms_done = false;
+    s.start(1, [&](core::DpCore &c) {
+        EXPECT_EQ(c.load<std::uint32_t>(shared), 1u); // caches line
+        c.blockUntil([&] { return dms_done; });
+        // Stale: DDR now holds 2, but the cached copy still reads 1.
+        EXPECT_EQ(c.load<std::uint32_t>(shared), 1u);
+    });
+    s.start(0, [&](core::DpCore &c) {
+        rt::DmsCtl ctl(c, s.dms());
+        c.dmem().store<std::uint32_t>(0, 2);
+        auto wr = ctl.setupDmemToDdr(1, 4, 0, shared, 0, false);
+        ctl.push(wr);
+        ctl.wfe(0);
+        ctl.clearEvent(0);
+        dms_done = true;
+        s.core(1).wake(c.now());
+    });
+    s.run();
+    ASSERT_TRUE(s.allFinished());
+    EXPECT_EQ(s.memory().store().load<std::uint32_t>(shared), 2u);
+
+    ASSERT_EQ(checker.staleDmsReads(), 1u);
+    const auto &v = checker.violations().back();
+    EXPECT_TRUE(v.viaDms);
+    EXPECT_EQ(v.line, shared);
+    EXPECT_EQ(v.accessor, 1u);
+    EXPECT_FALSE(v.accessWasWrite);
+
+    std::ostringstream os;
+    sim::tracer().exportJson(os);
+    sim::tracer().disarm();
+    sim::tracer().clear();
+    if (DPU_TRACING) {
+        EXPECT_NE(os.str().find("\"name\":\"staleDmsRead\""),
+                  std::string::npos)
+            << "hazard did not show up in the trace";
+    }
+}
+
+TEST(CoherenceChecker, InvalidateAfterDmsWriteRunsClean)
+{
+    // The sanctioned pattern: invalidate before re-reading a line
+    // the DMS rewrote. The refetch observes fresh data and must not
+    // be flagged.
+    soc::Soc s(smallParams());
+    soc::CoherenceChecker checker(s);
+
+    const mem::Addr shared = 0x7000;
+    s.memory().store().store<std::uint32_t>(shared, 1);
+
+    bool dms_done = false;
+    s.start(1, [&](core::DpCore &c) {
+        EXPECT_EQ(c.load<std::uint32_t>(shared), 1u);
+        c.blockUntil([&] { return dms_done; });
+        c.cacheInvalidate(shared, 4);
+        EXPECT_EQ(c.load<std::uint32_t>(shared), 2u);
+    });
+    s.start(0, [&](core::DpCore &c) {
+        rt::DmsCtl ctl(c, s.dms());
+        c.dmem().store<std::uint32_t>(0, 2);
+        auto wr = ctl.setupDmemToDdr(1, 4, 0, shared, 0, false);
+        ctl.push(wr);
+        ctl.wfe(0);
+        ctl.clearEvent(0);
+        dms_done = true;
+        s.core(1).wake(c.now());
+    });
+    s.run();
+    ASSERT_TRUE(s.allFinished());
+    EXPECT_EQ(checker.staleDmsReads(), 0u);
     EXPECT_EQ(checker.violations().size(), 0u);
 }
 

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Determinism: the simulator must be a pure function of its inputs.
+ * Two runs of the same scenario in one process must produce
+ * byte-identical stat dumps, identical final tick counts, and
+ * identical stat snapshots.
+ *
+ * The properties this relies on (and that this test guards):
+ *  - the event queue breaks same-tick ties by insertion sequence
+ *    number, never by heap order or pointer value;
+ *  - no simulator state lives in unordered containers whose
+ *    iteration order could vary between runs (StatGroup uses
+ *    std::map; the DMAC partition queue is a deque);
+ *  - kernels take no input from wall-clock time or ASLR'd addresses.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "scenarios.hh"
+
+using namespace dpu;
+
+namespace {
+
+/** Run a full-SoC workload twice; all observables must match. */
+template <typename Scenario>
+void
+expectRepeatable(Scenario &&run)
+{
+    sim::StatsSnapshot first = run();
+    sim::StatsSnapshot second = run();
+    ASSERT_FALSE(first.counters.empty());
+
+    EXPECT_EQ(first.counters.at("sim.finalTick"),
+              second.counters.at("sim.finalTick"));
+    EXPECT_TRUE(first == second)
+        << sim::formatDiffs(sim::diffSnapshots(first, second,
+                                               {0.0, 0.0, {}}));
+}
+
+} // namespace
+
+TEST(Determinism, Listing1RunsAreIdentical)
+{
+    expectRepeatable([] { return test::runListing1Scenario(); });
+}
+
+TEST(Determinism, HashPartitionRunsAreIdentical)
+{
+    expectRepeatable([] { return test::runPartitionScenario(); });
+}
+
+TEST(Determinism, AtePingPongRunsAreIdentical)
+{
+    expectRepeatable([] { return test::runAtePingPongScenario(); });
+}
+
+TEST(Determinism, StatDumpIsByteIdentical)
+{
+    // The human-readable dump must also be stable — it's what gets
+    // pasted into bug reports and compared across machines.
+    auto dump = [] {
+        soc::SocParams p = soc::dpu40nm();
+        p.ddrBytes = 8 << 20;
+        soc::Soc s(p);
+        for (std::uint32_t i = 0; i < 4096; ++i)
+            s.memory().store().store<std::uint32_t>(i * 4, i ^ 0x5a);
+        s.start(0, [&](core::DpCore &c) {
+            rt::DmsCtl ctl(c, s.dms());
+            auto rd = ctl.setupDdrToDmem(1024, 4, 0, 0, 0);
+            ctl.push(rd);
+            ctl.wfe(0);
+            std::uint64_t sum = 0;
+            for (std::uint32_t i = 0; i < 1024; ++i)
+                sum += c.dmem().load<std::uint32_t>(i * 4);
+            c.dualIssue(1024, 1024);
+            ctl.clearEvent(0);
+            c.dmem().store<std::uint64_t>(8192, sum);
+        });
+        s.run();
+        std::ostringstream os;
+        os << s.now() << "\n";
+        s.dumpStats(os);
+        return os.str();
+    };
+    std::string a = dump();
+    std::string b = dump();
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+}

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Canonical whole-SoC scenarios shared by the golden-stats and
+ * determinism tests. Each runner builds a fresh chip, executes one
+ * paper workload end to end, and freezes every live StatGroup into
+ * a snapshot (plus the final simulated tick as the pseudo-counter
+ * "sim.finalTick"). The workloads are pure integer simulation with
+ * fixed seeds, so a given binary must reproduce the snapshots
+ * bit-for-bit — which is exactly what the golden files check.
+ */
+
+#ifndef DPU_TESTS_SOC_SCENARIOS_HH
+#define DPU_TESTS_SOC_SCENARIOS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rt/dms_ctl.hh"
+#include "rt/partition.hh"
+#include "sim/rng.hh"
+#include "sim/stats_registry.hh"
+#include "soc/soc.hh"
+#include "util/crc32.hh"
+
+namespace dpu::test {
+
+/** Freeze all stats of @p s plus the final tick. */
+inline sim::StatsSnapshot
+freezeStats(soc::Soc &s)
+{
+    sim::StatsSnapshot snap = sim::StatsRegistry::instance().snapshot();
+    snap.counters["sim.finalTick"] = s.now();
+    return snap;
+}
+
+/**
+ * Listing 1, scaled to 2 MB: stream DDR through two ping-pong DMEM
+ * buffers with three descriptors, consuming with wfe/clear_event.
+ */
+inline sim::StatsSnapshot
+runListing1Scenario(const dms::DmsParams *dms_override = nullptr)
+{
+    soc::SocParams p = soc::dpu40nm();
+    p.ddrBytes = 8 << 20;
+    if (dms_override)
+        p.dms = *dms_override;
+    soc::Soc s(p);
+
+    const std::uint32_t total = 2 << 20;
+    std::uint64_t expect = 0;
+    for (std::uint32_t i = 0; i < total / 4; ++i) {
+        std::uint32_t v = i * 0x9e3779b9u;
+        s.memory().store().store<std::uint32_t>(i * 4, v);
+        expect += v;
+    }
+
+    std::uint64_t sum = 0;
+    s.start(0, [&](core::DpCore &c) {
+        rt::DmsCtl ctl(c, s.dms());
+        auto d0 = ctl.setupDdrToDmem(256, 4, 0, 0, 0);
+        auto d1 = ctl.setupDdrToDmem(256, 4, 0, 1024, 1);
+        auto loop = ctl.setupLoop(d0, 1023); // 2048 buffers total
+        ctl.push(d0);
+        ctl.push(d1);
+        ctl.push(loop);
+
+        unsigned buf = 0;
+        for (std::uint32_t count = 0; count < 2048; ++count) {
+            ctl.wfe(buf);
+            std::uint32_t base = buf ? 1024u : 0u;
+            for (std::uint32_t i = 0; i < 256; ++i)
+                sum += c.dmem().load<std::uint32_t>(base + i * 4);
+            c.dualIssue(256, 256);
+            ctl.clearEvent(buf);
+            buf = 1 - buf;
+        }
+    });
+    s.run();
+    if (!s.allFinished() || sum != expect)
+        return {}; // empty snapshot == scenario self-check failed
+    return freezeStats(s);
+}
+
+/** 32-way CRC-hash partition of an 8192x2 table, all cores consume. */
+inline sim::StatsSnapshot
+runPartitionScenario()
+{
+    soc::SocParams p = soc::dpu40nm();
+    p.ddrBytes = 32 << 20;
+    soc::Soc s(p);
+
+    sim::Rng rng{12345};
+    const std::uint32_t n_rows = 8192;
+    const unsigned n_cols = 2;
+    const std::uint32_t stride = n_rows * 4;
+    const std::uint16_t buf_bytes = 1024 + 4;
+    for (std::uint32_t r = 0; r < n_rows; ++r) {
+        s.memory().store().store<std::uint32_t>(
+            0x100000 + r * 4, std::uint32_t(rng.next()));
+        s.memory().store().store<std::uint32_t>(
+            0x100000 + stride + r * 4, r);
+    }
+
+    std::vector<int> delivered(n_rows, 0);
+    std::uint64_t wrong_core = 0;
+    for (unsigned id = 0; id < 32; ++id) {
+        s.start(id, [&, id](core::DpCore &c) {
+            rt::DmsCtl ctl(c, s.dms());
+            if (id == 0) {
+                rt::PartitionJob job;
+                job.table = 0x100000;
+                job.nRows = n_rows;
+                job.nCols = n_cols;
+                job.colWidth = 4;
+                job.colStride = stride;
+                job.chunkRows = 128;
+                job.dstBufBytes = buf_bytes;
+                rt::runPartition(ctl, job);
+            }
+            const unsigned tuple = n_cols * 4;
+            rt::consumePartition(
+                ctl, 0, buf_bytes, 2, 16,
+                [&](std::uint32_t off, std::uint32_t rows) {
+                    for (std::uint32_t i = 0; i < rows; ++i) {
+                        std::uint32_t key =
+                            c.dmem().load<std::uint32_t>(off +
+                                                         i * tuple);
+                        if ((util::crc32Key(key) & 31) != id)
+                            ++wrong_core;
+                        std::uint32_t tag =
+                            c.dmem().load<std::uint32_t>(
+                                off + i * tuple + 4);
+                        if (tag < n_rows)
+                            ++delivered[tag];
+                    }
+                    c.dualIssue(rows * n_cols, rows * n_cols);
+                });
+            if (id == 0) {
+                ctl.wfe(30);
+                ctl.clearEvent(30);
+            }
+        });
+    }
+    s.run();
+    if (!s.allFinished() || wrong_core != 0)
+        return {};
+    for (std::uint32_t r = 0; r < n_rows; ++r)
+        if (delivered[r] != 1)
+            return {};
+    return freezeStats(s);
+}
+
+/**
+ * ATE ping-pong: cores 0 and 31 fetch-add each other's DMEM counter
+ * 256 times (near+far hops), then core 0 fires 8 software RPCs.
+ */
+inline sim::StatsSnapshot
+runAtePingPongScenario()
+{
+    soc::SocParams p = soc::dpu40nm();
+    p.ddrBytes = 8 << 20;
+    soc::Soc s(p);
+
+    bool stop = false;
+    s.start(31, [&](core::DpCore &c) {
+        for (int i = 0; i < 256; ++i)
+            s.ate().fetchAdd(c, 0, mem::dmemAddr(0, 0), 1, 8);
+        c.blockUntil([&] { return stop; });
+    });
+    s.start(0, [&](core::DpCore &c) {
+        for (int i = 0; i < 256; ++i)
+            s.ate().fetchAdd(c, 31, mem::dmemAddr(31, 0), 1, 8);
+        for (int i = 0; i < 8; ++i)
+            s.ate().swRpc(c, 31, [](core::DpCore &rc) {
+                rc.alu(16);
+            });
+        stop = true;
+        s.core(31).wake(c.now());
+    });
+    s.run();
+    if (!s.allFinished())
+        return {};
+    if (s.core(0).dmem().load<std::uint64_t>(0) != 256 ||
+        s.core(31).dmem().load<std::uint64_t>(0) != 256)
+        return {};
+    return freezeStats(s);
+}
+
+} // namespace dpu::test
+
+#endif // DPU_TESTS_SOC_SCENARIOS_HH
