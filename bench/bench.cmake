@@ -20,3 +20,5 @@ dpu_add_bench(bench_fig14_apps)
 dpu_add_bench(bench_fig15_filter)
 dpu_add_bench(bench_fig16_tpch)
 dpu_add_bench(bench_ablation_16nm)
+dpu_add_bench(bench_serving)
+target_link_libraries(bench_serving PRIVATE dpu_host)

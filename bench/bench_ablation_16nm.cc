@@ -17,14 +17,15 @@ using namespace dpu;
 using namespace dpu::apps::sql;
 
 int
-main()
+main(int argc, char **argv)
 {
     sim::setVerbose(false);
+    const bool smoke = bench::smokeRun(argc, argv);
     bench::header("Section 2.5", "16 nm shrink vs 40 nm (perf/watt)");
 
     // Filter: bandwidth bound on both configs.
     FilterConfig fcfg;
-    fcfg.rowsPerCore = 128 << 10;
+    fcfg.rowsPerCore = smoke ? 32 << 10 : 128 << 10;
     fcfg.nCores = 32;
     FilterResult f40 = dpuFilter(soc::dpu40nm(), fcfg);
     FilterConfig fcfg16 = fcfg;
@@ -41,7 +42,7 @@ main()
     // JSON parsing: compute bound, so the shrink's benefit is the
     // 5x core count at 2x power — the paper's 2.5x exactly.
     apps::JsonConfig j;
-    j.nRecords = 48 << 10;
+    j.nRecords = smoke ? 8 << 10 : 48 << 10;
     apps::JsonResult j40 = apps::dpuJson(soc::dpu40nm(), j);
     apps::JsonConfig j16 = j;
     j16.nCores = 160;

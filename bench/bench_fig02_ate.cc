@@ -20,19 +20,19 @@ namespace {
 double
 cyclesFor(const std::function<void(core::DpCore &, ate::Ate &,
                                    unsigned)> &op,
-          unsigned target)
+          unsigned target, unsigned iters)
 {
     soc::SocParams p = soc::dpu40nm();
     p.ddrBytes = 8 << 20;
     soc::Soc s(p);
     sim::Tick dt = 0;
     s.start(0, [&](core::DpCore &c) {
-        // Warm once, then measure 64 round trips.
+        // Warm once, then measure the round trips.
         op(c, s.ate(), target);
         sim::Tick t0 = c.now();
-        for (int i = 0; i < 64; ++i)
+        for (unsigned i = 0; i < iters; ++i)
             op(c, s.ate(), target);
-        dt = (c.now() - t0) / 64;
+        dt = (c.now() - t0) / iters;
     });
     s.run();
     return double(sim::dpCoreClock.ticksToCycles(dt));
@@ -41,9 +41,11 @@ cyclesFor(const std::function<void(core::DpCore &, ate::Ate &,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     sim::setVerbose(false);
+    const bool smoke = bench::smokeRun(argc, argv);
+    const unsigned iters = smoke ? 8 : 64;
     bench::header("Figure 2", "ATE remote procedure call latency");
 
     struct Op
@@ -70,8 +72,8 @@ main()
     bench::row("  %-18s %14s %14s", "operation", "near (cycles)",
                "far (cycles)");
     for (const Op &op : ops) {
-        double near = cyclesFor(op.fn, 1);   // same macro
-        double far = cyclesFor(op.fn, 31);   // macro 3
+        double near = cyclesFor(op.fn, 1, iters);  // same macro
+        double far = cyclesFor(op.fn, 31, iters);  // macro 3
         bench::row("  %-18s %14.0f %14.0f", op.name, near, far);
     }
 
@@ -87,12 +89,13 @@ main()
         s.start(31, [&](core::DpCore &c) {
             c.blockUntil([&] { return stop; });
         });
+        const unsigned sw_iters = smoke ? 4 : 16;
         s.start(0, [&](core::DpCore &c) {
             s.ate().swRpc(c, 31, [](core::DpCore &) {});
             sim::Tick t0 = c.now();
-            for (int i = 0; i < 16; ++i)
+            for (unsigned i = 0; i < sw_iters; ++i)
                 s.ate().swRpc(c, 31, [](core::DpCore &) {});
-            dt = (c.now() - t0) / 16;
+            dt = (c.now() - t0) / sw_iters;
             stop = true;
             s.core(31).wake(c.now());
         });

@@ -9,6 +9,8 @@
  * 9 GB/s at 8 KB buffers (~75% of DDR3 peak).
  */
 
+#include <vector>
+
 #include "bench/report.hh"
 #include "rt/dms_ctl.hh"
 #include "soc/soc.hh"
@@ -19,10 +21,10 @@ namespace {
 
 /** Aggregate bandwidth with all 32 cores streaming. */
 double
-run(unsigned n_cols, std::uint32_t tile_bytes, bool write_back)
+run(unsigned n_cols, std::uint32_t tile_bytes, bool write_back,
+    std::uint64_t bytes_per_core)
 {
     soc::SocParams p = soc::dpu40nm();
-    const std::uint64_t bytes_per_core = 256 << 10;
     const std::uint64_t col_bytes = bytes_per_core / n_cols;
     p.ddrBytes = 160 << 20;
     soc::Soc s(p);
@@ -97,14 +99,23 @@ run(unsigned n_cols, std::uint32_t tile_bytes, bool write_back)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     sim::setVerbose(false);
+    const bool smoke = bench::smokeRun(argc, argv);
     bench::header("Figure 11",
                   "DMS R / RW bandwidth vs columns and tile size");
 
-    const unsigned cols[] = {1, 2, 4, 8, 16, 32};
-    const std::uint32_t tiles[] = {512, 1024, 2048, 8192};
+    // Smoke: a corner sample of the sweep over a quarter of the
+    // data. Tiles must not exceed col_bytes at the widest table.
+    const std::uint64_t bytes_per_core =
+        smoke ? 64 << 10 : 256 << 10;
+    const std::vector<unsigned> cols =
+        smoke ? std::vector<unsigned>{1, 4, 8}
+              : std::vector<unsigned>{1, 2, 4, 8, 16, 32};
+    const std::vector<std::uint32_t> tiles =
+        smoke ? std::vector<std::uint32_t>{1024, 8192}
+              : std::vector<std::uint32_t>{512, 1024, 2048, 8192};
 
     for (bool rw : {false, true}) {
         bench::row("\n  %s bandwidth (GB/s):", rw ? "R+W" : "R");
@@ -115,13 +126,14 @@ main()
         for (std::uint32_t tb : tiles) {
             std::printf("  %5u B", tb);
             for (unsigned c : cols)
-                std::printf(" %7.2f", run(c, tb, rw));
+                std::printf(" %7.2f",
+                            run(c, tb, rw, bytes_per_core));
             std::printf("\n");
         }
     }
 
     bench::compare("peak R bandwidth at 8 KB tiles", 9.3,
-                   run(4, 8192, false), "GB/s");
+                   run(4, 8192, false, bytes_per_core), "GB/s");
     bench::flushTrace();
     bench::row("  paper shape: >9 GB/s at 8 KB tiles (75%% of DDR3"
                " peak); small tiles lose bandwidth to fixed DMS"

@@ -20,13 +20,12 @@ using namespace dpu;
 namespace {
 
 double
-run(const rt::PartitionScheme &scheme)
+run(const rt::PartitionScheme &scheme, std::uint32_t rows)
 {
     soc::SocParams p = soc::dpu40nm();
     p.ddrBytes = 64 << 20;
     soc::Soc s(p);
 
-    const std::uint32_t rows = 200'000;
     sim::Rng rng{3};
     for (std::uint32_t r = 0; r < rows; ++r)
         for (unsigned col = 0; col < 4; ++col)
@@ -66,18 +65,20 @@ run(const rt::PartitionScheme &scheme)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     sim::setVerbose(false);
+    const bool smoke = bench::smokeRun(argc, argv);
+    const std::uint32_t rows = smoke ? 50'000 : 200'000;
     bench::header("Figure 13", "DMS partitioning bandwidth, 32-way");
 
     rt::PartitionScheme hash;
-    double gb_hash = run(hash);
+    double gb_hash = run(hash, rows);
 
     rt::PartitionScheme radix;
     radix.kind = rt::PartitionScheme::Kind::RawRadix;
     radix.radixBits = 5;
-    double gb_radix = run(radix);
+    double gb_radix = run(radix, rows);
 
     rt::PartitionScheme range;
     range.kind = rt::PartitionScheme::Kind::Range;
@@ -85,7 +86,7 @@ main()
         range.bounds.push_back(
             i == 31 ? ~0ull
                     : (std::uint64_t(i + 1) << 59) - 1);
-    double gb_range = run(range);
+    double gb_range = run(range, rows);
 
     bench::compare("hash (CRC32) partition", 9.3, gb_hash, "GB/s");
     bench::compare("radix (5 key bits) partition", 9.3, gb_radix,
@@ -98,8 +99,8 @@ main()
     // The 1024-way point: hardware 32-way + concurrent software
     // 32-way (the high-NDV group-by's phase A sustains it).
     apps::sql::GroupByConfig cfg;
-    cfg.nRows = 1 << 20;
-    cfg.ndv = 256 << 10;
+    cfg.nRows = smoke ? 1 << 18 : 1 << 20;
+    cfg.ndv = smoke ? 16 << 10 : 256 << 10;
     auto r = apps::sql::dpuGroupByHighNdv(soc::dpu40nm(), cfg);
     // Phase A is roughly half the total; report the whole-plan rate
     // as the conservative lower bound on the 1024-way rate.

@@ -2,84 +2,67 @@
  * @file
  * Figure 14: performance/watt gain of the 40 nm DPU over the Xeon
  * server for every co-design application (Section 5), at the
- * paper's 6 W vs 145 W provisioned powers. Each row regenerates
- * the corresponding bar; the functional outputs are cross-checked
- * (column "ok") before the ratio is reported.
+ * paper's 6 W vs 145 W provisioned powers. The rows come straight
+ * out of the app registry (apps/registry.hh) — every registered
+ * spec carries its paper anchor and its Figure-14 default config —
+ * and the functional outputs are cross-checked (column "ok") before
+ * the ratio is reported.
  */
 
-#include <vector>
-
-#include "apps/disparity.hh"
-#include "apps/hll.hh"
-#include "apps/json.hh"
-#include "apps/simsearch.hh"
-#include "apps/sql/filter.hh"
-#include "apps/sql/groupby.hh"
-#include "apps/svm.hh"
+#include "apps/registry.hh"
 #include "bench/report.hh"
+#include "sim/logging.hh"
 
 using namespace dpu;
 using namespace dpu::apps;
 
+namespace {
+
+/** Per-app overrides that shrink the run for --smoke. */
+struct Shrink
+{
+    const char *app;
+    std::initializer_list<
+        std::pair<std::string_view, std::string_view>>
+        opts;
+};
+
+const std::initializer_list<Shrink> smokeShrinks = {
+    {"svm", {{"nTrain", "1024"}, {"nTest", "256"}, {"maxIters", "60"}}},
+    {"simsearch", {{"nDocs", "2048"}, {"nQueries", "4"}}},
+    {"filter", {{"rowsPerCore", "8192"}}},
+    {"groupby-low", {{"nRows", "65536"}}},
+    {"groupby-high", {{"nRows", "65536"}, {"ndv", "8192"}}},
+    {"hll-crc", {{"nElements", "262144"}, {"cardinality", "32768"}}},
+    {"hll-murmur", {{"nElements", "65536"}, {"cardinality", "8192"}}},
+    {"json", {{"nRecords", "2048"}}},
+    {"disparity", {{"width", "128"}, {"height", "64"}}},
+};
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     sim::setVerbose(false);
+    const bool smoke = bench::smokeRun(argc, argv);
     bench::header("Figure 14",
                   "DPU perf/watt gains vs Xeon (per application)");
 
-    struct Entry
-    {
-        AppResult r;
-        double paper;
-    };
-    std::vector<Entry> rows;
-
-    {
-        SvmConfig cfg;
-        rows.push_back({svmApp(cfg), 15.0});
-    }
-    {
-        SimSearchConfig cfg;
-        rows.push_back({simSearchApp(cfg), 3.9});
-    }
-    {
-        sql::FilterConfig cfg;
-        cfg.rowsPerCore = 256 << 10;
-        rows.push_back({sql::filterApp(cfg), 6.7});
-    }
-    {
-        sql::GroupByConfig low;
-        low.nRows = 1 << 20;
-        low.ndv = 256;
-        rows.push_back({sql::groupByLowApp(low), 6.7});
-        sql::GroupByConfig high;
-        high.nRows = 1 << 20;
-        high.ndv = 256 << 10;
-        rows.push_back({sql::groupByHighApp(high), 9.7});
-    }
-    {
-        HllConfig cfg;
-        rows.push_back({hllApp(cfg), 9.0});
-        cfg.hash = HllHash::Murmur64;
-        rows.push_back({hllApp(cfg), 1.5});
-    }
-    {
-        JsonConfig cfg;
-        rows.push_back({jsonApp(cfg), 8.0});
-    }
-    {
-        DisparityConfig cfg;
-        rows.push_back({disparityApp(cfg), 8.6});
-    }
-
     bench::row("  %-22s %6s %9s %9s %8s %8s", "application", "ok",
                "dpu (ms)", "xeon (ms)", "paper x", "ours x");
-    for (const Entry &e : rows) {
+    for (const AppSpec &spec : registry()) {
+        ConfigHandle cfg = spec.makeConfig();
+        if (smoke)
+            for (const Shrink &s : smokeShrinks)
+                if (spec.name == s.app)
+                    for (const auto &[k, v] : s.opts)
+                        spec.set(cfg, k, v);
+        const AppResult r = spec.run(cfg);
         bench::row("  %-22s %6s %9.3f %9.3f %8.1f %8.1f",
-                   e.r.name.c_str(), e.r.matched ? "yes" : "NO",
-                   e.r.dpuSeconds * 1e3, e.r.xeonSeconds * 1e3,
-                   e.paper, e.r.gain());
+                   r.name.c_str(), r.matched ? "yes" : "NO",
+                   r.dpuSeconds * 1e3, r.xeonSeconds * 1e3,
+                   spec.paperGain, r.gain());
     }
     bench::row("\n  paper shape: 3x-15x across the suite; SVM tops,"
                " similarity search bottoms, Murmur HLL does poorly.");

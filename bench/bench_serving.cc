@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Serving bench: the Section 2.4 deployment model under load. An
+ * open-loop (Poisson arrivals at --rate jobs/s) or closed-loop
+ * (--closed N outstanding) stream of mixed app requests flows
+ * through the host offload scheduler: the A9 admits each request,
+ * dispatches it to an idle 4-core group over MBC pointer messages,
+ * and collects completion acks. Reports per-request latency
+ * percentiles and sustained throughput, as a table and as a JSON
+ * object (the last stdout line) for machine consumption.
+ *
+ * This is not a paper figure: the paper reports per-app gains
+ * (Figure 14) but deployed the chip as a many-DPU database
+ * appliance; this bench is the repro of that serving posture.
+ */
+
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/report.hh"
+#include "host/offload.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "soc/soc.hh"
+
+using namespace dpu;
+
+namespace {
+
+/** One slot of the request mix: app, weight, request sizing. */
+struct MixEntry
+{
+    const char *app;
+    double weight;
+    std::initializer_list<
+        std::pair<std::string_view, std::string_view>>
+        opts;
+};
+
+/**
+ * A database-appliance-flavoured mix: mostly scan/aggregate SQL
+ * operators, some analytics, a trickle of heavy vision work. Sizes
+ * are per-request (one 4-core group), not per-chip — they must fit
+ * the group's DMEM working set and finish well inside the 50 ms
+ * default deadline.
+ */
+const MixEntry servingMix[] = {
+    {"filter", 0.30, {{"rowsPerCore", "16384"}}},
+    {"groupby-low", 0.20, {{"nRows", "65536"}, {"ndv", "512"}}},
+    {"hll-crc",
+     0.15,
+     {{"nElements", "32768"}, {"cardinality", "8192"},
+      {"pBits", "12"}}},
+    {"json", 0.15, {{"nRecords", "2048"}}},
+    {"svm", 0.10, {{"nTest", "8192"}, {"dims", "64"}}},
+    {"simsearch",
+     0.05,
+     {{"nDocs", "1024"}, {"vocab", "2048"}, {"nQueries", "1"}}},
+    {"disparity",
+     0.05,
+     {{"width", "64"}, {"height", "32"}, {"maxShift", "8"}}},
+};
+
+const char *
+stateName(host::JobState st)
+{
+    switch (st) {
+    case host::JobState::Queued: return "queued";
+    case host::JobState::Running: return "running";
+    case host::JobState::Completed: return "completed";
+    case host::JobState::TimedOut: return "timedOut";
+    case host::JobState::Rejected: return "rejected";
+    }
+    return "?";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    sim::setVerbose(false);
+    const bool smoke = bench::smokeRun(argc, argv);
+    const double rate =
+        std::atof(bench::argValue(argc, argv, "--rate", "4000"));
+    const unsigned n_jobs = unsigned(std::atoi(bench::argValue(
+        argc, argv, "--jobs", smoke ? "32" : "512")));
+    const unsigned closed = unsigned(
+        std::atoi(bench::argValue(argc, argv, "--closed", "0")));
+    const unsigned wedge = unsigned(
+        std::atoi(bench::argValue(argc, argv, "--wedge", "0")));
+    const std::uint64_t seed = std::strtoull(
+        bench::argValue(argc, argv, "--seed", "7"), nullptr, 10);
+
+    bench::header("Serving",
+                  "offload scheduler under mixed-app load");
+
+    soc::Soc s;
+    soc::HostA9 a9(s.eventQueue(), s.mbc());
+    host::OffloadParams op;
+    host::OffloadScheduler sched(s, a9, op);
+
+    double total_weight = 0;
+    for (const MixEntry &m : servingMix)
+        total_weight += m.weight;
+
+    sim::Rng rng(seed);
+    auto makeReq = [&]() {
+        double u = rng.uniform() * total_weight;
+        const MixEntry *pick = std::end(servingMix) - 1;
+        for (const MixEntry &m : servingMix) {
+            if (u < m.weight) {
+                pick = &m;
+                break;
+            }
+            u -= m.weight;
+        }
+        const apps::AppSpec *spec = apps::findApp(pick->app);
+        sim_assert(spec, "mix names unknown app \"%s\"", pick->app);
+        apps::ConfigHandle cfg = spec->makeConfig();
+        for (const auto &[k, v] : pick->opts)
+            sim_assert(spec->set(cfg, k, v),
+                       "bad option %.*s for %s", int(k.size()),
+                       k.data(), pick->app);
+        host::JobRequest req;
+        req.app = pick->app;
+        req.cfg = std::move(cfg);
+        req.seed = rng.next();
+        return req;
+    };
+
+    // Fault injection: --wedge N plants jobs whose lane 0 never
+    // sets its completion event. Each must be reaped as a timeout
+    // (costing its group) while the rest of the load drains.
+    auto makeWedged = [&]() {
+        host::JobRequest req;
+        req.app = "wedged";
+        req.timeout = sim::Tick(2e9); // 2 ms
+        req.makeJob = [](const apps::ServingContext &) {
+            apps::ServingJob job;
+            job.stage = [] {};
+            job.lane = [](core::DpCore &c, unsigned lane) {
+                if (lane == 0)
+                    c.blockUntil([] { return false; });
+                c.alu(16);
+            };
+            return job;
+        };
+        return req;
+    };
+
+    unsigned issued = 0;
+    if (closed > 0) {
+        // Closed loop: keep `closed` requests outstanding until
+        // n_jobs have been issued (each completion resubmits).
+        for (unsigned i = 0; i < closed && issued < n_jobs; ++i) {
+            sched.enqueueAt(0, makeReq());
+            ++issued;
+        }
+        sched.onComplete([&](const host::JobRecord &) {
+            if (issued < n_jobs) {
+                ++issued;
+                (void)sched.submitNow(makeReq());
+            }
+        });
+    } else {
+        // Open loop: Poisson arrivals, rate jobs/s, oblivious to
+        // completions (the queue absorbs or rejects bursts).
+        sim_assert(rate > 0, "open-loop needs --rate > 0");
+        sim::Tick t = 0;
+        for (unsigned i = 0; i < n_jobs; ++i) {
+            const double gap_s =
+                -std::log(1.0 - rng.uniform()) / rate;
+            t += sim::Tick(gap_s * 1e12);
+            sched.enqueueAt(t, makeReq());
+            ++issued;
+        }
+        for (unsigned i = 0; i < wedge; ++i) {
+            sched.enqueueAt(t * (i + 1) / (wedge + 1) + 1,
+                            makeWedged());
+            ++issued;
+        }
+    }
+    if (closed > 0)
+        for (unsigned i = 0; i < wedge; ++i) {
+            sched.enqueueAt(0, makeWedged());
+            ++issued;
+        }
+
+    sched.start();
+    s.run();
+    bench::flushTrace();
+
+    const host::ServingSummary sum = sched.summary();
+
+    // Steady-state window: drop the first and last 10% of
+    // completions (warm-up ramp and tail drain).
+    std::vector<double> window;
+    {
+        std::vector<const host::JobRecord *> done;
+        for (const host::JobRecord &r : sched.jobs())
+            if (r.state == host::JobState::Completed)
+                done.push_back(&r);
+        const std::size_t skip = done.size() / 10;
+        for (std::size_t i = skip;
+             i + skip < done.size(); ++i)
+            window.push_back(done[i]->latencyUs());
+        std::sort(window.begin(), window.end());
+    }
+    auto pct = [&](double q) {
+        if (window.empty())
+            return 0.0;
+        std::size_t rank =
+            std::size_t(q * double(window.size()) + 0.5);
+        if (rank > 0)
+            --rank;
+        return window[std::min(rank, window.size() - 1)];
+    };
+
+    // Per-app completion counts and mean latency.
+    struct AppAgg
+    {
+        std::uint64_t n = 0;
+        double sumUs = 0;
+    };
+    std::map<std::string, AppAgg> perApp;
+    for (const host::JobRecord &r : sched.jobs())
+        if (r.state == host::JobState::Completed) {
+            AppAgg &a = perApp[r.app];
+            ++a.n;
+            a.sumUs += r.latencyUs();
+        }
+
+    bench::row("  load: %s, %u jobs, %u groups of %u cores",
+               closed ? "closed-loop" : "open-loop", issued,
+               sched.nGroups(), op.groupSize);
+    bench::row("  %-14s %8s %12s", "app", "done", "mean us");
+    for (const auto &[name, agg] : perApp)
+        bench::row("  %-14s %8llu %12.1f", name.c_str(),
+                   (unsigned long long)agg.n,
+                   agg.n ? agg.sumUs / double(agg.n) : 0.0);
+    bench::row(
+        "  completed %llu  timedOut %llu  rejected %llu  "
+        "validationFailed %llu",
+        (unsigned long long)sum.completed,
+        (unsigned long long)sum.timedOut,
+        (unsigned long long)sum.rejected,
+        (unsigned long long)sum.validationFailed);
+    bench::row("  latency us: p50 %.1f  p95 %.1f  p99 %.1f  "
+               "mean %.1f  max %.1f",
+               sum.p50Us, sum.p95Us, sum.p99Us, sum.meanUs,
+               sum.maxUs);
+    bench::row("  steady-state us: p50 %.1f  p95 %.1f  p99 %.1f",
+               pct(0.50), pct(0.95), pct(0.99));
+    bench::row("  throughput: %.0f jobs/s", sum.throughputJobsPerSec);
+
+    // Machine-readable report (last line of stdout).
+    {
+        bench::Json j;
+        j.field("bench", "serving")
+            .field("mode", closed ? "closed" : "open")
+            .field("rateJobsPerSec", closed ? 0.0 : rate)
+            .field("jobs", std::uint64_t(issued))
+            .field("groups", std::uint64_t(sched.nGroups()))
+            .field("groupSize", std::uint64_t(op.groupSize));
+        j.obj("counts")
+            .field("submitted", sum.submitted)
+            .field("accepted", sum.accepted)
+            .field("rejected", sum.rejected)
+            .field("completed", sum.completed)
+            .field("timedOut", sum.timedOut)
+            .field("validationFailed", sum.validationFailed)
+            .field("lateJobs", sum.lateJobs)
+            .field("wedgedGroups", sum.wedgedGroups)
+            .end();
+        j.obj("latencyUs")
+            .field("p50", sum.p50Us)
+            .field("p95", sum.p95Us)
+            .field("p99", sum.p99Us)
+            .field("mean", sum.meanUs)
+            .field("max", sum.maxUs)
+            .end();
+        j.obj("steadyStateUs")
+            .field("p50", pct(0.50))
+            .field("p95", pct(0.95))
+            .field("p99", pct(0.99))
+            .end();
+        j.field("throughputJobsPerSec", sum.throughputJobsPerSec);
+        j.arr("apps");
+        for (const auto &[name, agg] : perApp)
+            j.elem()
+                .field("name", name)
+                .field("completed", agg.n)
+                .field("meanUs",
+                       agg.n ? agg.sumUs / double(agg.n) : 0.0)
+                .end();
+        j.end();
+    }
+
+    // Functional gate for CI: everything submitted must resolve,
+    // nothing may fail validation, every injected wedge must be
+    // reaped as a timeout, and the queue must still have drained.
+    if (sum.completed + sum.timedOut + sum.rejected !=
+            sum.submitted ||
+        sum.validationFailed != 0 || sum.completed == 0 ||
+        sum.timedOut < wedge) {
+        std::fprintf(stderr, "serving bench failed its gates\n");
+        return 1;
+    }
+    for (const host::JobRecord &r : sched.jobs())
+        if (r.state == host::JobState::Queued ||
+            r.state == host::JobState::Running) {
+            std::fprintf(stderr, "job %llu left %s\n",
+                         (unsigned long long)r.id,
+                         stateName(r.state));
+            return 1;
+        }
+    return 0;
+}

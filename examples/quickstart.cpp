@@ -40,13 +40,14 @@ main()
 
         // dms_descriptor* desc0 =
         //     dms_setup_ddr_to_dmem(256, src_addr, dest_addr, event0);
-        auto desc0 = dms.setupDdrToDmem(256, 4, src_addr, dest_addr,
-                                        /*event0=*/0);
+        auto desc0 = dms.ddrToDmem().rows(256).width(4)
+                         .from(src_addr).to(dest_addr)
+                         .event(0).setup();
         // dms_descriptor* desc1 = dms_setup_ddr_to_dmem(256,
         //     src_addr, dest_addr + 1024, event1);
-        auto desc1 = dms.setupDdrToDmem(256, 4, src_addr,
-                                        dest_addr + 1024,
-                                        /*event1=*/1);
+        auto desc1 = dms.ddrToDmem().rows(256).width(4)
+                         .from(src_addr).to(dest_addr + 1024)
+                         .event(1).setup();
         // dms_descriptor* loop = dms_setup_loop(desc0, 8191);
         auto loop = dms.setupLoop(desc0, 8191);
 

@@ -46,6 +46,8 @@ DisparityResult dpuDisparity(const soc::SocParams &params,
 DisparityResult xeonDisparity(const DisparityConfig &cfg);
 
 /** Figure 14 entry. */
+/** @deprecated Thin wrapper kept for one release; new code should
+ *  use apps::findApp("disparity") from registry.hh. */
 AppResult disparityApp(const DisparityConfig &cfg);
 
 } // namespace dpu::apps

@@ -11,7 +11,7 @@
 
 namespace dpu::apps {
 
-namespace {
+namespace hlldetail {
 
 /** Synthetic multiset with a known number of distinct values. */
 std::vector<std::uint64_t>
@@ -33,8 +33,8 @@ makeElements(const HllConfig &cfg)
  * index and rank for @p e. NTZ and NLZ variants are statistically
  * interchangeable on a well-behaved hash (Section 5.4).
  */
-inline void
-hllUpdate(std::uint64_t h, unsigned p_bits, bool use_ntz,
+void
+update(std::uint64_t h, unsigned p_bits, bool use_ntz,
           std::vector<std::uint8_t> &regs)
 {
     unsigned rank;
@@ -57,7 +57,7 @@ hllUpdate(std::uint64_t h, unsigned p_bits, bool use_ntz,
 
 /** Standard HLL harmonic-mean estimate with small-range correction. */
 double
-hllEstimate(const std::vector<std::uint8_t> &regs)
+estimate(const std::vector<std::uint8_t> &regs)
 {
     const double m = double(regs.size());
     double sum = 0;
@@ -73,7 +73,11 @@ hllEstimate(const std::vector<std::uint8_t> &regs)
     return e;
 }
 
-} // namespace
+} // namespace hlldetail
+
+using hlldetail::estimate;
+using hlldetail::makeElements;
+using hlldetail::update;
 
 HllResult
 dpuHll(const soc::SocParams &params, const HllConfig &cfg)
@@ -151,7 +155,7 @@ dpuHll(const soc::SocParams &params, const HllConfig &cfg)
                             (void)c.ntz(h << cfg.pBits | 1);
                         else
                             (void)c.nlz(h << cfg.pBits | 1);
-                        hllUpdate(h, cfg.pBits, cfg.useNtz, regs);
+                        update(h, cfg.pBits, cfg.useNtz, regs);
                         // load + compare + conditional store, paired
                         // with the index arithmetic.
                         c.dualIssue(3, 3);
@@ -162,10 +166,10 @@ dpuHll(const soc::SocParams &params, const HllConfig &cfg)
             // Publish registers (DMEM -> DDR) and merge at core 0.
             c.dmem().write(regOff, regs.data(), m);
             c.dualIssue(m / 8, m / 8);
-            auto dump = ctl.setupDmemToDdr(
-                m / 4, 4, std::uint16_t(regOff),
-                regs_base + std::uint64_t(id) * m, 4, false);
-            ctl.push(dump, 1);
+            ctl.dmemToDdr().rows(m / 4).width(4)
+                .from(regOff)
+                .to(regs_base + std::uint64_t(id) * m)
+                .event(4).noAutoInc().push(1);
             ctl.wfe(4);
             ctl.clearEvent(4);
 
@@ -191,10 +195,9 @@ dpuHll(const soc::SocParams &params, const HllConfig &cfg)
                     c.dualIssue(blen, blen);
                 });
                 c.dmem().write(regOff, merged.data(), m);
-                auto out = ctl.setupDmemToDdr(
-                    m / 4, 4, std::uint16_t(regOff), regs_base, 5,
-                    false);
-                ctl.push(out, 1);
+                ctl.dmemToDdr().rows(m / 4).width(4)
+                    .from(regOff).to(regs_base)
+                    .event(5).noAutoInc().push(1);
                 ctl.wfe(5);
             }
         });
@@ -206,7 +209,7 @@ dpuHll(const soc::SocParams &params, const HllConfig &cfg)
     r.seconds = double(t) * 1e-12;
     r.elements = cfg.nElements;
     auto merged = unstage<std::uint8_t>(s, regs_base, m);
-    r.estimate = hllEstimate(merged);
+    r.estimate = estimate(merged);
     return r;
 }
 
@@ -226,7 +229,7 @@ xeonHll(const HllConfig &cfg)
         } else {
             h = util::murmur64Key(e);
         }
-        hllUpdate(h, cfg.pBits, cfg.useNtz, regs);
+        update(h, cfg.pBits, cfg.useNtz, regs);
     }
 
     xeon::XeonModel model;
@@ -246,7 +249,7 @@ xeonHll(const HllConfig &cfg)
     HllResult r;
     r.seconds = model.seconds();
     r.elements = cfg.nElements;
-    r.estimate = hllEstimate(regs);
+    r.estimate = estimate(regs);
     return r;
 }
 

@@ -53,13 +53,26 @@ struct HllResult
     double gbPerSec() const { return elements * 8.0 / seconds / 1e9; }
 };
 
+/** Internals shared with the serving kernel (apps/serving.cc). */
+namespace hlldetail {
+/** Synthetic multiset with a known number of distinct values. */
+std::vector<std::uint64_t> makeElements(const HllConfig &cfg);
+/** The estimator update both platforms share. */
+void update(std::uint64_t h, unsigned p_bits, bool use_ntz,
+            std::vector<std::uint8_t> &regs);
+/** Harmonic-mean estimate with small-range correction. */
+double estimate(const std::vector<std::uint8_t> &regs);
+} // namespace hlldetail
+
 /** Run on the DPU simulator. */
 HllResult dpuHll(const soc::SocParams &params, const HllConfig &cfg);
 
 /** Functional baseline through the Xeon model. */
 HllResult xeonHll(const HllConfig &cfg);
 
-/** Figure 14 entry ("HLL-CRC" / "HLL-Murmur"). */
+/** Figure 14 entry ("HLL-CRC" / "HLL-Murmur").
+ *  @deprecated Thin wrapper kept for one release; new code should
+ *  use apps::findApp("hll-crc" / "hll-murmur") from registry.hh. */
 AppResult hllApp(const HllConfig &cfg);
 
 } // namespace dpu::apps

@@ -7,7 +7,7 @@
 
 namespace dpu::apps {
 
-namespace {
+namespace jsondetail {
 
 /** Newline-delimited lineitem-shaped records (Section 5.5). */
 std::string
@@ -110,6 +110,13 @@ parseSpan(const char *p, std::uint64_t len)
     }
     return t;
 }
+
+} // namespace jsondetail
+
+using jsondetail::makeRecords;
+using jsondetail::parseSpan;
+
+namespace {
 
 constexpr std::uint32_t padBytes = 1024; // Section 5.5's padding
 

@@ -57,11 +57,21 @@ struct JsonResult
     double gbPerSec() const { return bytes / seconds / 1e9; }
 };
 
+/** Internals shared with the serving kernel (apps/serving.cc). */
+namespace jsondetail {
+/** The synthetic record generator both platforms parse. */
+std::string makeRecords(const JsonConfig &cfg);
+/** The shared FSM tally over [p, p+len). */
+JsonTally parseSpan(const char *p, std::uint64_t len);
+} // namespace jsondetail
+
 JsonResult dpuJson(const soc::SocParams &params,
                    const JsonConfig &cfg);
 JsonResult xeonJson(const JsonConfig &cfg);
 
-/** Figure 14 entry. */
+/** Figure 14 entry.
+ *  @deprecated Thin wrapper kept for one release; new code should
+ *  use apps::findApp("json") from registry.hh. */
 AppResult jsonApp(const JsonConfig &cfg);
 
 } // namespace dpu::apps

@@ -1,0 +1,716 @@
+#include "apps/serving.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "rt/dms_ctl.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "util/crc32.hh"
+#include "util/murmur64.hh"
+
+namespace dpu::apps::serving {
+
+namespace {
+
+/** Contiguous [begin, begin+count) share of @p total for @p lane. */
+struct Slice
+{
+    std::uint64_t begin = 0;
+    std::uint64_t count = 0;
+};
+
+Slice
+laneSlice(std::uint64_t total, unsigned n_lanes, unsigned lane)
+{
+    const std::uint64_t per = (total + n_lanes - 1) / n_lanes;
+    const std::uint64_t b = std::min<std::uint64_t>(total, lane * per);
+    const std::uint64_t e = std::min<std::uint64_t>(total, b + per);
+    return {b, e - b};
+}
+
+std::uint64_t
+align64(std::uint64_t v)
+{
+    return (v + 63) & ~std::uint64_t(63);
+}
+
+/** Dump @p bytes of DMEM at @p src_off to DDR @p dst, synchronous. */
+void
+dumpToDdr(rt::DmsCtl &ctl, std::uint16_t src_off, mem::Addr dst,
+          std::uint32_t bytes)
+{
+    ctl.dmemToDdr().rows(bytes / 4).width(4).from(src_off).to(dst)
+        .event(6).noAutoInc().push(1);
+    ctl.wfe(6);
+    ctl.clearEvent(6);
+}
+
+} // namespace
+
+// ----------------------------------------------------------------
+// SQL filter: FILT scan over a uint32 column slice
+// ----------------------------------------------------------------
+
+ServingJob
+filterJob(const sql::FilterConfig &cfg, const ServingContext &ctx)
+{
+    const std::uint64_t rows =
+        std::uint64_t(cfg.rowsPerCore) * ctx.nLanes;
+    const std::uint32_t tile = std::min<std::uint32_t>(
+        cfg.tileBytes ? cfg.tileBytes : 8192, 8192);
+    sim_assert(tile % 4 == 0, "tile must be element aligned");
+    const mem::Addr data_base = ctx.arena;
+    const mem::Addr res_base = ctx.arena + align64(rows * 4);
+    sim_assert(res_base + ctx.nLanes * 8 <=
+                   ctx.arena + ctx.arenaBytes,
+               "filter job overruns its arena");
+
+    soc::Soc *s = ctx.soc;
+    const std::uint64_t seed = ctx.seed ^ cfg.seed;
+    auto column = [=] {
+        sim::Rng rng{seed};
+        std::vector<std::uint32_t> v(rows);
+        for (auto &x : v)
+            x = std::uint32_t(rng.below(1000));
+        return v;
+    };
+
+    ServingJob job;
+    job.workUnits = double(rows);
+    job.unitName = "tuples";
+    job.stage = [=] { stage(*s, data_base, column()); };
+    job.lane = [=](core::DpCore &c, unsigned lane) {
+        Slice sl = laneSlice(rows, ctx.nLanes, lane);
+        if (!sl.count)
+            return;
+        rt::DmsCtl ctl(c, s->dmsFor(c.id()));
+        const std::uint32_t bv_off = 2 * tile;
+        std::uint64_t passed = 0;
+        rt::StreamReader in(ctl, data_base + sl.begin * 4,
+                            sl.count * 4, 0, tile, 2, 0, 0);
+        in.forEach([&](std::uint32_t off, std::uint32_t blen) {
+            passed += c.filt(off, blen / 4, 4, cfg.lo, cfg.hi,
+                             bv_off);
+        });
+        const std::uint32_t out_off = bv_off + tile / 8;
+        c.dmem().store<std::uint64_t>(out_off, passed);
+        c.dualIssue(2, 2);
+        dumpToDdr(ctl, std::uint16_t(out_off), res_base + lane * 8,
+                  8);
+    };
+    job.validate = [=] {
+        auto v = column();
+        std::uint64_t expect = 0;
+        for (std::uint32_t x : v)
+            expect += (x >= cfg.lo && x <= cfg.hi);
+        std::uint64_t got = 0;
+        for (unsigned l = 0; l < ctx.nLanes; ++l)
+            got += unstage<std::uint64_t>(*s, res_base + l * 8,
+                                          1)[0];
+        return got == expect;
+    };
+    return job;
+}
+
+// ----------------------------------------------------------------
+// Group-by (low NDV): per-lane DMEM sum tables, host merge
+// ----------------------------------------------------------------
+
+ServingJob
+groupByJob(const sql::GroupByConfig &cfg, const ServingContext &ctx)
+{
+    sim_assert(cfg.ndv > 0 && cfg.ndv <= 1024,
+               "serving group-by needs the table in DMEM (ndv %u)",
+               cfg.ndv);
+    const std::uint64_t rows = cfg.nRows;
+    const std::uint32_t tab_bytes = cfg.ndv * 8;
+    const mem::Addr data_base = ctx.arena; // (key,val) uint32 pairs
+    const mem::Addr res_base = ctx.arena + align64(rows * 8);
+    sim_assert(res_base + std::uint64_t(ctx.nLanes) * tab_bytes <=
+                   ctx.arena + ctx.arenaBytes,
+               "group-by job overruns its arena");
+
+    soc::Soc *s = ctx.soc;
+    const std::uint64_t seed = ctx.seed ^ cfg.seed;
+    auto table = [=] {
+        sim::Rng rng{seed};
+        std::vector<std::uint32_t> v(rows * 2);
+        for (std::uint64_t r = 0; r < rows; ++r) {
+            v[r * 2] = std::uint32_t(rng.below(cfg.ndv));
+            v[r * 2 + 1] = std::uint32_t(rng.below(1 << 16));
+        }
+        return v;
+    };
+
+    ServingJob job;
+    job.workUnits = double(rows);
+    job.unitName = "rows";
+    job.stage = [=] { stage(*s, data_base, table()); };
+    job.lane = [=](core::DpCore &c, unsigned lane) {
+        Slice sl = laneSlice(rows, ctx.nLanes, lane);
+        if (!sl.count)
+            return;
+        rt::DmsCtl ctl(c, s->dmsFor(c.id()));
+        constexpr std::uint32_t tile = 8192;
+        const std::uint32_t tab_off = 2 * tile;
+        for (std::uint32_t g = 0; g < cfg.ndv; ++g)
+            c.dmem().store<std::uint64_t>(tab_off + g * 8, 0);
+        c.dualIssue(cfg.ndv / 4 + 1, cfg.ndv / 4 + 1);
+
+        rt::StreamReader in(ctl, data_base + sl.begin * 8,
+                            sl.count * 8, 0, tile, 2, 0, 0);
+        in.forEach([&](std::uint32_t off, std::uint32_t blen) {
+            for (std::uint32_t i = 0; i < blen; i += 8) {
+                std::uint32_t key =
+                    c.dmem().load<std::uint32_t>(off + i);
+                std::uint32_t val =
+                    c.dmem().load<std::uint32_t>(off + i + 4);
+                std::uint64_t sum = c.dmem().load<std::uint64_t>(
+                    tab_off + key * 8);
+                c.dmem().store<std::uint64_t>(tab_off + key * 8,
+                                              sum + val);
+                // 2 loads + rmw, paired with index arithmetic.
+                c.dualIssue(3, 3);
+            }
+        });
+        dumpToDdr(ctl, std::uint16_t(tab_off),
+                  res_base + std::uint64_t(lane) * tab_bytes,
+                  tab_bytes);
+    };
+    job.validate = [=] {
+        auto v = table();
+        std::vector<std::uint64_t> expect(cfg.ndv, 0);
+        for (std::uint64_t r = 0; r < rows; ++r)
+            expect[v[r * 2]] += v[r * 2 + 1];
+        std::vector<std::uint64_t> got(cfg.ndv, 0);
+        for (unsigned l = 0; l < ctx.nLanes; ++l) {
+            auto part = unstage<std::uint64_t>(
+                *s, res_base + std::uint64_t(l) * tab_bytes,
+                cfg.ndv);
+            for (std::uint32_t g = 0; g < cfg.ndv; ++g)
+                got[g] += part[g];
+        }
+        return got == expect;
+    };
+    return job;
+}
+
+// ----------------------------------------------------------------
+// HLL: per-lane register files, merged and replayed host-side
+// ----------------------------------------------------------------
+
+ServingJob
+hllJob(const HllConfig &cfg, const ServingContext &ctx)
+{
+    const std::uint32_t m = 1u << cfg.pBits;
+    sim_assert(m <= 8 * 1024, "register file exceeds DMEM budget");
+    const std::uint64_t n = cfg.nElements;
+    const mem::Addr data_base = ctx.arena;
+    const mem::Addr res_base = ctx.arena + align64(n * 8);
+    sim_assert(res_base + std::uint64_t(ctx.nLanes) * m <=
+                   ctx.arena + ctx.arenaBytes,
+               "HLL job overruns its arena");
+
+    soc::Soc *s = ctx.soc;
+    HllConfig gen = cfg;
+    gen.seed = ctx.seed ^ cfg.seed;
+
+    ServingJob job;
+    job.workUnits = double(n);
+    job.unitName = "elements";
+    job.stage = [=] { stage(*s, data_base, hlldetail::makeElements(gen)); };
+    job.lane = [=](core::DpCore &c, unsigned lane) {
+        Slice sl = laneSlice(n, ctx.nLanes, lane);
+        if (!sl.count)
+            return;
+        rt::DmsCtl ctl(c, s->dmsFor(c.id()));
+        constexpr std::uint32_t tile = 4096;
+        const std::uint32_t reg_off = 2 * tile;
+        std::vector<std::uint8_t> regs(m, 0);
+        for (std::uint32_t i = 0; i < m; ++i)
+            c.dmem().store<std::uint8_t>(reg_off + i, 0);
+        c.dualIssue(m / 8, m / 8);
+
+        rt::StreamReader in(ctl, data_base + sl.begin * 8,
+                            sl.count * 8, 0, tile, 2, 0, 0);
+        in.forEach([&](std::uint32_t off, std::uint32_t blen) {
+            for (std::uint32_t i = 0; i < blen; i += 8) {
+                std::uint64_t e =
+                    c.dmem().load<std::uint64_t>(off + i);
+                std::uint64_t h;
+                if (cfg.hash == HllHash::Crc32) {
+                    std::uint32_t lo = c.crcHash64(e);
+                    std::uint32_t hi =
+                        c.crcHash(lo ^ std::uint32_t(e >> 32));
+                    h = (std::uint64_t(hi) << 32) | lo;
+                } else {
+                    h = util::murmur64Key(e);
+                    for (std::uint64_t k = 0;
+                         k < util::murmur64MulCount(8); ++k)
+                        c.mul(64);
+                    c.alu(10);
+                }
+                if (cfg.useNtz)
+                    (void)c.ntz(h << cfg.pBits | 1);
+                else
+                    (void)c.nlz(h << cfg.pBits | 1);
+                hlldetail::update(h, cfg.pBits, cfg.useNtz, regs);
+                c.dualIssue(3, 3);
+            }
+        });
+        c.dmem().write(reg_off, regs.data(), m);
+        c.dualIssue(m / 8, m / 8);
+        dumpToDdr(ctl, std::uint16_t(reg_off),
+                  res_base + std::uint64_t(lane) * m, m);
+    };
+    job.validate = [=] {
+        auto data = hlldetail::makeElements(gen);
+        bool ok = true;
+        std::vector<std::uint8_t> merged(m, 0);
+        for (unsigned l = 0; l < ctx.nLanes; ++l) {
+            Slice sl = laneSlice(n, ctx.nLanes, l);
+            std::vector<std::uint8_t> regs(m, 0);
+            for (std::uint64_t i = 0; i < sl.count; ++i) {
+                std::uint64_t e = data[sl.begin + i];
+                std::uint64_t h;
+                if (cfg.hash == HllHash::Crc32) {
+                    std::uint32_t lo = util::crc32Key64(e);
+                    std::uint32_t hi =
+                        util::crc32Key(lo ^ std::uint32_t(e >> 32));
+                    h = (std::uint64_t(hi) << 32) | lo;
+                } else {
+                    h = util::murmur64Key(e);
+                }
+                hlldetail::update(h, cfg.pBits, cfg.useNtz, regs);
+            }
+            auto got = unstage<std::uint8_t>(
+                *s, res_base + std::uint64_t(l) * m, m);
+            ok = ok && got == regs;
+            for (std::uint32_t i = 0; i < m; ++i)
+                merged[i] = std::max(merged[i], regs[i]);
+        }
+        // The merged sketch must also estimate the true
+        // cardinality within the usual HLL error band.
+        double err =
+            std::abs(hlldetail::estimate(merged) -
+                     double(cfg.cardinality)) /
+            double(cfg.cardinality);
+        return ok && err < 0.1;
+    };
+    return job;
+}
+
+// ----------------------------------------------------------------
+// JSON: boundary-exact per-lane parse, summed tallies
+// ----------------------------------------------------------------
+
+ServingJob
+jsonJob(const JsonConfig &cfg, const ServingContext &ctx)
+{
+    JsonConfig gen = cfg;
+    gen.seed = ctx.seed ^ cfg.seed;
+    // Generate once at job-build time: the text's size fixes the
+    // chunking and every lane's slice.
+    auto text = std::make_shared<std::string>(
+        jsondetail::makeRecords(gen));
+    const std::uint64_t bytes = text->size();
+    constexpr std::uint32_t pad = 1024; // Section 5.5's padding
+    const mem::Addr data_base = ctx.arena;
+    const mem::Addr res_base = ctx.arena + align64(bytes + pad);
+    sim_assert(res_base + ctx.nLanes * 24 <=
+                   ctx.arena + ctx.arenaBytes,
+               "JSON job overruns its arena");
+    const std::uint64_t chunk =
+        ((bytes + ctx.nLanes - 1) / ctx.nLanes + 3) & ~3ull;
+
+    soc::Soc *s = ctx.soc;
+
+    ServingJob job;
+    job.workUnits = double(bytes);
+    job.unitName = "bytes";
+    job.stage = [=] {
+        s->memory().store().write(data_base, text->data(), bytes);
+    };
+    job.lane = [=](core::DpCore &c, unsigned lane) {
+        rt::DmsCtl ctl(c, s->dmsFor(c.id()));
+        std::uint64_t begin = std::uint64_t(lane) * chunk;
+        JsonTally t;
+        if (begin < bytes) {
+            unsigned lead = lane > 0 ? 1 : 0;
+            begin -= lead;
+            std::uint64_t want = std::min<std::uint64_t>(
+                chunk + lead + pad, bytes - begin);
+            std::vector<char> local;
+            local.reserve(want);
+            rt::StreamReader in(ctl, data_base + begin, want, 0,
+                                8192, 3, 0, 0);
+            in.forEach([&](std::uint32_t off, std::uint32_t blen) {
+                std::size_t at = local.size();
+                local.resize(at + blen);
+                c.dmem().read(off, local.data() + at, blen);
+            });
+            std::uint64_t from = 0;
+            if (lane > 0) {
+                while (from < local.size() && local[from] != '\n')
+                    ++from;
+                ++from;
+            }
+            std::uint64_t to = std::min<std::uint64_t>(
+                chunk + lead, local.size());
+            while (to < local.size() && local[to - 1] != '\n')
+                ++to;
+            if (from < to) {
+                std::uint64_t span = to - from;
+                t = jsondetail::parseSpan(local.data() + from, span);
+                // Same cost model as dpuJson (Section 5.5).
+                if (cfg.branchyParser)
+                    c.cycles(sim::Cycles(span * 33));
+                else
+                    c.cycles(sim::Cycles(span * 6));
+                c.cycles(t.fields * 30);
+            }
+        }
+        const std::uint32_t out_off = 24 * 1024;
+        c.dmem().store<std::uint64_t>(out_off, t.records);
+        c.dmem().store<std::uint64_t>(out_off + 8, t.fields);
+        c.dmem().store<std::uint64_t>(out_off + 16, t.intSum);
+        c.dualIssue(6, 6);
+        dumpToDdr(ctl, out_off, res_base + lane * 24, 24);
+    };
+    job.validate = [=] {
+        JsonTally expect =
+            jsondetail::parseSpan(text->data(), bytes);
+        JsonTally got;
+        for (unsigned l = 0; l < ctx.nLanes; ++l) {
+            auto w =
+                unstage<std::uint64_t>(*s, res_base + l * 24, 3);
+            got.records += w[0];
+            got.fields += w[1];
+            got.intSum += w[2];
+        }
+        return got == expect;
+    };
+    return job;
+}
+
+// ----------------------------------------------------------------
+// SVM inference: classify a staged test batch against weights
+// ----------------------------------------------------------------
+
+ServingJob
+svmJob(const SvmConfig &cfg, const ServingContext &ctx)
+{
+    const std::uint32_t dims = cfg.dims;
+    sim_assert(dims > 0 && dims * 4 <= 2048,
+               "weight vector must fit its DMEM slot");
+    const std::uint64_t n = cfg.nTest;
+    const std::uint32_t row_bytes = dims * 4;
+    const mem::Addr w_base = ctx.arena;
+    const mem::Addr x_base = ctx.arena + align64(row_bytes);
+    const mem::Addr res_base = x_base + align64(n * row_bytes);
+    sim_assert(res_base + ctx.nLanes * 8 <=
+                   ctx.arena + ctx.arenaBytes,
+               "SVM job overruns its arena");
+
+    soc::Soc *s = ctx.soc;
+    const std::uint64_t seed = ctx.seed ^ cfg.seed;
+    auto model = [=] {
+        sim::Rng rng{seed};
+        std::vector<std::int32_t> v(dims + n * std::uint64_t(dims));
+        for (auto &x : v)
+            x = std::int32_t(rng.below(2048)) - 1024;
+        return v; // weights first, then samples row-major
+    };
+
+    ServingJob job;
+    job.workUnits = double(n);
+    job.unitName = "samples";
+    job.stage = [=] {
+        auto v = model();
+        s->memory().store().write(w_base, v.data(), row_bytes);
+        s->memory().store().write(x_base, v.data() + dims,
+                                  n * std::uint64_t(row_bytes));
+    };
+    job.lane = [=](core::DpCore &c, unsigned lane) {
+        Slice sl = laneSlice(n, ctx.nLanes, lane);
+        if (!sl.count)
+            return;
+        rt::DmsCtl ctl(c, s->dmsFor(c.id()));
+        // Whole samples per tile so no row straddles a buffer.
+        const std::uint32_t per_tile =
+            std::max<std::uint32_t>(1, 4096 / row_bytes);
+        const std::uint32_t tile = per_tile * row_bytes;
+        const std::uint32_t w_off = 2 * tile;
+
+        ctl.ddrToDmem().rows(dims).width(4).from(w_base).to(w_off)
+            .event(7).noAutoInc().push(0);
+        ctl.wfe(7);
+        ctl.clearEvent(7);
+
+        std::uint64_t positive = 0;
+        rt::StreamReader in(ctl, x_base + sl.begin * row_bytes,
+                            sl.count * row_bytes, 0, tile, 2, 0, 0);
+        in.forEach([&](std::uint32_t off, std::uint32_t blen) {
+            for (std::uint32_t r = 0; r < blen; r += row_bytes) {
+                std::int64_t dot = 0;
+                for (std::uint32_t d = 0; d < dims; ++d) {
+                    std::int32_t w = std::int32_t(
+                        c.dmem().load<std::uint32_t>(w_off + d * 4));
+                    std::int32_t x =
+                        std::int32_t(c.dmem().load<std::uint32_t>(
+                            off + r + d * 4));
+                    dot += std::int64_t(w) * x;
+                    // Q10.22 MAC on the iterative multiplier.
+                    c.mul(32);
+                }
+                positive += dot > 0;
+                c.dualIssue(2, 2);
+            }
+        });
+        const std::uint32_t out_off = w_off + 2048;
+        c.dmem().store<std::uint64_t>(out_off, positive);
+        c.dualIssue(2, 2);
+        dumpToDdr(ctl, std::uint16_t(out_off), res_base + lane * 8,
+                  8);
+    };
+    job.validate = [=] {
+        auto v = model();
+        std::uint64_t expect = 0;
+        for (std::uint64_t r = 0; r < n; ++r) {
+            std::int64_t dot = 0;
+            for (std::uint32_t d = 0; d < dims; ++d)
+                dot += std::int64_t(v[d]) *
+                       v[dims + r * dims + d];
+            expect += dot > 0;
+        }
+        std::uint64_t got = 0;
+        for (unsigned l = 0; l < ctx.nLanes; ++l)
+            got += unstage<std::uint64_t>(*s, res_base + l * 8,
+                                          1)[0];
+        return got == expect;
+    };
+    return job;
+}
+
+// ----------------------------------------------------------------
+// Similarity search: posting-list scan against a dense query table
+// ----------------------------------------------------------------
+
+ServingJob
+simSearchJob(const SimSearchConfig &cfg, const ServingContext &ctx)
+{
+    sim_assert(cfg.vocab > 0 && cfg.vocab * 4 <= 8192,
+               "serving simsearch needs the query table in DMEM");
+    const std::uint64_t n_post =
+        std::uint64_t(cfg.nDocs) * cfg.avgTermsPerDoc;
+    const std::uint32_t q_bytes = cfg.vocab * 4;
+    const mem::Addr q_base = ctx.arena;
+    const mem::Addr p_base = ctx.arena + align64(q_bytes);
+    const mem::Addr res_base = p_base + align64(n_post * 8);
+    sim_assert(res_base + ctx.nLanes * 8 <=
+                   ctx.arena + ctx.arenaBytes,
+               "simsearch job overruns its arena");
+
+    soc::Soc *s = ctx.soc;
+    const std::uint64_t seed = ctx.seed ^ cfg.seed;
+    auto query = [=] {
+        sim::Rng rng{seed};
+        std::vector<std::int32_t> q(cfg.vocab, 0);
+        for (std::uint32_t t = 0; t < cfg.termsPerQuery; ++t)
+            q[rng.below(cfg.vocab)] =
+                std::int32_t(1 + rng.below(1 << 10));
+        return q;
+    };
+    auto postings = [=] {
+        sim::Rng rng{seed + 1};
+        std::vector<std::uint32_t> v(n_post * 2);
+        for (std::uint64_t i = 0; i < n_post; ++i) {
+            v[i * 2] = std::uint32_t(rng.below(cfg.vocab));
+            v[i * 2 + 1] = std::uint32_t(1 + rng.below(1 << 10));
+        }
+        return v;
+    };
+
+    ServingJob job;
+    job.workUnits = double(n_post);
+    job.unitName = "postings";
+    job.stage = [=] {
+        stage(*s, q_base, query());
+        stage(*s, p_base, postings());
+    };
+    job.lane = [=](core::DpCore &c, unsigned lane) {
+        Slice sl = laneSlice(n_post, ctx.nLanes, lane);
+        if (!sl.count)
+            return;
+        rt::DmsCtl ctl(c, s->dmsFor(c.id()));
+        constexpr std::uint32_t tile = 8192;
+        const std::uint32_t q_off = 2 * tile;
+
+        ctl.ddrToDmem().rows(cfg.vocab).width(4).from(q_base)
+            .to(q_off).event(7).noAutoInc().push(0);
+        ctl.wfe(7);
+        ctl.clearEvent(7);
+
+        std::int64_t score = 0;
+        rt::StreamReader in(ctl, p_base + sl.begin * 8,
+                            sl.count * 8, 0, tile, 2, 0, 0);
+        in.forEach([&](std::uint32_t off, std::uint32_t blen) {
+            for (std::uint32_t i = 0; i < blen; i += 8) {
+                std::uint32_t term =
+                    c.dmem().load<std::uint32_t>(off + i);
+                std::int32_t qw = std::int32_t(
+                    c.dmem().load<std::uint32_t>(q_off + term * 4));
+                c.dualIssue(3, 3);
+                if (qw) {
+                    std::int32_t w =
+                        std::int32_t(c.dmem().load<std::uint32_t>(
+                            off + i + 4));
+                    score += std::int64_t(qw) * w;
+                    c.mul(32); // Q10.22 accumulate
+                }
+            }
+        });
+        const std::uint32_t out_off = q_off + q_bytes;
+        c.dmem().store<std::uint64_t>(out_off,
+                                      std::uint64_t(score));
+        c.dualIssue(2, 2);
+        dumpToDdr(ctl, std::uint16_t(out_off), res_base + lane * 8,
+                  8);
+    };
+    job.validate = [=] {
+        auto q = query();
+        auto v = postings();
+        std::int64_t expect = 0;
+        for (std::uint64_t i = 0; i < n_post; ++i)
+            expect += std::int64_t(q[v[i * 2]]) *
+                      std::int32_t(v[i * 2 + 1]);
+        std::int64_t got = 0;
+        for (unsigned l = 0; l < ctx.nLanes; ++l)
+            got += std::int64_t(unstage<std::uint64_t>(
+                *s, res_base + l * 8, 1)[0]);
+        return got == expect;
+    };
+    return job;
+}
+
+// ----------------------------------------------------------------
+// Disparity: row-banded SAD argmin over a shift range
+// ----------------------------------------------------------------
+
+namespace {
+
+/** First-minimum SAD argmin shared by lane and validator. */
+std::uint8_t
+sadArgmin(const std::uint8_t *left, const std::uint8_t *right,
+          std::uint32_t width, std::uint32_t x, unsigned max_shift,
+          unsigned window)
+{
+    const int hw = int(window) / 2;
+    unsigned best = 0;
+    std::int64_t best_sad = std::numeric_limits<std::int64_t>::max();
+    for (unsigned sft = 0; sft <= max_shift; ++sft) {
+        std::int64_t sad = 0;
+        for (int dx = -hw; dx <= hw; ++dx) {
+            int lx = int(x) + dx;
+            int rx = lx - int(sft);
+            if (lx < 0 || lx >= int(width) || rx < 0 ||
+                rx >= int(width))
+                continue;
+            sad += std::abs(int(left[lx]) - int(right[rx]));
+        }
+        if (sad < best_sad) {
+            best_sad = sad;
+            best = sft;
+        }
+    }
+    return std::uint8_t(best);
+}
+
+} // namespace
+
+ServingJob
+disparityJob(const DisparityConfig &cfg, const ServingContext &ctx)
+{
+    const std::uint32_t w = cfg.width, h = cfg.height;
+    sim_assert(w % 4 == 0 && w <= 4096,
+               "serving disparity row must fit a DMEM buffer");
+    const std::uint64_t wh = std::uint64_t(w) * h;
+    const mem::Addr l_base = ctx.arena;
+    const mem::Addr r_base = ctx.arena + align64(wh);
+    const mem::Addr d_base = r_base + align64(wh);
+    sim_assert(d_base + align64(wh) <= ctx.arena + ctx.arenaBytes,
+               "disparity job overruns its arena");
+
+    soc::Soc *s = ctx.soc;
+    const std::uint64_t seed = ctx.seed ^ cfg.seed;
+    auto images = [=] {
+        sim::Rng rng{seed};
+        std::vector<std::uint8_t> v(wh * 2);
+        for (auto &px : v)
+            px = std::uint8_t(rng.below(256));
+        return v; // left then right
+    };
+
+    ServingJob job;
+    job.workUnits = double(wh);
+    job.unitName = "pixels";
+    job.stage = [=] {
+        auto v = images();
+        s->memory().store().write(l_base, v.data(), wh);
+        s->memory().store().write(r_base, v.data() + wh, wh);
+    };
+    job.lane = [=](core::DpCore &c, unsigned lane) {
+        Slice sl = laneSlice(h, ctx.nLanes, lane);
+        if (!sl.count)
+            return;
+        rt::DmsCtl ctl(c, s->dmsFor(c.id()));
+        const std::uint32_t l_off = 0, r_off = 4096,
+                            o_off = 8192;
+        std::vector<std::uint8_t> lrow(w), rrow(w), orow(w);
+        for (std::uint64_t r = sl.begin; r < sl.begin + sl.count;
+             ++r) {
+            ctl.resetArena();
+            ctl.ddrToDmem().rows(w / 4).width(4)
+                .from(l_base + r * w).to(l_off).event(0)
+                .noAutoInc().push(0);
+            ctl.ddrToDmem().rows(w / 4).width(4)
+                .from(r_base + r * w).to(r_off).event(1)
+                .noAutoInc().push(0);
+            ctl.wfe(0);
+            ctl.clearEvent(0);
+            ctl.wfe(1);
+            ctl.clearEvent(1);
+            c.dmem().read(l_off, lrow.data(), w);
+            c.dmem().read(r_off, rrow.data(), w);
+            for (std::uint32_t x = 0; x < w; ++x) {
+                orow[x] = sadArgmin(lrow.data(), rrow.data(), w, x,
+                                    cfg.maxShift, cfg.window);
+                // One |a-b| accumulate bundle per (shift, tap).
+                c.dualIssue((cfg.maxShift + 1) * cfg.window,
+                            (cfg.maxShift + 1) * cfg.window);
+            }
+            c.dmem().write(o_off, orow.data(), w);
+            c.dualIssue(w / 4, w / 4);
+            dumpToDdr(ctl, o_off, d_base + r * w, w);
+        }
+    };
+    job.validate = [=] {
+        auto v = images();
+        const std::uint8_t *left = v.data();
+        const std::uint8_t *right = v.data() + wh;
+        auto got = unstage<std::uint8_t>(*s, d_base, wh);
+        for (std::uint64_t r = 0; r < h; ++r)
+            for (std::uint32_t x = 0; x < w; ++x)
+                if (got[r * w + x] !=
+                    sadArgmin(left + r * w, right + r * w, w, x,
+                              cfg.maxShift, cfg.window))
+                    return false;
+        return true;
+    };
+    return job;
+}
+
+} // namespace dpu::apps::serving

@@ -67,6 +67,8 @@ SimSearchResult dpuSimSearch(const soc::SocParams &params,
 SimSearchResult xeonSimSearch(const SimSearchConfig &cfg);
 
 /** Figure 14 entry. */
+/** @deprecated Thin wrapper kept for one release; new code should
+ *  use apps::findApp("simsearch") from registry.hh. */
 AppResult simSearchApp(const SimSearchConfig &cfg);
 
 } // namespace dpu::apps

@@ -56,6 +56,8 @@ FilterResult dpuFilter(const soc::SocParams &params,
 FilterResult xeonFilter(const FilterConfig &cfg);
 
 /** Head-to-head AppResult for Figure 14-style reporting. */
+/** @deprecated Thin wrapper kept for one release; new code should
+ *  use apps::findApp("filter") from registry.hh. */
 AppResult filterApp(const FilterConfig &cfg);
 
 } // namespace dpu::apps::sql

@@ -66,6 +66,8 @@ GroupByResult xeonGroupByLowNdv(const GroupByConfig &cfg);
 GroupByResult xeonGroupByHighNdv(const GroupByConfig &cfg);
 
 /** Figure 14 entries. */
+/** @deprecated Thin wrappers kept for one release; new code should
+ *  use apps::findApp("groupby-low" / "groupby-high"). */
 AppResult groupByLowApp(const GroupByConfig &cfg);
 AppResult groupByHighApp(const GroupByConfig &cfg);
 

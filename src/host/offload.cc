@@ -1,0 +1,422 @@
+#include "host/offload.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+namespace dpu::host {
+
+namespace {
+
+constexpr sim::Tick noTick = std::numeric_limits<sim::Tick>::max();
+
+/** Worker shutdown sentinel (no valid dispatch encodes to it). */
+constexpr std::uint64_t shutdownMsg = ~0ull;
+
+/** Host -> worker dispatch message. */
+std::uint64_t
+dispatchMsg(std::uint64_t job_id, unsigned group)
+{
+    return (job_id << 8) | group;
+}
+
+/** Worker -> host completion ack. */
+std::uint64_t
+ackMsg(std::uint64_t job_id, unsigned group, unsigned lane)
+{
+    return (job_id << 16) | (std::uint64_t(group) << 8) | lane;
+}
+
+/** Trace track ids on TraceCat::Soc. */
+constexpr std::uint32_t hostTid = 0x500;
+constexpr std::uint32_t groupTid = 0x510;
+
+/** Nearest-rank percentile of an ascending-sorted sample. */
+double
+percentile(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0;
+    std::size_t rank = std::size_t(q * double(sorted.size()) + 0.5);
+    if (rank > 0)
+        --rank;
+    return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+} // namespace
+
+OffloadScheduler::OffloadScheduler(soc::Soc &soc_, soc::HostA9 &a9_,
+                                   OffloadParams params)
+    : soc(soc_), a9(a9_), p(params), stats("sched")
+{
+    sim_assert(p.groupSize > 0 && p.nCores % p.groupSize == 0,
+               "group size %u must divide the %u managed cores",
+               p.groupSize, p.nCores);
+    sim_assert(p.nCores <= soc.nCores(),
+               "scheduler manages %u cores but the chip has %u",
+               p.nCores, soc.nCores());
+    const unsigned n_groups = p.nCores / p.groupSize;
+    sim_assert(n_groups <= 0xff, "group id must fit a message byte");
+    groups.resize(n_groups);
+    for (unsigned g = 0; g < n_groups; ++g) {
+        groups[g].base = g * p.groupSize;
+        groups[g].size = p.groupSize;
+        sim::tracer().nameTrack(sim::TraceCat::Soc, groupTid + g,
+                                "sched.group" + std::to_string(g));
+    }
+    sim::tracer().nameTrack(sim::TraceCat::Soc, hostTid, "a9.sched");
+}
+
+mem::Addr
+OffloadScheduler::arenaOf(unsigned group) const
+{
+    return p.arenaBase + std::uint64_t(group) * p.arenaBytesPerGroup;
+}
+
+void
+OffloadScheduler::enqueueAt(sim::Tick when, JobRequest req)
+{
+    sim_assert(!started, "arrivals must precede start()");
+    arrivals.push_back({when, std::move(req)});
+}
+
+void
+OffloadScheduler::start()
+{
+    sim_assert(!started, "scheduler already started");
+    started = true;
+    std::stable_sort(arrivals.begin(), arrivals.end(),
+                     [](const Arrival &a, const Arrival &b) {
+                         return a.when < b.when;
+                     });
+
+    // Persistent worker loop on every managed core: receive a
+    // dispatch pointer, run the group's kernel lane, ack the host.
+    for (unsigned id = 0; id < p.nCores; ++id) {
+        soc.start(id, [this, id](core::DpCore &c) {
+            mbc::Mbc &mbc = soc.mbc();
+            for (;;) {
+                std::uint64_t msg = mbc.recv(c);
+                if (msg == shutdownMsg)
+                    break;
+                const unsigned g = unsigned(msg & 0xff);
+                const std::uint64_t jid = msg >> 8;
+                Group &grp = groups[g];
+                const unsigned lane = id - grp.base;
+                // The message is a pointer: chase it to the job
+                // descriptor the driver wrote in DRAM.
+                c.cycles(60);
+                grp.job.lane(c, lane);
+                mbc.send(c, mbc.a9Box(), ackMsg(jid, g, lane));
+            }
+        });
+    }
+
+    a9.start([this](soc::HostA9 &host) { hostMain(host); });
+}
+
+bool
+OffloadScheduler::submitNow(JobRequest req)
+{
+    const sim::Tick now = a9.now();
+    ++stats.counter("submitted");
+
+    JobRecord rec;
+    rec.id = nextJobId++;
+    rec.app = req.makeJob ? "<custom>" : req.app;
+    rec.enqueuedAt = now;
+
+    if (queue.size() >= p.queueDepth) {
+        rec.state = JobState::Rejected;
+        rec.finishedAt = now;
+        ++stats.counter("rejected");
+        DPU_TRACE_INSTANT(sim::TraceCat::Soc, hostTid, "job.reject",
+                          now, "job", rec.id);
+        records.push_back(std::move(rec));
+        return false;
+    }
+
+    ++stats.counter("accepted");
+    Pending pend;
+    pend.id = rec.id;
+    pend.req = std::move(req);
+    pend.deadline =
+        now + (pend.req.timeout ? pend.req.timeout : p.defaultTimeout);
+    pend.queueSpan = DPU_TRACE_NEXT_ID();
+    DPU_TRACE_SPAN_BEGIN(sim::TraceCat::Soc, hostTid, "job.queued",
+                         pend.queueSpan, now, "job", rec.id, nullptr,
+                         0);
+    records.push_back(std::move(rec));
+    queue.push_back(std::move(pend));
+    return true;
+}
+
+apps::ServingJob
+OffloadScheduler::buildJob(const JobRequest &req, unsigned group)
+{
+    apps::ServingContext ctx;
+    ctx.soc = &soc;
+    ctx.baseCore = groups[group].base;
+    ctx.nLanes = groups[group].size;
+    ctx.arena = arenaOf(group);
+    ctx.arenaBytes = p.arenaBytesPerGroup;
+    ctx.seed = req.seed;
+    if (req.makeJob)
+        return req.makeJob(ctx);
+    const apps::AppSpec *spec = apps::findApp(req.app);
+    sim_assert(spec, "request names unknown app \"%s\"",
+               req.app.c_str());
+    apps::ConfigHandle cfg = req.cfg ? req.cfg : spec->makeConfig();
+    return spec->serve(cfg, ctx);
+}
+
+void
+OffloadScheduler::resolveJob(JobRecord &rec, soc::HostA9 &host)
+{
+    (void)host;
+    if (completeHook)
+        completeHook(rec);
+}
+
+void
+OffloadScheduler::admitArrivals(soc::HostA9 &host)
+{
+    while (nextArrival < arrivals.size() &&
+           arrivals[nextArrival].when <= host.now())
+        (void)submitNow(arrivals[nextArrival++].req);
+}
+
+void
+OffloadScheduler::reapTimeouts(soc::HostA9 &host)
+{
+    const sim::Tick now = host.now();
+
+    // Queued jobs whose deadline passed never get dispatched.
+    for (auto it = queue.begin(); it != queue.end();) {
+        if (it->deadline > now) {
+            ++it;
+            continue;
+        }
+        JobRecord &rec = records[it->id - 1];
+        rec.state = JobState::TimedOut;
+        rec.finishedAt = now;
+        ++stats.counter("timedOut");
+        DPU_TRACE_SPAN_END(sim::TraceCat::Soc, hostTid, "job.queued",
+                           it->queueSpan, now);
+        DPU_TRACE_INSTANT(sim::TraceCat::Soc, hostTid, "job.timeout",
+                          now, "job", rec.id);
+        it = queue.erase(it);
+        resolveJob(rec, host);
+    }
+
+    // In-flight jobs past their deadline: report, quarantine the
+    // group (late acks reclaim it), keep serving on the rest.
+    for (unsigned g = 0; g < groups.size(); ++g) {
+        Group &grp = groups[g];
+        if (grp.state != GroupState::Busy || grp.deadline > now)
+            continue;
+        JobRecord &rec = records[grp.jobId - 1];
+        rec.state = JobState::TimedOut;
+        rec.finishedAt = now;
+        ++stats.counter("timedOut");
+        grp.state = GroupState::Quarantined;
+        DPU_TRACE_SPAN_END(sim::TraceCat::Soc, groupTid + g,
+                           "job.run", grp.runSpan, now);
+        DPU_TRACE_INSTANT(sim::TraceCat::Soc, groupTid + g,
+                          "job.timeout", now, "job", rec.id);
+        resolveJob(rec, host);
+    }
+}
+
+void
+OffloadScheduler::dispatchReady(soc::HostA9 &host)
+{
+    for (;;) {
+        if (queue.empty())
+            return;
+        unsigned g = 0;
+        for (; g < groups.size(); ++g)
+            if (groups[g].state == GroupState::Free)
+                break;
+        if (g == groups.size())
+            return;
+
+        Pending pend = std::move(queue.front());
+        queue.pop_front();
+        Group &grp = groups[g];
+        JobRecord &rec = records[pend.id - 1];
+
+        // Driver work: build the job, stage its inputs in the
+        // group's arena, write the descriptors.
+        apps::ServingJob job = buildJob(pend.req, g);
+        host.busyUs(p.dispatchOverheadUs);
+        job.stage();
+
+        const sim::Tick now = host.now();
+        rec.state = JobState::Running;
+        rec.dispatchedAt = now;
+        ++stats.counter("dispatched");
+        DPU_TRACE_SPAN_END(sim::TraceCat::Soc, hostTid, "job.queued",
+                           pend.queueSpan, now);
+
+        grp.state = GroupState::Busy;
+        grp.jobId = pend.id;
+        grp.deadline = pend.deadline;
+        grp.acksOutstanding = grp.size;
+        grp.job = std::move(job);
+        grp.runSpan = DPU_TRACE_NEXT_ID();
+        DPU_TRACE_SPAN_BEGIN(sim::TraceCat::Soc, groupTid + g,
+                             "job.run", grp.runSpan, now, "job",
+                             pend.id, "group", g);
+        for (unsigned lane = 0; lane < grp.size; ++lane)
+            host.sendToCore(grp.base + lane,
+                            dispatchMsg(pend.id, g));
+    }
+}
+
+void
+OffloadScheduler::handleAck(soc::HostA9 &host, std::uint64_t msg)
+{
+    const unsigned lane = unsigned(msg & 0xff);
+    const unsigned g = unsigned((msg >> 8) & 0xff);
+    const std::uint64_t jid = msg >> 16;
+    if (g >= groups.size() || lane >= groups[g].size) {
+        ++stats.counter("strayAcks");
+        return;
+    }
+    Group &grp = groups[g];
+    if (grp.acksOutstanding == 0 || grp.jobId != jid) {
+        ++stats.counter("strayAcks");
+        return;
+    }
+    if (--grp.acksOutstanding > 0)
+        return;
+
+    // Last lane acked: the dispatch is over.
+    host.busyUs(p.completeOverheadUs);
+    const sim::Tick now = host.now();
+    JobRecord &rec = records[jid - 1];
+    if (rec.state == JobState::TimedOut) {
+        // A reaped job finished late: reclaim the group, keep the
+        // timeout verdict (the requester has long been answered).
+        ++stats.counter("lateJobs");
+        grp.state = GroupState::Free;
+        grp.job = {};
+        DPU_TRACE_INSTANT(sim::TraceCat::Soc, groupTid + g,
+                          "job.lateAck", now, "job", jid);
+        return;
+    }
+
+    rec.state = JobState::Completed;
+    rec.finishedAt = now;
+    rec.valid = !grp.job.validate || grp.job.validate();
+    ++stats.counter("completed");
+    if (!rec.valid)
+        ++stats.counter("validationFailed");
+    latenciesUs.push_back(rec.latencyUs());
+    DPU_TRACE_SPAN_END(sim::TraceCat::Soc, groupTid + g, "job.run",
+                       grp.runSpan, now);
+    grp.state = GroupState::Free;
+    grp.job = {};
+    resolveJob(rec, host);
+}
+
+sim::Tick
+OffloadScheduler::nextWake() const
+{
+    sim::Tick wake = noTick;
+    if (nextArrival < arrivals.size())
+        wake = std::min(wake, arrivals[nextArrival].when);
+    for (const Pending &pend : queue)
+        wake = std::min(wake, pend.deadline);
+    for (const Group &grp : groups)
+        if (grp.state == GroupState::Busy)
+            wake = std::min(wake, grp.deadline);
+    return wake;
+}
+
+void
+OffloadScheduler::hostMain(soc::HostA9 &host)
+{
+    for (;;) {
+        admitArrivals(host);
+        reapTimeouts(host);
+        dispatchReady(host);
+
+        bool busy = false;
+        for (const Group &grp : groups)
+            busy = busy || grp.state == GroupState::Busy;
+        if (!busy && queue.empty() &&
+            nextArrival == arrivals.size())
+            break;
+
+        std::uint64_t msg;
+        const sim::Tick wake = nextWake();
+        if (wake == noTick) {
+            msg = host.recv();
+            handleAck(host, msg);
+        } else if (host.recvUntil(wake, msg)) {
+            handleAck(host, msg);
+        }
+        // recvUntil timing out is not idle spin: the next loop
+        // iteration admits the due arrival or reaps the overdue
+        // job that defined the wake tick.
+    }
+
+    // Retire the workers. Wedged lanes never read their sentinel;
+    // their fibers stay parked without keeping the queue alive.
+    for (unsigned id = 0; id < p.nCores; ++id)
+        host.sendToCore(id, shutdownMsg);
+    finalize(host);
+}
+
+void
+OffloadScheduler::finalize(soc::HostA9 &host)
+{
+    ServingSummary s;
+    s.submitted = stats.counter("submitted");
+    s.accepted = stats.counter("accepted");
+    s.rejected = stats.counter("rejected");
+    s.dispatched = stats.counter("dispatched");
+    s.completed = stats.counter("completed");
+    s.timedOut = stats.counter("timedOut");
+    s.validationFailed = stats.counter("validationFailed");
+    s.lateJobs = stats.counter("lateJobs");
+    for (const Group &grp : groups)
+        s.wedgedGroups += grp.state == GroupState::Quarantined;
+    stats.counter("wedgedGroups") = s.wedgedGroups;
+
+    std::sort(latenciesUs.begin(), latenciesUs.end());
+    s.p50Us = percentile(latenciesUs, 0.50);
+    s.p95Us = percentile(latenciesUs, 0.95);
+    s.p99Us = percentile(latenciesUs, 0.99);
+    if (!latenciesUs.empty()) {
+        double sum = 0;
+        for (double l : latenciesUs)
+            sum += l;
+        s.meanUs = sum / double(latenciesUs.size());
+        s.maxUs = latenciesUs.back();
+    }
+
+    sim::Tick first = noTick, last = 0;
+    for (const JobRecord &rec : records) {
+        first = std::min(first, rec.enqueuedAt);
+        last = std::max(last, rec.finishedAt);
+    }
+    if (s.completed > 0 && last > first)
+        s.throughputJobsPerSec =
+            double(s.completed) / (double(last - first) * 1e-12);
+
+    stats.scalar("p50LatencyUs") = s.p50Us;
+    stats.scalar("p95LatencyUs") = s.p95Us;
+    stats.scalar("p99LatencyUs") = s.p99Us;
+    stats.scalar("meanLatencyUs") = s.meanUs;
+    stats.scalar("maxLatencyUs") = s.maxUs;
+    stats.scalar("throughputJobsPerSec") = s.throughputJobsPerSec;
+    finalSummary = s;
+    (void)host;
+}
+
+} // namespace dpu::host

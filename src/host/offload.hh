@@ -1,0 +1,233 @@
+/**
+ * @file
+ * The host offload scheduler (Section 2.4's deployment model).
+ *
+ * On the chip the A9 complex runs the offload driver that "feeds
+ * work to the dpCores" over the MailBox Controller: requests arrive
+ * from the network, the driver stages their inputs in DRAM, posts a
+ * pointer-sized message to each core of an idle core-group, and
+ * collects per-core completion acks. This runtime reproduces that
+ * loop on the simulator:
+ *
+ *  - the 32 dpCores are partitioned into fixed core-groups, each
+ *    running a persistent worker loop (mbc recv -> kernel -> ack);
+ *  - requests name a registered app (apps::registry()) plus a
+ *    per-request config, and arrive open-loop (pre-scheduled
+ *    arrival times) or closed-loop (submitted from the completion
+ *    hook);
+ *  - admission control bounds the host-side queue: a full queue
+ *    rejects (backpressure to the network layer);
+ *  - every job carries a deadline; a job that does not complete in
+ *    time is reaped — counted as a timeout, reported, its group
+ *    quarantined until (and unless) the late acks arrive — so a
+ *    wedged kernel costs its group, never the simulation;
+ *  - per-request latency percentiles and throughput land in the
+ *    "sched" StatGroup, and each job emits enqueue/dispatch/run
+ *    lifecycle spans through the tracer (TraceCat::Soc).
+ */
+
+#ifndef DPU_HOST_OFFLOAD_HH
+#define DPU_HOST_OFFLOAD_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/registry.hh"
+#include "sim/stats.hh"
+#include "soc/host_a9.hh"
+#include "soc/soc.hh"
+
+namespace dpu::host {
+
+/** Scheduler configuration. */
+struct OffloadParams
+{
+    /** dpCores to manage (first nCores of the chip). */
+    unsigned nCores = 32;
+    /** Cores per group; must divide nCores. */
+    unsigned groupSize = 4;
+    /** Admission queue bound (backpressure beyond this). */
+    std::size_t queueDepth = 64;
+    /** Deadline for requests that don't carry one (from enqueue). */
+    sim::Tick defaultTimeout = sim::Tick(50e9); // 50 ms
+    /** Driver time per dispatch (staging, descriptor writes). */
+    double dispatchOverheadUs = 2.0;
+    /** Driver time per completion (validation readback). */
+    double completeOverheadUs = 1.0;
+    /** DDR base of the per-group job arenas. */
+    mem::Addr arenaBase = 1 << 20;
+    /** Arena bytes per group (inputs + outputs + DMS prefetch
+     *  slack). */
+    std::uint64_t arenaBytesPerGroup = 6 << 20;
+};
+
+/** One serving request. */
+struct JobRequest
+{
+    /** Registered app name (see apps::registry()). */
+    std::string app;
+    /** Per-request config; nullptr uses the app's defaults. */
+    apps::ConfigHandle cfg;
+    /** Deadline relative to enqueue; 0 uses the params default. */
+    sim::Tick timeout = 0;
+    /** Per-request seed (dataset variation across requests). */
+    std::uint64_t seed = 0;
+    /** Test hook: bypass the registry and serve this job instead
+     *  (fault injection uses it to plant wedged kernels). */
+    std::function<apps::ServingJob(const apps::ServingContext &)>
+        makeJob;
+};
+
+enum class JobState : std::uint8_t
+{
+    Queued,
+    Running,
+    Completed,
+    TimedOut,
+    Rejected,
+};
+
+/** Final per-job record. */
+struct JobRecord
+{
+    std::uint64_t id = 0;
+    std::string app;
+    JobState state = JobState::Queued;
+    sim::Tick enqueuedAt = 0;
+    sim::Tick dispatchedAt = 0;
+    sim::Tick finishedAt = 0;
+    bool valid = false; ///< validator verdict (Completed only)
+
+    double
+    latencyUs() const
+    {
+        return double(finishedAt - enqueuedAt) * 1e-6;
+    }
+};
+
+/** Aggregate outcome of a serving run. */
+struct ServingSummary
+{
+    std::uint64_t submitted = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t dispatched = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t timedOut = 0;
+    std::uint64_t validationFailed = 0;
+    std::uint64_t lateJobs = 0;     ///< timed out, then acked late
+    std::uint64_t wedgedGroups = 0; ///< still quarantined at exit
+    double p50Us = 0, p95Us = 0, p99Us = 0, meanUs = 0, maxUs = 0;
+    double throughputJobsPerSec = 0;
+};
+
+/** The A9-side offload scheduler runtime. */
+class OffloadScheduler
+{
+  public:
+    OffloadScheduler(soc::Soc &soc, soc::HostA9 &a9, OffloadParams p);
+
+    // ------------------------------------------------------------
+    // Load description (before start())
+    // ------------------------------------------------------------
+
+    /** Open-loop arrival: @p req reaches the host at tick @p when. */
+    void enqueueAt(sim::Tick when, JobRequest req);
+
+    /**
+     * Completion hook, fired after every job resolution (completed
+     * or timed out) in host context; closed-loop generators call
+     * submitNow() from it.
+     */
+    void
+    onComplete(std::function<void(const JobRecord &)> fn)
+    {
+        completeHook = std::move(fn);
+    }
+
+    /** Start workers + the host driver loop; then run the Soc. */
+    void start();
+
+    // ------------------------------------------------------------
+    // Host-context API (valid inside hooks)
+    // ------------------------------------------------------------
+
+    /** Admit @p req now. @return false when the queue is full. */
+    bool submitNow(JobRequest req);
+
+    // ------------------------------------------------------------
+    // Results (after the Soc has run)
+    // ------------------------------------------------------------
+
+    const std::vector<JobRecord> &jobs() const { return records; }
+    ServingSummary summary() const { return finalSummary; }
+    unsigned nGroups() const { return unsigned(groups.size()); }
+
+  private:
+    struct Arrival
+    {
+        sim::Tick when;
+        JobRequest req;
+    };
+
+    struct Pending
+    {
+        std::uint64_t id;
+        JobRequest req;
+        sim::Tick deadline;
+        std::uint32_t queueSpan;
+    };
+
+    enum class GroupState : std::uint8_t
+    {
+        Free,
+        Busy,
+        Quarantined,
+    };
+
+    struct Group
+    {
+        unsigned base = 0;
+        unsigned size = 0;
+        GroupState state = GroupState::Free;
+        std::uint64_t jobId = 0;
+        sim::Tick deadline = 0; ///< running job's reap tick
+        unsigned acksOutstanding = 0;
+        apps::ServingJob job;
+        std::uint32_t runSpan = 0;
+    };
+
+    void hostMain(soc::HostA9 &host);
+    void admitArrivals(soc::HostA9 &host);
+    void reapTimeouts(soc::HostA9 &host);
+    void dispatchReady(soc::HostA9 &host);
+    void handleAck(soc::HostA9 &host, std::uint64_t msg);
+    void resolveJob(JobRecord &rec, soc::HostA9 &host);
+    sim::Tick nextWake() const;
+    void finalize(soc::HostA9 &host);
+    mem::Addr arenaOf(unsigned group) const;
+    apps::ServingJob buildJob(const JobRequest &req, unsigned group);
+
+    soc::Soc &soc;
+    soc::HostA9 &a9;
+    OffloadParams p;
+    sim::StatGroup stats;
+
+    std::vector<Arrival> arrivals; ///< sorted at start()
+    std::size_t nextArrival = 0;
+    std::deque<Pending> queue;
+    std::vector<Group> groups;
+    std::vector<JobRecord> records;
+    std::vector<double> latenciesUs; ///< completed jobs only
+    std::function<void(const JobRecord &)> completeHook;
+    ServingSummary finalSummary;
+    std::uint64_t nextJobId = 1;
+    bool started = false;
+};
+
+} // namespace dpu::host
+
+#endif // DPU_HOST_OFFLOAD_HH

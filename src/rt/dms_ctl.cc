@@ -4,6 +4,64 @@
 
 namespace dpu::rt {
 
+// ----------------------------------------------------------------
+// DmsXfer builder
+// ----------------------------------------------------------------
+
+dms::Descriptor
+DmsXfer::descriptor() const
+{
+    sim_assert(haveSrc && haveDst,
+               "DmsXfer needs both from() and to()");
+    sim_assert(nRows > 0 && nRows <= 0xffff,
+               "DmsXfer rows %u out of the 16-bit field", nRows);
+    sim_assert(elemWidth == 1 || elemWidth == 2 || elemWidth == 4 ||
+                   elemWidth == 8,
+               "DmsXfer width %u not 1/2/4/8", elemWidth);
+
+    const bool to_dmem = type == dms::DescType::DdrToDmem;
+    const mem::Addr ddr_side = to_dmem ? srcOperand : dstOperand;
+    const mem::Addr dmem_side = to_dmem ? dstOperand : srcOperand;
+    const std::uint64_t span = std::uint64_t(nRows) * elemWidth;
+    sim_assert(dmem_side + span <= mem::dmemBytes,
+               "DmsXfer DMEM operand 0x%llx + %u rows x %u B "
+               "overruns the 32 KB scratchpad (swapped from()/to()?)",
+               (unsigned long long)dmem_side, nRows, elemWidth);
+
+    dms::Descriptor d;
+    d.type = type;
+    d.rows = nRows;
+    d.colWidth = elemWidth;
+    d.ddrAddr = ddr_side;
+    d.dmemAddr = std::uint16_t(dmem_side);
+    d.notifyEvent = notify;
+    d.waitEvent = wait;
+    // The auto-incremented side is the DDR one on both directions
+    // (the DMEM buffer rewinds every loop iteration, Listing 1).
+    d.srcAddrInc = ddrInc;
+    return d;
+}
+
+DescHandle
+DmsXfer::setup()
+{
+    return ctl.setup(descriptor());
+}
+
+void
+DmsXfer::rewriteAt(DescHandle at)
+{
+    ctl.rewrite(at, descriptor());
+}
+
+DescHandle
+DmsXfer::push(unsigned ch)
+{
+    DescHandle h = setup();
+    ctl.push(h, ch);
+    return h;
+}
+
 DescHandle
 DmsCtl::setup(const dms::Descriptor &d)
 {
@@ -31,15 +89,8 @@ DmsCtl::setupDdrToDmem(std::uint32_t rows, std::uint8_t width,
                        mem::Addr src, std::uint16_t dst, int event,
                        bool src_inc)
 {
-    dms::Descriptor d;
-    d.type = dms::DescType::DdrToDmem;
-    d.rows = rows;
-    d.colWidth = width;
-    d.ddrAddr = src;
-    d.dmemAddr = dst;
-    d.notifyEvent = std::int8_t(event);
-    d.srcAddrInc = src_inc;
-    return setup(d);
+    return ddrToDmem().rows(rows).width(width).from(src).to(dst)
+        .event(event).autoInc(src_inc).setup();
 }
 
 DescHandle
@@ -47,15 +98,8 @@ DmsCtl::setupDmemToDdr(std::uint32_t rows, std::uint8_t width,
                        std::uint16_t src, mem::Addr dst, int event,
                        bool dst_inc)
 {
-    dms::Descriptor d;
-    d.type = dms::DescType::DmemToDdr;
-    d.rows = rows;
-    d.colWidth = width;
-    d.ddrAddr = dst;
-    d.dmemAddr = src;
-    d.notifyEvent = std::int8_t(event);
-    d.srcAddrInc = dst_inc; // the auto-incremented side is the DDR one
-    return setup(d);
+    return dmemToDdr().rows(rows).width(width).from(src).to(dst)
+        .event(event).autoInc(dst_inc).setup();
 }
 
 DescHandle

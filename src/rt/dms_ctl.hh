@@ -24,6 +24,127 @@ namespace dpu::rt {
 /** A descriptor handle: the DMEM offset where it was encoded. */
 using DescHandle = std::uint16_t;
 
+class DmsCtl;
+
+/**
+ * Fluent builder for DDR<->DMEM transfer descriptors.
+ *
+ * The positional setupDdrToDmem(rows, width, src, dst, event, inc)
+ * signature is a transposition footgun — rows/width and src/dst are
+ * all integers, so swapped arguments compile silently. The builder
+ * names every operand and validates the combination before encoding:
+ *
+ *   auto d = ctl.ddrToDmem().rows(256).width(4)
+ *               .from(src_ddr).to(dmem_off).event(0).setup();
+ *   auto w = ctl.dmemToDdr().rows(n).width(4)
+ *               .from(dmem_off).to(dst_ddr).event(5).setup();
+ *
+ * from()/to() are direction-relative: the DMEM-side operand (the
+ * destination of ddrToDmem(), the source of dmemToDdr()) must fit
+ * the 16-bit DMEM address field and the transfer must stay inside
+ * the scratchpad — both asserted at build time, which is exactly
+ * the check a transposed call fails. autoInc() arms the DDR-side
+ * auto-increment used by Listing 1 loop groups (on by default, as
+ * with the positional calls). Terminal operations: setup() encodes
+ * into the arena and returns the handle; rewriteAt(h) re-encodes
+ * over an existing slot; push(ch) is setup() + dms_push.
+ */
+class DmsXfer
+{
+  public:
+    DmsXfer &
+    rows(std::uint32_t n)
+    {
+        nRows = n;
+        return *this;
+    }
+
+    /** Element width in bytes (1/2/4/8). */
+    DmsXfer &
+    width(std::uint8_t bytes)
+    {
+        elemWidth = bytes;
+        return *this;
+    }
+
+    /** Transfer source: a DDR address (ddrToDmem) or DMEM offset. */
+    DmsXfer &
+    from(mem::Addr src)
+    {
+        srcOperand = src;
+        haveSrc = true;
+        return *this;
+    }
+
+    /** Transfer destination, mirroring from(). */
+    DmsXfer &
+    to(mem::Addr dst)
+    {
+        dstOperand = dst;
+        haveDst = true;
+        return *this;
+    }
+
+    /** Completion/backpressure event (0..31; see Descriptor). */
+    DmsXfer &
+    event(int e)
+    {
+        notify = std::int8_t(e);
+        return *this;
+    }
+
+    /** Extra wait-for-clear precondition event. */
+    DmsXfer &
+    waitEvent(int e)
+    {
+        wait = std::int8_t(e);
+        return *this;
+    }
+
+    /** DDR-side address auto-increment across loop iterations. */
+    DmsXfer &
+    autoInc(bool on = true)
+    {
+        ddrInc = on;
+        return *this;
+    }
+
+    DmsXfer &
+    noAutoInc()
+    {
+        return autoInc(false);
+    }
+
+    /** Validate operands and produce the decoded descriptor. */
+    dms::Descriptor descriptor() const;
+
+    /** Encode into the arena; @return the descriptor's handle. */
+    DescHandle setup();
+
+    /** Re-encode over an already-setup arena slot. */
+    void rewriteAt(DescHandle at);
+
+    /** setup() + dms_push onto channel @p ch. */
+    DescHandle push(unsigned ch);
+
+  private:
+    friend class DmsCtl;
+
+    DmsXfer(DmsCtl &c, dms::DescType t) : ctl(c), type(t) {}
+
+    DmsCtl &ctl;
+    dms::DescType type;
+    std::uint32_t nRows = 0;
+    std::uint8_t elemWidth = 4;
+    mem::Addr srcOperand = 0;
+    mem::Addr dstOperand = 0;
+    std::int8_t notify = -1;
+    std::int8_t wait = -1;
+    bool ddrInc = true;
+    bool haveSrc = false;
+    bool haveDst = false;
+};
+
 /** One core's DMS control block. */
 class DmsCtl
 {
@@ -38,7 +159,25 @@ class DmsCtl
     DmsCtl(core::DpCore &c, dms::Dms &dms) : core(c), dmsRef(dms) {}
 
     // ------------------------------------------------------------
-    // Listing 1 interface
+    // Builder front-end (preferred)
+    // ------------------------------------------------------------
+
+    /** Start a DDR -> DMEM transfer descriptor (see DmsXfer). */
+    DmsXfer
+    ddrToDmem()
+    {
+        return DmsXfer(*this, dms::DescType::DdrToDmem);
+    }
+
+    /** Start a DMEM -> DDR transfer descriptor (see DmsXfer). */
+    DmsXfer
+    dmemToDdr()
+    {
+        return DmsXfer(*this, dms::DescType::DmemToDdr);
+    }
+
+    // ------------------------------------------------------------
+    // Listing 1 interface (positional; thin wrappers over DmsXfer)
     // ------------------------------------------------------------
 
     /**

@@ -46,21 +46,66 @@ HostA9::sendToCore(unsigned core, std::uint64_t msg)
     mbcRef.sendFromHost(core, msg);
 }
 
+void
+HostA9::block()
+{
+    ++wakeGen;
+    blocked = true;
+}
+
 std::uint64_t
 HostA9::recv()
 {
     std::uint64_t msg;
     while (!mbcRef.tryRecv(mbcRef.a9Box(), msg)) {
-        blocked = true;
+        block();
         yield();
     }
     return msg;
+}
+
+bool
+HostA9::tryRecv(std::uint64_t &msg)
+{
+    return mbcRef.tryRecv(mbcRef.a9Box(), msg);
+}
+
+bool
+HostA9::recvUntil(sim::Tick deadline, std::uint64_t &msg)
+{
+    while (!mbcRef.tryRecv(mbcRef.a9Box(), msg)) {
+        if (eq.now() >= deadline)
+            return false;
+        block();
+        const std::uint64_t gen = wakeGen;
+        eq.schedule(deadline, [this, gen] {
+            // Only fire if this exact wait is still pending: a
+            // message wake (or a newer wait) invalidates the timer.
+            if (blocked && gen == wakeGen) {
+                blocked = false;
+                resume();
+            }
+        });
+        yield();
+    }
+    return true;
 }
 
 void
 HostA9::busyUs(double us)
 {
     eq.scheduleIn(sim::Tick(us * 1e6), [this] { resume(); });
+    yield();
+}
+
+void
+HostA9::sleepUntil(sim::Tick when)
+{
+    if (when <= eq.now())
+        return;
+    // Not a "blocked" wait: a message arriving mid-sleep must not
+    // resume the fiber early (and must not double-resume it).
+    eq.schedule(when, [this] { resume(); });
     yield();
 }
 

@@ -48,15 +48,37 @@ class HostA9
     /** Block until a message arrives on the A9 mailbox. */
     std::uint64_t recv();
 
+    /**
+     * Poll the A9 mailbox without blocking. @return true and fill
+     * @p msg if a message was waiting; false otherwise. Burns no
+     * simulated time — poll loops must advance time themselves
+     * (busyUs / sleepUntil) or they spin forever at one tick.
+     */
+    bool tryRecv(std::uint64_t &msg);
+
+    /**
+     * Block until a message arrives or the absolute @p deadline
+     * passes, whichever is first. @return true and fill @p msg on
+     * delivery; false on timeout (any message that races the
+     * deadline at the same tick stays queued for the next receive).
+     */
+    bool recvUntil(sim::Tick deadline, std::uint64_t &msg);
+
     /** Burn host time (driver work, syscalls...). The A9 runs at
      *  a fraction of the dpCore clock; @p us is wall microseconds. */
     void busyUs(double us);
+
+    /** Sleep until absolute tick @p when (no-op if in the past).
+     *  Arriving messages do NOT cut the sleep short; use recvUntil
+     *  for an interruptible wait. */
+    void sleepUntil(sim::Tick when);
 
     sim::Tick now() const { return eq.now(); }
 
   private:
     void resume();
     void yield();
+    void block();
 
     sim::EventQueue &eq;
     mbc::Mbc &mbcRef;
@@ -64,6 +86,10 @@ class HostA9
     HostFn program;
     bool done = false;
     bool blocked = false;
+    /** Bumped on every blocking wait so a stale recvUntil deadline
+     *  timer (whose wait already ended) can tell it lost the race
+     *  and must not resume the fiber a second time. */
+    std::uint64_t wakeGen = 0;
 };
 
 } // namespace dpu::soc

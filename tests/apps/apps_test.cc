@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "apps/disparity.hh"
+#include "apps/registry.hh"
 #include "apps/hll.hh"
 #include "apps/json.hh"
 #include "apps/simsearch.hh"
@@ -21,21 +22,20 @@ using namespace dpu::apps;
 
 TEST(HllApp, EstimateMatchesBaselineAndTruth)
 {
-    HllConfig cfg;
-    cfg.nElements = 1 << 19;
-    cfg.cardinality = 1 << 16;
-    AppResult r = hllApp(cfg);
+    AppResult r =
+        runApp("hll-crc",
+               {{"nElements", "524288"}, {"cardinality", "65536"}});
     EXPECT_TRUE(r.matched);
 }
 
 TEST(HllApp, CrcBeatsMurmurOnTheDpu)
 {
-    HllConfig cfg;
-    cfg.nElements = 1 << 19;
-    cfg.cardinality = 1 << 16;
-    AppResult crc = hllApp(cfg);
-    cfg.hash = HllHash::Murmur64;
-    AppResult mur = hllApp(cfg);
+    AppResult crc =
+        runApp("hll-crc",
+               {{"nElements", "524288"}, {"cardinality", "65536"}});
+    AppResult mur =
+        runApp("hll-murmur",
+               {{"nElements", "524288"}, {"cardinality", "65536"}});
     // Section 5.4: CRC ~9x better than x86; Murmur does poorly on
     // the dpCore's iterative multiplier.
     EXPECT_GT(crc.gain(), 5.0);
@@ -62,9 +62,7 @@ TEST(HllApp, NtzVariantIsFasterThanNlz)
 
 TEST(JsonApp, TallyMatchesBaselineExactly)
 {
-    JsonConfig cfg;
-    cfg.nRecords = 8 << 10;
-    AppResult r = jsonApp(cfg);
+    AppResult r = runApp("json", {{"nRecords", "8192"}});
     EXPECT_TRUE(r.matched);
 }
 
@@ -87,9 +85,7 @@ TEST(JsonApp, ThroughputNearPaperNumbers)
 
 TEST(JsonApp, GainNearPaper)
 {
-    JsonConfig cfg;
-    cfg.nRecords = 24 << 10;
-    AppResult r = jsonApp(cfg);
+    AppResult r = runApp("json", {{"nRecords", "24576"}});
     // Figure 14: ~8x.
     EXPECT_GT(r.gain(), 5.0);
     EXPECT_LT(r.gain(), 12.0);
@@ -97,11 +93,12 @@ TEST(JsonApp, GainNearPaper)
 
 TEST(SvmApp, FixedPointConvergesFasterAtEqualAccuracy)
 {
+    AppResult r =
+        runApp("svm", {{"nTrain", "4096"}, {"nTest", "1024"}});
+    EXPECT_TRUE(r.matched);
     SvmConfig cfg;
     cfg.nTrain = 4096;
     cfg.nTest = 1024;
-    AppResult r = svmApp(cfg);
-    EXPECT_TRUE(r.matched);
     SvmResult d = dpuSvm(soc::dpu40nm(), cfg);
     SvmResult x = xeonSvm(cfg);
     EXPECT_LE(d.iterations, x.iterations);
@@ -111,10 +108,8 @@ TEST(SvmApp, FixedPointConvergesFasterAtEqualAccuracy)
 
 TEST(SvmApp, GainAbovePaperFloor)
 {
-    SvmConfig cfg;
-    cfg.nTrain = 4096;
-    cfg.nTest = 1024;
-    AppResult r = svmApp(cfg);
+    AppResult r =
+        runApp("svm", {{"nTrain", "4096"}, {"nTest", "1024"}});
     // Figure 14: "over 15x more efficient than LIBSVM".
     EXPECT_GT(r.gain(), 10.0);
     EXPECT_LT(r.gain(), 40.0);
@@ -122,17 +117,14 @@ TEST(SvmApp, GainAbovePaperFloor)
 
 TEST(SimSearchApp, ScoresMatchBaselineExactly)
 {
-    SimSearchConfig cfg;
-    cfg.nDocs = 8 << 10;
-    cfg.nQueries = 16;
-    AppResult r = simSearchApp(cfg);
+    AppResult r = runApp(
+        "simsearch", {{"nDocs", "8192"}, {"nQueries", "16"}});
     EXPECT_TRUE(r.matched);
 }
 
 TEST(SimSearchApp, GainNearPaper)
 {
-    SimSearchConfig cfg;
-    AppResult r = simSearchApp(cfg);
+    AppResult r = runApp("simsearch");
     // Figure 14: 3.9x — the smallest gain of the suite, because
     // the DPU full-scans while the Xeon touches useful postings.
     EXPECT_GT(r.gain(), 2.5);
@@ -157,18 +149,15 @@ TEST(SimSearchApp, NaiveDmsCollapsesBandwidth)
 
 TEST(DisparityApp, MapsAreBitExactAndRecoverTruth)
 {
-    DisparityConfig cfg;
-    cfg.width = 256;
-    cfg.height = 128;
-    cfg.maxShift = 16;
-    AppResult r = disparityApp(cfg);
+    AppResult r = runApp("disparity", {{"width", "256"},
+                                       {"height", "128"},
+                                       {"maxShift", "16"}});
     EXPECT_TRUE(r.matched);
 }
 
 TEST(DisparityApp, GainNearPaper)
 {
-    DisparityConfig cfg;
-    AppResult r = disparityApp(cfg);
+    AppResult r = runApp("disparity");
     // Figure 14: 8.6x.
     EXPECT_GT(r.gain(), 5.0);
     EXPECT_LT(r.gain(), 14.0);

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "apps/registry.hh"
 #include "apps/sql/filter.hh"
 
 using namespace dpu;
@@ -16,10 +17,8 @@ using namespace dpu::apps::sql;
 
 TEST(FilterApp, DpuMatchesBaselineCount)
 {
-    FilterConfig cfg;
-    cfg.nCores = 4;
-    cfg.rowsPerCore = 64 << 10;
-    AppResult r = filterApp(cfg);
+    AppResult r = runApp(
+        "filter", {{"nCores", "4"}, {"rowsPerCore", "65536"}});
     EXPECT_TRUE(r.matched);
 }
 

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "apps/registry.hh"
 #include "apps/sql/groupby.hh"
 
 using namespace dpu;
@@ -15,19 +16,15 @@ using namespace dpu::apps::sql;
 
 TEST(GroupByApp, LowNdvExactAggregation)
 {
-    GroupByConfig cfg;
-    cfg.nRows = 256 << 10;
-    cfg.ndv = 64;
-    AppResult r = groupByLowApp(cfg);
+    AppResult r = runApp("groupby-low",
+                         {{"nRows", "262144"}, {"ndv", "64"}});
     EXPECT_TRUE(r.matched);
 }
 
 TEST(GroupByApp, LowNdvGainNearPaper)
 {
-    GroupByConfig cfg;
-    cfg.nRows = 1 << 20;
-    cfg.ndv = 256;
-    AppResult r = groupByLowApp(cfg);
+    AppResult r = runApp("groupby-low",
+                         {{"nRows", "1048576"}, {"ndv", "256"}});
     // Figure 14: 6.7x. Both sides bandwidth-bound; the gain is the
     // bandwidth-per-watt ratio.
     EXPECT_GT(r.gain(), 4.5);
@@ -36,22 +33,17 @@ TEST(GroupByApp, LowNdvGainNearPaper)
 
 TEST(GroupByApp, HighNdvExactAggregation)
 {
-    GroupByConfig cfg;
-    cfg.nRows = 256 << 10;
-    cfg.ndv = 64 << 10;
-    AppResult r = groupByHighApp(cfg);
+    AppResult r = runApp("groupby-high",
+                         {{"nRows", "262144"}, {"ndv", "65536"}});
     EXPECT_TRUE(r.matched);
 }
 
 TEST(GroupByApp, HighNdvGainExceedsLowNdv)
 {
-    GroupByConfig low, high;
-    low.nRows = 1 << 20;
-    low.ndv = 256;
-    high.nRows = 1 << 20;
-    high.ndv = 256 << 10;
-    AppResult rl = groupByLowApp(low);
-    AppResult rh = groupByHighApp(high);
+    AppResult rl = runApp("groupby-low",
+                          {{"nRows", "1048576"}, {"ndv", "256"}});
+    AppResult rh = runApp("groupby-high",
+                          {{"nRows", "1048576"}, {"ndv", "262144"}});
     // Figure 14: 9.7x vs 6.7x — one hardware round beats two
     // software rounds.
     EXPECT_GT(rh.gain(), rl.gain());

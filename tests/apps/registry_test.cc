@@ -1,0 +1,90 @@
+/**
+ * @file
+ * App-registry tests: the registry is the single enumerable source
+ * of the Section 5 co-design apps, so its invariants (stable
+ * Figure 14 row order, total name lookup, string config mutation,
+ * serving-job factories) are what bench_fig14, the offload
+ * scheduler, and the serving bench all lean on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/hll.hh"
+#include "apps/registry.hh"
+
+using namespace dpu;
+using namespace dpu::apps;
+
+TEST(AppRegistry, EnumeratesFigure14RowsInOrder)
+{
+    const std::vector<std::string> expect = {
+        "svm",     "simsearch",  "filter",
+        "groupby-low", "groupby-high", "hll-crc",
+        "hll-murmur",  "json",    "disparity"};
+    ASSERT_EQ(registry().size(), expect.size());
+    for (std::size_t i = 0; i < expect.size(); ++i)
+        EXPECT_EQ(registry()[i].name, expect[i]) << "row " << i;
+}
+
+TEST(AppRegistry, SpecsAreComplete)
+{
+    std::set<std::string> names;
+    for (const AppSpec &spec : registry()) {
+        EXPECT_TRUE(names.insert(spec.name).second)
+            << "duplicate " << spec.name;
+        EXPECT_FALSE(spec.summary.empty()) << spec.name;
+        EXPECT_GT(spec.paperGain, 0.0) << spec.name;
+        EXPECT_TRUE(spec.makeConfig != nullptr) << spec.name;
+        EXPECT_TRUE(spec.set != nullptr) << spec.name;
+        EXPECT_TRUE(spec.run != nullptr) << spec.name;
+        EXPECT_TRUE(spec.serve != nullptr) << spec.name;
+        EXPECT_TRUE(spec.makeConfig() != nullptr) << spec.name;
+    }
+}
+
+TEST(AppRegistry, FindAppIsTotalOverRegisteredNames)
+{
+    for (const AppSpec &spec : registry())
+        EXPECT_EQ(findApp(spec.name), &spec);
+    EXPECT_EQ(findApp("not-an-app"), nullptr);
+    EXPECT_EQ(findApp(""), nullptr);
+}
+
+TEST(AppRegistry, SettersAcceptKnownKeysAndRejectJunk)
+{
+    for (const AppSpec &spec : registry()) {
+        ConfigHandle cfg = spec.makeConfig();
+        // Every app's config carries a dataset seed.
+        EXPECT_TRUE(spec.set(cfg, "seed", "42")) << spec.name;
+        EXPECT_FALSE(spec.set(cfg, "noSuchKnob", "1")) << spec.name;
+        EXPECT_FALSE(spec.set(cfg, "seed", "not-a-number"))
+            << spec.name;
+    }
+}
+
+TEST(AppRegistry, RunAppAppliesOverrides)
+{
+    // A tiny filter run: overrides must shrink it (fast) and the
+    // head-to-head validation must still hold.
+    AppResult r = runApp(
+        "filter", {{"nCores", "2"}, {"rowsPerCore", "8192"}});
+    EXPECT_TRUE(r.matched);
+    EXPECT_EQ(r.name, "SQL filter");
+}
+
+TEST(AppRegistry, DeprecatedWrapperAgreesWithRegistry)
+{
+    // The legacy entry point must stay a thin wrapper: identical
+    // config in, identical deterministic timings out.
+    HllConfig cfg;
+    cfg.nElements = 1 << 16;
+    cfg.cardinality = 1 << 13;
+    AppResult legacy = hllApp(cfg);
+    AppResult reg = runApp("hll-crc", {{"nElements", "65536"},
+                                       {"cardinality", "8192"}});
+    EXPECT_EQ(legacy.dpuSeconds, reg.dpuSeconds);
+    EXPECT_EQ(legacy.xeonSeconds, reg.xeonSeconds);
+    EXPECT_EQ(legacy.matched, reg.matched);
+}

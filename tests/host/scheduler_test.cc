@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Offload-scheduler tests: admission control under a bounded queue,
+ * deadline reaping of wedged and slow kernels (the simulator must
+ * never hang on a fault), late-ack group reclamation, and the
+ * closed-loop resubmission path. Fault injection uses the
+ * JobRequest::makeJob hook to plant kernels the registry would
+ * never produce.
+ */
+
+#include <gtest/gtest.h>
+
+#include "host/offload.hh"
+#include "soc/soc.hh"
+
+using namespace dpu;
+using namespace dpu::host;
+
+namespace {
+
+/** A trivial job: every lane charges a few ALU ops and acks. */
+JobRequest
+quickJob()
+{
+    JobRequest req;
+    req.makeJob = [](const apps::ServingContext &) {
+        apps::ServingJob job;
+        job.stage = [] {};
+        job.lane = [](core::DpCore &c, unsigned) { c.alu(16); };
+        return job;
+    };
+    return req;
+}
+
+/** A job whose lanes burn @p cycles before acking. */
+JobRequest
+slowJob(std::uint64_t cycles)
+{
+    JobRequest req;
+    req.makeJob = [cycles](const apps::ServingContext &) {
+        apps::ServingJob job;
+        job.stage = [] {};
+        job.lane = [cycles](core::DpCore &c, unsigned) {
+            c.sleepCycles(cycles);
+        };
+        return job;
+    };
+    return req;
+}
+
+/** A job whose lane 0 wedges forever; other lanes ack normally. */
+JobRequest
+wedgedJob()
+{
+    JobRequest req;
+    req.makeJob = [](const apps::ServingContext &) {
+        apps::ServingJob job;
+        job.stage = [] {};
+        job.lane = [](core::DpCore &c, unsigned lane) {
+            if (lane == 0)
+                c.blockUntil([] { return false; });
+            c.alu(16);
+        };
+        return job;
+    };
+    return req;
+}
+
+/** One-group chip (4 managed cores) for serialization tests. */
+OffloadParams
+oneGroup()
+{
+    OffloadParams p;
+    p.nCores = 4;
+    p.groupSize = 4;
+    return p;
+}
+
+} // namespace
+
+TEST(OffloadScheduler, MixedRegistryLoadCompletesAndValidates)
+{
+    soc::SocParams sp = soc::dpu40nm();
+    sp.ddrBytes = 64 << 20;
+    soc::Soc s(sp);
+    soc::HostA9 a9(s.eventQueue(), s.mbc());
+    OffloadScheduler sched(s, a9, {});
+
+    const char *apps[] = {"filter", "groupby-low", "hll-crc",
+                          "json",   "filter",      "groupby-low"};
+    sim::Tick t = 0;
+    unsigned i = 0;
+    for (const char *app : apps) {
+        JobRequest req;
+        req.app = app;
+        const apps::AppSpec *spec = apps::findApp(app);
+        ASSERT_NE(spec, nullptr);
+        apps::ConfigHandle cfg = spec->makeConfig();
+        // Shrink every request to serving size.
+        ASSERT_TRUE(spec->set(cfg, "seed", "11"));
+        if (std::string(app) == "filter") {
+            ASSERT_TRUE(spec->set(cfg, "rowsPerCore", "4096"));
+        }
+        if (std::string(app) == "groupby-low") {
+            ASSERT_TRUE(spec->set(cfg, "nRows", "16384"));
+            ASSERT_TRUE(spec->set(cfg, "ndv", "128"));
+        }
+        if (std::string(app) == "hll-crc") {
+            ASSERT_TRUE(spec->set(cfg, "nElements", "8192"));
+            ASSERT_TRUE(spec->set(cfg, "cardinality", "2048"));
+            ASSERT_TRUE(spec->set(cfg, "pBits", "10"));
+        }
+        if (std::string(app) == "json") {
+            ASSERT_TRUE(spec->set(cfg, "nRecords", "512"));
+        }
+        req.cfg = std::move(cfg);
+        req.seed = 100 + i++;
+        sched.enqueueAt(t += sim::Tick(50e6), std::move(req));
+    }
+
+    sched.start();
+    s.run();
+
+    const ServingSummary sum = sched.summary();
+    EXPECT_EQ(sum.submitted, 6u);
+    EXPECT_EQ(sum.completed, 6u);
+    EXPECT_EQ(sum.timedOut, 0u);
+    EXPECT_EQ(sum.rejected, 0u);
+    EXPECT_EQ(sum.validationFailed, 0u);
+    for (const JobRecord &rec : sched.jobs()) {
+        EXPECT_EQ(rec.state, JobState::Completed);
+        EXPECT_TRUE(rec.valid) << rec.app;
+        EXPECT_GT(rec.latencyUs(), 0.0);
+    }
+    EXPECT_LE(sum.p50Us, sum.p95Us);
+    EXPECT_LE(sum.p95Us, sum.p99Us);
+    EXPECT_LE(sum.p99Us, sum.maxUs);
+    EXPECT_GT(sum.throughputJobsPerSec, 0.0);
+    EXPECT_TRUE(s.allFinished());
+    EXPECT_TRUE(a9.finished());
+}
+
+TEST(OffloadScheduler, WedgedKernelIsReapedAndQueueKeepsDraining)
+{
+    soc::Soc s;
+    soc::HostA9 a9(s.eventQueue(), s.mbc());
+    OffloadParams p;
+    p.nCores = 8; // two groups: the wedge costs one, not the chip
+    p.groupSize = 4;
+    OffloadScheduler sched(s, a9, p);
+
+    // The wedge arrives first and grabs a group; everything behind
+    // it must still drain through the surviving group.
+    JobRequest wedge = wedgedJob();
+    wedge.timeout = sim::Tick(1e9); // 1 ms
+    sched.enqueueAt(0, std::move(wedge));
+    for (unsigned i = 0; i < 4; ++i)
+        sched.enqueueAt(1000 + i, quickJob());
+
+    sched.start();
+    s.run(); // must return: a wedged kernel never hangs the sim
+
+    const ServingSummary sum = sched.summary();
+    EXPECT_EQ(sum.submitted, 5u);
+    EXPECT_EQ(sum.timedOut, 1u);
+    EXPECT_EQ(sum.completed, 4u);
+    EXPECT_EQ(sum.wedgedGroups, 1u);
+    EXPECT_EQ(sched.jobs()[0].state, JobState::TimedOut);
+    // The wedged lane is the one fiber left parked.
+    EXPECT_EQ(s.unfinishedCores().size(), 1u);
+    EXPECT_TRUE(a9.finished());
+}
+
+TEST(OffloadScheduler, QueuedJobPastDeadlineIsReapedUndispatched)
+{
+    soc::Soc s;
+    soc::HostA9 a9(s.eventQueue(), s.mbc());
+    OffloadScheduler sched(s, a9, oneGroup());
+
+    // ~2.5 ms of kernel on the only group.
+    sched.enqueueAt(0, slowJob(2'000'000));
+    JobRequest doomed = quickJob();
+    doomed.timeout = sim::Tick(1e9); // 1 ms — expires while queued
+    sched.enqueueAt(1, std::move(doomed));
+    sched.enqueueAt(2, quickJob()); // default deadline: survives
+
+    sched.start();
+    s.run();
+
+    const ServingSummary sum = sched.summary();
+    EXPECT_EQ(sum.completed, 2u);
+    EXPECT_EQ(sum.timedOut, 1u);
+    const JobRecord &doomed_rec = sched.jobs()[1];
+    EXPECT_EQ(doomed_rec.state, JobState::TimedOut);
+    EXPECT_EQ(doomed_rec.dispatchedAt, 0u)
+        << "the doomed job must never have reached a group";
+    EXPECT_EQ(sched.jobs()[2].state, JobState::Completed);
+    EXPECT_TRUE(s.allFinished());
+}
+
+TEST(OffloadScheduler, BoundedQueueRejectsOverflow)
+{
+    soc::Soc s;
+    soc::HostA9 a9(s.eventQueue(), s.mbc());
+    OffloadParams p = oneGroup();
+    p.queueDepth = 2;
+    OffloadScheduler sched(s, a9, p);
+
+    for (unsigned i = 0; i < 10; ++i)
+        sched.enqueueAt(0, quickJob());
+
+    sched.start();
+    s.run();
+
+    const ServingSummary sum = sched.summary();
+    EXPECT_EQ(sum.submitted, 10u);
+    EXPECT_EQ(sum.accepted, 2u);
+    EXPECT_EQ(sum.rejected, 8u);
+    EXPECT_EQ(sum.completed, 2u);
+    unsigned rejected = 0;
+    for (const JobRecord &rec : sched.jobs())
+        rejected += rec.state == JobState::Rejected;
+    EXPECT_EQ(rejected, 8u);
+    EXPECT_TRUE(s.allFinished());
+}
+
+TEST(OffloadScheduler, LateAckReclaimsQuarantinedGroup)
+{
+    soc::Soc s;
+    soc::HostA9 a9(s.eventQueue(), s.mbc());
+    OffloadScheduler sched(s, a9, oneGroup());
+
+    // Finite but slower than its deadline: reaped at 1 ms, acks at
+    // ~2.5 ms, and the group must then serve the follow-up job.
+    JobRequest slow = slowJob(2'000'000);
+    slow.timeout = sim::Tick(1e9);
+    sched.enqueueAt(0, std::move(slow));
+    sched.enqueueAt(1, quickJob());
+
+    sched.start();
+    s.run();
+
+    const ServingSummary sum = sched.summary();
+    EXPECT_EQ(sum.timedOut, 1u);
+    EXPECT_EQ(sum.lateJobs, 1u);
+    EXPECT_EQ(sum.completed, 1u);
+    EXPECT_EQ(sum.wedgedGroups, 0u)
+        << "a late ack must reclaim the quarantined group";
+    EXPECT_EQ(sched.jobs()[0].state, JobState::TimedOut);
+    EXPECT_EQ(sched.jobs()[1].state, JobState::Completed);
+    EXPECT_GT(sched.jobs()[1].dispatchedAt,
+              sched.jobs()[0].finishedAt)
+        << "the follow-up can only dispatch after the reclamation";
+    EXPECT_TRUE(s.allFinished());
+}
+
+TEST(OffloadScheduler, ClosedLoopResubmitsFromCompletionHook)
+{
+    soc::Soc s;
+    soc::HostA9 a9(s.eventQueue(), s.mbc());
+    OffloadScheduler sched(s, a9, oneGroup());
+
+    const unsigned target = 12;
+    unsigned issued = 2;
+    sched.enqueueAt(0, quickJob());
+    sched.enqueueAt(0, quickJob());
+    sched.onComplete([&](const JobRecord &) {
+        if (issued < target) {
+            ++issued;
+            EXPECT_TRUE(sched.submitNow(quickJob()));
+        }
+    });
+
+    sched.start();
+    s.run();
+
+    EXPECT_EQ(sched.summary().completed, target);
+    EXPECT_EQ(sched.summary().rejected, 0u);
+    EXPECT_TRUE(s.allFinished());
+    EXPECT_TRUE(a9.finished());
+}

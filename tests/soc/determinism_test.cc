@@ -57,6 +57,19 @@ TEST(Determinism, AtePingPongRunsAreIdentical)
     expectRepeatable([] { return test::runAtePingPongScenario(); });
 }
 
+TEST(Determinism, MbcStormRunsAreIdentical)
+{
+    expectRepeatable([] { return test::runMbcStormScenario(); });
+}
+
+TEST(Determinism, ServingRunsAreIdentical)
+{
+    // The full offload path — admission, dispatch, kernels, acks,
+    // timeout reaping — must be a pure function of the request
+    // stream; identical stat snapshots twice in one process.
+    expectRepeatable([] { return test::runServingScenario(); });
+}
+
 TEST(Determinism, StatDumpIsByteIdentical)
 {
     // The human-readable dump must also be stable — it's what gets

@@ -92,6 +92,16 @@ TEST(GoldenStats, AtePingPong)
     checkAgainstGolden("ate_pingpong", test::runAtePingPongScenario());
 }
 
+TEST(GoldenStats, MbcStorm32To1)
+{
+    checkAgainstGolden("mbc_storm", test::runMbcStormScenario());
+}
+
+TEST(GoldenStats, OffloadServing)
+{
+    checkAgainstGolden("serving", test::runServingScenario());
+}
+
 // The harness must actually trip when a calibration knob moves:
 // perturb the DMS per-descriptor overhead (DESIGN.md §7 anchors it
 // at 120 ns) and require a non-empty diff against the golden run.

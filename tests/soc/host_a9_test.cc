@@ -108,3 +108,169 @@ TEST(HostA9, BusyUsAdvancesSimulatedTime)
     EXPECT_TRUE(a9.finished());
     EXPECT_GE(s.now(), sim::Tick(25e6));
 }
+
+TEST(HostA9, TryRecvPollsWithoutBlocking)
+{
+    soc::Soc s(smallParams());
+    soc::HostA9 a9(s.eventQueue(), s.mbc());
+
+    s.start(0, [&](core::DpCore &c) {
+        c.sleepCycles(8'000); // 10 us of work before the reply
+        s.mbc().send(c, s.mbc().a9Box(), 42);
+    });
+
+    bool empty_at_start = false;
+    std::uint64_t got = 0;
+    unsigned polls = 0;
+    a9.start([&](soc::HostA9 &host) {
+        std::uint64_t msg;
+        empty_at_start = !host.tryRecv(msg);
+        // Poll loop: each miss costs host time, or we'd spin at one
+        // tick forever.
+        while (!host.tryRecv(msg)) {
+            ++polls;
+            host.busyUs(1.0);
+        }
+        got = msg;
+    });
+
+    s.run();
+    EXPECT_TRUE(a9.finished());
+    EXPECT_TRUE(empty_at_start);
+    EXPECT_EQ(got, 42u);
+    EXPECT_GE(polls, 1u);
+}
+
+TEST(HostA9, RecvUntilTimesOutThenDelivers)
+{
+    soc::Soc s(smallParams());
+    soc::HostA9 a9(s.eventQueue(), s.mbc());
+
+    s.start(0, [&](core::DpCore &c) {
+        c.sleepCycles(80'000); // replies at ~100 us
+        s.mbc().send(c, s.mbc().a9Box(), 9);
+    });
+
+    bool first = true, second = false;
+    sim::Tick woke_at = 0, delivered_at = 0;
+    std::uint64_t got = 0;
+    a9.start([&](soc::HostA9 &host) {
+        std::uint64_t msg;
+        // Deadline at 10 us: nothing has arrived, must time out at
+        // exactly the deadline, not hang.
+        first = host.recvUntil(sim::Tick(10e6), msg);
+        woke_at = host.now();
+        // Generous second deadline: the reply must cut it short.
+        second = host.recvUntil(sim::Tick(1e12), msg);
+        got = msg;
+        delivered_at = host.now();
+    });
+
+    s.run();
+    EXPECT_TRUE(a9.finished());
+    EXPECT_FALSE(first);
+    EXPECT_EQ(woke_at, sim::Tick(10e6));
+    EXPECT_TRUE(second);
+    EXPECT_EQ(got, 9u);
+    // The wait ended on delivery, far before the 1e12 deadline
+    // (though the abandoned timer still drains from the queue).
+    EXPECT_LT(delivered_at, sim::Tick(1e9));
+}
+
+TEST(HostA9, StaleDeadlineTimerDoesNotDoubleResume)
+{
+    soc::Soc s(smallParams());
+    soc::HostA9 a9(s.eventQueue(), s.mbc());
+
+    // The message beats the deadline, leaving the deadline timer
+    // armed. When it later fires, the host is inside an unrelated
+    // blocking recv(); a buggy timer would resume it with an empty
+    // mailbox (recv returns garbage) or resume a running fiber.
+    s.start(0, [&](core::DpCore &c) {
+        s.mbc().send(c, s.mbc().a9Box(), 1); // immediate
+        c.sleepCycles(800'000);              // ~1 ms
+        s.mbc().send(c, s.mbc().a9Box(), 2);
+    });
+
+    std::vector<std::uint64_t> seen;
+    a9.start([&](soc::HostA9 &host) {
+        std::uint64_t msg;
+        // Deadline far beyond the second send: timer stays armed
+        // long after this wait completes.
+        ASSERT_TRUE(host.recvUntil(sim::Tick(500e6), msg));
+        seen.push_back(msg);
+        seen.push_back(host.recv());
+    });
+
+    s.run();
+    EXPECT_TRUE(a9.finished());
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0], 1u);
+    EXPECT_EQ(seen[1], 2u);
+}
+
+TEST(HostA9, SleepUntilIsNotCutShortByMessages)
+{
+    soc::Soc s(smallParams());
+    soc::HostA9 a9(s.eventQueue(), s.mbc());
+
+    s.start(0, [&](core::DpCore &c) {
+        s.mbc().send(c, s.mbc().a9Box(), 5); // lands mid-sleep
+    });
+
+    sim::Tick woke_at = 0;
+    std::uint64_t got = 0;
+    a9.start([&](soc::HostA9 &host) {
+        host.sleepUntil(sim::Tick(50e6));
+        woke_at = host.now();
+        host.sleepUntil(sim::Tick(1)); // past: must be a no-op
+        got = host.recv();
+    });
+
+    s.run();
+    EXPECT_TRUE(a9.finished());
+    EXPECT_EQ(woke_at, sim::Tick(50e6));
+    EXPECT_EQ(got, 5u);
+}
+
+TEST(HostA9, AllCoresToHostExactlyOnce)
+{
+    // MBC stress: all 32 dpCores fire salvos at the A9 mailbox with
+    // staggered timing. Every message must arrive exactly once.
+    soc::Soc s(smallParams());
+    soc::HostA9 a9(s.eventQueue(), s.mbc());
+    const unsigned n_cores = 32, per_core = 8;
+
+    for (unsigned id = 0; id < n_cores; ++id) {
+        s.start(id, [&, id](core::DpCore &c) {
+            for (unsigned k = 0; k < per_core; ++k) {
+                // Prime-stride stagger: bursts collide at some
+                // ticks and spread at others.
+                c.sleepCycles(1 + (id * 7 + k * 13) % 97);
+                s.mbc().send(c, s.mbc().a9Box(),
+                             (std::uint64_t(id) << 32) | k);
+            }
+        });
+    }
+
+    std::vector<unsigned> counts(n_cores * per_core, 0);
+    a9.start([&](soc::HostA9 &host) {
+        for (unsigned i = 0; i < n_cores * per_core; ++i) {
+            std::uint64_t msg = host.recv();
+            unsigned core = unsigned(msg >> 32);
+            unsigned seq = unsigned(msg & 0xffffffffu);
+            ASSERT_LT(core, n_cores);
+            ASSERT_LT(seq, per_core);
+            ++counts[core * per_core + seq];
+        }
+        // Mailbox must now be empty: no duplicated deliveries.
+        std::uint64_t extra;
+        EXPECT_FALSE(host.tryRecv(extra));
+    });
+
+    s.run();
+    EXPECT_TRUE(s.allFinished());
+    EXPECT_TRUE(a9.finished());
+    for (unsigned i = 0; i < counts.size(); ++i)
+        EXPECT_EQ(counts[i], 1u) << "message " << i;
+}

@@ -16,10 +16,12 @@
 #include <string>
 #include <vector>
 
+#include "host/offload.hh"
 #include "rt/dms_ctl.hh"
 #include "rt/partition.hh"
 #include "sim/rng.hh"
 #include "sim/stats_registry.hh"
+#include "soc/host_a9.hh"
 #include "soc/soc.hh"
 #include "util/crc32.hh"
 
@@ -183,6 +185,146 @@ runAtePingPongScenario()
         return {};
     if (s.core(0).dmem().load<std::uint64_t>(0) != 256 ||
         s.core(31).dmem().load<std::uint64_t>(0) != 256)
+        return {};
+    return freezeStats(s);
+}
+
+/**
+ * MBC storm: all 32 dpCores fire staggered bursts of messages at
+ * the A9 mailbox concurrently; the host must drain every one
+ * exactly once. The stagger strides are coprime with the core count
+ * so arrival order interleaves heavily instead of batching.
+ */
+inline sim::StatsSnapshot
+runMbcStormScenario()
+{
+    soc::SocParams p = soc::dpu40nm();
+    p.ddrBytes = 8 << 20;
+    soc::Soc s(p);
+    soc::HostA9 a9(s.eventQueue(), s.mbc());
+
+    constexpr unsigned per_core = 8;
+    const unsigned n_cores = s.nCores();
+    for (unsigned id = 0; id < n_cores; ++id) {
+        s.start(id, [&, id](core::DpCore &c) {
+            for (unsigned k = 0; k < per_core; ++k) {
+                c.sleepCycles(1 + (id * 7 + k * 13) % 97);
+                s.mbc().send(c, s.mbc().a9Box(),
+                             (std::uint64_t(id) << 32) | k);
+            }
+        });
+    }
+
+    std::vector<unsigned> seen(n_cores * per_core, 0);
+    bool stray = false;
+    a9.start([&](soc::HostA9 &host) {
+        for (unsigned n = 0; n < n_cores * per_core; ++n) {
+            const std::uint64_t msg = host.recv();
+            const unsigned id = unsigned(msg >> 32);
+            const unsigned k = unsigned(msg & 0xffffffffu);
+            if (id >= n_cores || k >= per_core)
+                stray = true;
+            else
+                ++seen[id * per_core + k];
+        }
+    });
+    s.run();
+
+    if (!s.allFinished() || !a9.finished() || stray)
+        return {};
+    for (unsigned slot : seen)
+        if (slot != 1)
+            return {};
+    if (s.mbc().depth(s.mbc().a9Box()) != 0)
+        return {};
+    return freezeStats(s);
+}
+
+/**
+ * Offload serving: a fixed open-loop trickle of small mixed-app
+ * requests through the host scheduler, including one injected
+ * never-completing job whose group must be reaped (timeout +
+ * quarantine) while the rest of the load keeps draining. One core
+ * (the wedged lane) never finishes by construction.
+ */
+inline sim::StatsSnapshot
+runServingScenario()
+{
+    soc::SocParams p = soc::dpu40nm();
+    p.ddrBytes = 64 << 20;
+    soc::Soc s(p);
+    soc::HostA9 a9(s.eventQueue(), s.mbc());
+    host::OffloadParams op;
+    host::OffloadScheduler sched(s, a9, op);
+
+    struct Req
+    {
+        const char *app;
+        std::initializer_list<
+            std::pair<std::string_view, std::string_view>>
+            opts;
+    };
+    static const Req load[] = {
+        {"filter", {{"rowsPerCore", "4096"}}},
+        {"groupby-low", {{"nRows", "16384"}, {"ndv", "128"}}},
+        {"hll-crc",
+         {{"nElements", "8192"}, {"cardinality", "2048"},
+          {"pBits", "10"}}},
+        {"json", {{"nRecords", "512"}}},
+        {"svm", {{"nTest", "2048"}, {"dims", "32"}}},
+        {"simsearch",
+         {{"nDocs", "512"}, {"vocab", "512"}, {"nQueries", "1"}}},
+        {"filter", {{"rowsPerCore", "2048"}}},
+        {"groupby-low", {{"nRows", "8192"}, {"ndv", "64"}}},
+        {"json", {{"nRecords", "256"}}},
+        {"hll-crc",
+         {{"nElements", "4096"}, {"cardinality", "1024"},
+          {"pBits", "10"}}},
+        {"filter", {{"rowsPerCore", "8192"}}},
+        {"groupby-low", {{"nRows", "16384"}, {"ndv", "256"}}},
+    };
+    const sim::Tick gap = sim::Tick(150e6); // 150 us
+    unsigned i = 0;
+    for (const Req &r : load) {
+        const apps::AppSpec *spec = apps::findApp(r.app);
+        if (!spec)
+            return {};
+        apps::ConfigHandle cfg = spec->makeConfig();
+        for (const auto &[k, v] : r.opts)
+            if (!spec->set(cfg, k, v))
+                return {};
+        host::JobRequest req;
+        req.app = r.app;
+        req.cfg = std::move(cfg);
+        req.seed = 0x5eed0000 + i;
+        sched.enqueueAt(++i * gap, std::move(req));
+    }
+
+    // The injected fault: lane 0 never sets its completion event.
+    host::JobRequest wedged;
+    wedged.timeout = sim::Tick(2e9); // 2 ms, well under the drain
+    wedged.makeJob = [](const apps::ServingContext &) {
+        apps::ServingJob job;
+        job.stage = [] {};
+        job.lane = [](core::DpCore &c, unsigned lane) {
+            if (lane == 0)
+                c.blockUntil([] { return false; });
+            c.alu(16);
+        };
+        return job;
+    };
+    sched.enqueueAt(6 * gap + 1, std::move(wedged));
+
+    sched.start();
+    s.run();
+
+    const host::ServingSummary sum = sched.summary();
+    if (sum.completed != std::size(load) || sum.timedOut != 1 ||
+        sum.rejected != 0 || sum.validationFailed != 0 ||
+        sum.wedgedGroups != 1)
+        return {};
+    // Exactly the wedged lane must still be parked.
+    if (s.unfinishedCores().size() != 1)
         return {};
     return freezeStats(s);
 }
