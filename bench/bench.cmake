@@ -22,3 +22,4 @@ dpu_add_bench(bench_fig16_tpch)
 dpu_add_bench(bench_ablation_16nm)
 dpu_add_bench(bench_serving)
 target_link_libraries(bench_serving PRIVATE dpu_host)
+dpu_add_bench(bench_simperf)

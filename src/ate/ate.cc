@@ -35,6 +35,16 @@ Ate::Ate(sim::EventQueue &eq_, std::vector<core::DpCore *> cores_,
       stats("ate"), pending(cores.size()),
       lastDeliver(cores.size() * cores.size(), 0)
 {
+    stats.addFlushHook([this] { flushStats(); });
+}
+
+void
+Ate::flushStats()
+{
+    shLoads.flushInto(stats, "loads");
+    shStores.flushInto(stats, "stores");
+    shFetchAdds.flushInto(stats, "fetchAdds");
+    shCompareSwaps.flushInto(stats, "compareSwaps");
 }
 
 unsigned
@@ -108,18 +118,18 @@ Ate::doRemoteOp(unsigned target, AteOp op, mem::Addr addr,
       case AteOp::Load:
         old = read(t, t);
         t += cyc(p.opLoad);
-        ++stats.counter("loads");
+        ++shLoads;
         break;
       case AteOp::Store:
         write(a & mask, t, t);
         t += cyc(p.opStore);
-        ++stats.counter("stores");
+        ++shStores;
         break;
       case AteOp::FetchAdd: {
         old = read(t, t);
         write((old + std::uint64_t(std::int64_t(a))) & mask, t, t);
         t += cyc(p.opAmo);
-        ++stats.counter("fetchAdds");
+        ++shFetchAdds;
         break;
       }
       case AteOp::CompareSwap: {
@@ -127,7 +137,7 @@ Ate::doRemoteOp(unsigned target, AteOp op, mem::Addr addr,
         if (old == (a & mask))
             write(b & mask, t, t);
         t += cyc(p.opAmo);
-        ++stats.counter("compareSwaps");
+        ++shCompareSwaps;
         break;
       }
       default:
@@ -191,8 +201,8 @@ Ate::issue(core::DpCore &c, unsigned target, AteOp op, mem::Addr addr,
             out.ready = true;
             out.value = value;
             cores[local(src)]->wake(eq.now());
-        });
-    });
+        }, sim::EvTag::Ate);
+    }, sim::EvTag::Ate);
 }
 
 std::uint64_t
@@ -283,9 +293,10 @@ Ate::swRpc(core::DpCore &c, unsigned target,
                                 pending[l].ready = true;
                                 pending[l].value = 0;
                                 cores[l]->wake(eq.now());
-                            });
+                            },
+                            sim::EvTag::Ate);
             });
-    });
+    }, sim::EvTag::Ate);
 
     if (wait)
         waitResponse(c);

@@ -157,6 +157,11 @@ class Ate
     unsigned baseId;
     AteParams p;
     sim::StatGroup stats;
+    /** Deferred per-RPC counters (see sim/stats.hh); folded in by
+     *  the group's flush hook. */
+    sim::DeferredCounter shLoads, shStores, shFetchAdds,
+        shCompareSwaps;
+    void flushStats();
 
     std::vector<Outstanding> pending;
     /** lastDeliver[src * nCores + dst]. */

@@ -21,6 +21,26 @@ DpCore::DpCore(unsigned id, sim::EventQueue &eq_,
       l1dCache(std::make_unique<mem::Cache>(
           "core" + std::to_string(id) + ".l1d", l1dParams, l2))
 {
+    stat.addFlushHook([this] { flushStats(); });
+}
+
+void
+DpCore::flushStats()
+{
+    shAluOps.flushInto(stat, "aluOps");
+    shLsuOps.flushInto(stat, "lsuOps");
+    shMuls.flushInto(stat, "muls");
+    shDivs.flushInto(stat, "divs");
+    shBranches.flushInto(stat, "branches");
+    shBranchMisses.flushInto(stat, "branchMisses");
+    shBlocks.flushInto(stat, "blocks");
+    shCrcOps.flushInto(stat, "crcOps");
+    shPopcounts.flushInto(stat, "popcounts");
+    shNtzOps.flushInto(stat, "ntzOps");
+    shNlzOps.flushInto(stat, "nlzOps");
+    shInterruptsPosted.flushInto(stat, "interruptsPosted");
+    shInterruptsTaken.flushInto(stat, "interruptsTaken");
+    shAteInjectTicks.flushInto(stat, "ateInjectTicks");
 }
 
 // ----------------------------------------------------------------
@@ -42,7 +62,7 @@ DpCore::start(Kernel kernel)
         sync();
     });
     state = State::Ready;
-    eq.scheduleIn(0, [this] { resumeFiber(); });
+    eq.scheduleIn(0, resumeEvent);
 }
 
 void
@@ -90,7 +110,7 @@ DpCore::sync()
             sim::Tick target = eq.now() + aheadTicks;
             aheadTicks = 0;
             state = State::Sleeping;
-            eq.schedule(target, [this] { resumeFiber(); });
+            eq.schedule(target, resumeEvent);
             yieldToScheduler();
         }
         if (!pendingIsrs.empty() && !inIsr)
@@ -115,7 +135,7 @@ DpCore::blockUntil(const std::function<bool()> &pred)
     bool blocked = false;
     while (!pred()) {
         state = State::Blocked;
-        ++stat.counter("blocks");
+        ++shBlocks;
         blocked = true;
         yieldToScheduler();
         // Woken by wake(); state is Running again here.
@@ -133,15 +153,14 @@ DpCore::wake(sim::Tick when)
     if (state != State::Blocked)
         return; // a resume is already scheduled or the core is busy
     state = State::Sleeping;
-    eq.schedule(std::max(when, eq.now()),
-                [this] { resumeFiber(); });
+    eq.schedule(std::max(when, eq.now()), resumeEvent);
 }
 
 void
 DpCore::postInterrupt(Isr isr)
 {
     pendingIsrs.push_back(std::move(isr));
-    ++stat.counter("interruptsPosted");
+    ++shInterruptsPosted;
     if (state == State::Blocked)
         wake(eq.now());
 }
@@ -157,7 +176,7 @@ DpCore::deliverInterrupts()
         inIsr = true;
         const sim::Tick t0 = now();
         cycles(costs.interrupt);
-        ++stat.counter("interruptsTaken");
+        ++shInterruptsTaken;
         isr(*this);
         DPU_TRACE_COMPLETE(sim::TraceCat::Core, coreId, "isr", t0,
                            now() - t0, nullptr, 0, nullptr, 0);
@@ -172,7 +191,7 @@ DpCore::deliverInterrupts()
 std::uint32_t
 DpCore::crcHash(std::uint32_t key)
 {
-    ++stat.counter("crcOps");
+    ++shCrcOps;
     cycles(costs.crc32);
     return util::crc32Key(key);
 }
@@ -180,7 +199,7 @@ DpCore::crcHash(std::uint32_t key)
 std::uint32_t
 DpCore::crcHash64(std::uint64_t key)
 {
-    ++stat.counter("crcOps");
+    ++shCrcOps;
     cycles(2 * costs.crc32);
     return util::crc32Key64(key);
 }
@@ -188,7 +207,7 @@ DpCore::crcHash64(std::uint64_t key)
 unsigned
 DpCore::popcount(std::uint64_t v)
 {
-    ++stat.counter("popcounts");
+    ++shPopcounts;
     cycles(costs.popcount);
     return unsigned(__builtin_popcountll(v));
 }
@@ -196,7 +215,7 @@ DpCore::popcount(std::uint64_t v)
 unsigned
 DpCore::ntz(std::uint64_t v)
 {
-    ++stat.counter("ntzOps");
+    ++shNtzOps;
     cycles(costs.ntz);
     return v ? unsigned(__builtin_ctzll(v)) : 64;
 }
@@ -204,7 +223,7 @@ DpCore::ntz(std::uint64_t v)
 unsigned
 DpCore::nlz(std::uint64_t v)
 {
-    ++stat.counter("nlzOps");
+    ++shNlzOps;
     cycles(costs.nlz);
     return v ? unsigned(__builtin_clzll(v)) : 64;
 }
@@ -274,7 +293,7 @@ DpCore::readBytes(mem::Addr addr, void *dst, std::uint32_t len)
 {
     checkWatchpoints(addr, len, false);
     std::uint64_t words = (len + 7) / 8;
-    stat.counter("lsuOps") += words;
+    shLsuOps += words;
 
     if (mem::isDmemAddr(addr)) {
         sim_assert(mem::dmemOwner(addr) == coreId,
@@ -299,7 +318,7 @@ DpCore::writeBytes(mem::Addr addr, const void *src, std::uint32_t len)
 {
     checkWatchpoints(addr, len, true);
     std::uint64_t words = (len + 7) / 8;
-    stat.counter("lsuOps") += words;
+    shLsuOps += words;
 
     if (mem::isDmemAddr(addr)) {
         sim_assert(mem::dmemOwner(addr) == coreId,

@@ -105,8 +105,8 @@ class DpCore
     void
     dualIssue(std::uint64_t alu_ops, std::uint64_t lsu_ops)
     {
-        stat.counter("aluOps") += alu_ops;
-        stat.counter("lsuOps") += lsu_ops;
+        shAluOps += alu_ops;
+        shLsuOps += lsu_ops;
         cycles(std::max(alu_ops, lsu_ops));
     }
 
@@ -114,7 +114,7 @@ class DpCore
     void
     alu(std::uint64_t n = 1)
     {
-        stat.counter("aluOps") += n;
+        shAluOps += n;
         cycles(n * costs.alu);
     }
 
@@ -122,7 +122,7 @@ class DpCore
     void
     mul(unsigned bits = 32)
     {
-        ++stat.counter("muls");
+        ++shMuls;
         const sim::Cycles c = costs.mulCycles(bits);
         if (DPU_TRACE_ARMED) {
             DPU_TRACE_COMPLETE(sim::TraceCat::Core, coreId, "mul",
@@ -136,7 +136,7 @@ class DpCore
     void
     div()
     {
-        ++stat.counter("divs");
+        ++shDivs;
         cycles(costs.div);
     }
 
@@ -147,12 +147,12 @@ class DpCore
     void
     branch(bool taken, bool backward)
     {
-        ++stat.counter("branches");
+        ++shBranches;
         bool predicted_taken = backward;
         if (taken == predicted_taken) {
             cycles(costs.branch);
         } else {
-            ++stat.counter("branchMisses");
+            ++shBranchMisses;
             cycles(costs.branch + costs.branchMiss);
         }
     }
@@ -296,7 +296,7 @@ class DpCore
     injectStall(sim::Tick t)
     {
         aheadTicks += t;
-        stat.counter("ateInjectTicks") += t;
+        shAteInjectTicks += t;
     }
 
     /**
@@ -325,9 +325,41 @@ class DpCore
     IsaCosts costs;
     sim::StatGroup stat;
 
+    /** Per-op counters are deferred (sim/stats.hh): the issue path
+     *  pays a plain add and the cells materialise through the stat
+     *  group's flush hook (installed in the constructor). */
+    sim::DeferredCounter shAluOps, shLsuOps, shMuls, shDivs,
+        shBranches, shBranchMisses, shBlocks, shCrcOps, shPopcounts,
+        shNtzOps, shNlzOps, shInterruptsPosted, shInterruptsTaken,
+        shAteInjectTicks;
+    void flushStats();
+
     mem::Dmem scratch;
     mem::Cache &l2Cache;
     std::unique_ptr<mem::Cache> l1dCache;
+
+    /**
+     * The core's single outstanding wake/resume, embedded so the
+     * sync/wake hot path schedules an intrusive event instead of
+     * renting a pooled callback carrier. The state machine
+     * guarantees at most one resume is pending (start from
+     * Idle/Done, sync from Running, wake only from Blocked); the
+     * queue's already-scheduled assertion enforces it.
+     */
+    class ResumeEvent final : public sim::Event
+    {
+      public:
+        explicit ResumeEvent(DpCore &c_)
+            : sim::Event(sim::EvTag::Core), c(c_)
+        {
+        }
+        void process() override { c.resumeFiber(); }
+        const char *name() const override { return "core.resume"; }
+
+      private:
+        DpCore &c;
+    };
+    ResumeEvent resumeEvent{*this};
 
     std::unique_ptr<sim::Fiber> fiber;
     Kernel kernelFn;

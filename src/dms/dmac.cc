@@ -227,7 +227,8 @@ Dmac::execDdrToDmem(unsigned core, const Descriptor &d,
         dmaxBus[m] = bus;
         t = std::max(t, bus);
         ctx.eq.schedule(std::max(t, ctx.eq.now()),
-                        [this] { --gathersActive; });
+                        [this] { --gathersActive; },
+                        sim::EvTag::Dms);
         stats.counter("bytesToDmem") += moved;
     } else {
         t = ddrStream(ddr, dst.raw() + dmem, bytes, false, start);
@@ -494,13 +495,16 @@ Dmac::finalizeBuffer(unsigned dst_core, sim::Tick t, bool final_buf)
     unsigned ev = p.firstEvent + buf;
     ctx.events[dst_core].whenClear(ev, [this, dst_core, buf] {
         partDst[dst_core].busyMask &= std::uint8_t(~(1u << buf));
-        ctx.eq.scheduleIn(0, [this] {
-            if (partActive && !partQueue.empty()) {
-                partQueue.front().t =
-                    std::max(partQueue.front().t, ctx.eq.now());
-                partStep();
-            }
-        });
+        ctx.eq.scheduleIn(0,
+                          [this] {
+                              if (partActive && !partQueue.empty()) {
+                                  partQueue.front().t = std::max(
+                                      partQueue.front().t,
+                                      ctx.eq.now());
+                                  partStep();
+                              }
+                          },
+                          sim::EvTag::Dms);
     });
 
     ctx.scheduleSet(dst_core, ev, t);

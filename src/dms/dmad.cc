@@ -81,7 +81,8 @@ Dmad::parkOnClear(unsigned ch, unsigned ev)
     c.waiting = true;
     ctx.events[coreId].whenClear(ev, [this, ch] {
         channels[ch].waiting = false;
-        ctx.eq.scheduleIn(0, [this, ch] { process(ch); });
+        ctx.eq.scheduleIn(0, [this, ch] { process(ch); },
+                          sim::EvTag::Dms);
     });
 }
 
@@ -92,7 +93,8 @@ Dmad::parkOnSet(unsigned ch, unsigned ev)
     c.waiting = true;
     ctx.events[coreId].whenSet(ev, [this, ch] {
         channels[ch].waiting = false;
-        ctx.eq.scheduleIn(0, [this, ch] { process(ch); });
+        ctx.eq.scheduleIn(0, [this, ch] { process(ch); },
+                          sim::EvTag::Dms);
     });
 }
 
@@ -265,7 +267,8 @@ Dmad::process(unsigned ch)
                         }
                         --chan.inflight;
                         process(ch);
-                    });
+                    },
+                    sim::EvTag::Dms);
             });
 
         ++c.pc;

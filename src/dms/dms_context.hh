@@ -48,11 +48,14 @@ struct DmsContext
     void
     scheduleSet(unsigned core, unsigned ev, sim::Tick when)
     {
-        eq.schedule(std::max(when, eq.now()), [this, core, ev] {
-            DPU_TRACE_INSTANT(sim::TraceCat::Dms, baseCore + core,
-                              "evSet", eq.now(), "event", ev);
-            events[core].set(ev);
-        });
+        eq.schedule(std::max(when, eq.now()),
+                    [this, core, ev] {
+                        DPU_TRACE_INSTANT(sim::TraceCat::Dms,
+                                          baseCore + core, "evSet",
+                                          eq.now(), "event", ev);
+                        events[core].set(ev);
+                    },
+                    sim::EvTag::Dms);
     }
 };
 

@@ -8,13 +8,17 @@ Mbc::Mbc(sim::EventQueue &eq_, std::vector<core::DpCore *> &cores_)
     : eq(eq_), cores(cores_), stats("mbc"),
       boxes(cores_.size() + 2), handlers(cores_.size() + 2)
 {
+    stats.addFlushHook([this] {
+        shSent.flushInto(stats, "sent");
+        shDelivered.flushInto(stats, "delivered");
+    });
 }
 
 void
 Mbc::deliver(unsigned dst, std::uint64_t msg)
 {
     boxes[dst].push_back(msg);
-    ++stats.counter("delivered");
+    ++shDelivered;
     if (dst < cores.size() && cores[dst]) {
         // Raise the mailbox interrupt line: wake a blocked receiver.
         cores[dst]->wake(eq.now());
@@ -30,18 +34,20 @@ Mbc::send(core::DpCore &sender, unsigned dst, std::uint64_t msg)
     // Two memory-mapped register writes (control + data).
     sender.cycles(4);
     sender.sync();
-    ++stats.counter("sent");
+    ++shSent;
     eq.schedule(eq.now() + sim::dpCoreClock.cyclesToTicks(mbcLatency),
-                [this, dst, msg] { deliver(dst, msg); });
+                [this, dst, msg] { deliver(dst, msg); },
+                sim::EvTag::Mbc);
 }
 
 void
 Mbc::sendFromHost(unsigned dst, std::uint64_t msg)
 {
     sim_assert(dst < boxes.size(), "bad mailbox %u", dst);
-    ++stats.counter("sent");
+    ++shSent;
     eq.schedule(eq.now() + sim::dpCoreClock.cyclesToTicks(mbcLatency),
-                [this, dst, msg] { deliver(dst, msg); });
+                [this, dst, msg] { deliver(dst, msg); },
+                sim::EvTag::Mbc);
 }
 
 std::uint64_t

@@ -85,6 +85,8 @@ class Mbc
     sim::EventQueue &eq;
     std::vector<core::DpCore *> &cores;
     sim::StatGroup stats;
+    /** Deferred per-message counters (see sim/stats.hh). */
+    sim::DeferredCounter shSent, shDelivered;
     std::vector<std::deque<std::uint64_t>> boxes;
     std::vector<std::function<void()>> handlers;
 };

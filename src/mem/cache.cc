@@ -17,6 +17,16 @@ Cache::Cache(const std::string &name, const CacheParams &params,
     sim_assert(nSets > 0 && (nSets & (nSets - 1)) == 0,
                "cache sets must be a power of two (size=%u assoc=%u)",
                params.sizeBytes, params.assoc);
+    stats.addFlushHook([this] { flushStats(); });
+}
+
+void
+Cache::flushStats()
+{
+    shHits.flushInto(stats, "hits");
+    shMisses.flushInto(stats, "misses");
+    shWritebacks.flushInto(stats, "writebacks");
+    shFills.flushInto(stats, "fills");
 }
 
 std::uint32_t
@@ -47,11 +57,11 @@ Cache::getLine(Addr line_addr, sim::Tick when, bool fill)
 {
     if (Line *l = findLine(line_addr)) {
         l->lastUse = ++useClock;
-        ++stats.counter("hits");
+        ++shHits;
         return {l, when + hitLatency};
     }
 
-    ++stats.counter("misses");
+    ++shMisses;
     Line *set = &lines[std::size_t(setIndex(line_addr)) * p.assoc];
     Line *victim = &set[0];
     for (std::uint32_t w = 1; w < p.assoc; ++w) {
@@ -66,7 +76,7 @@ Cache::getLine(Addr line_addr, sim::Tick when, bool fill)
     sim::Tick t = when + hitLatency;
     if (victim->valid && victim->dirty) {
         t = next.writeLine(victim->tag, victim->data, t);
-        ++stats.counter("writebacks");
+        ++shWritebacks;
     }
 
     victim->valid = true;
@@ -75,7 +85,7 @@ Cache::getLine(Addr line_addr, sim::Tick when, bool fill)
     victim->lastUse = ++useClock;
     if (fill) {
         t = next.readLine(line_addr, victim->data, t);
-        ++stats.counter("fills");
+        ++shFills;
     } else {
         std::memset(victim->data, 0, lineBytes);
     }

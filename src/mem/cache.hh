@@ -113,7 +113,13 @@ class Cache : public MemPort
 
     std::uint32_t setIndex(Addr line_addr) const;
 
+    /** Fold deferred per-access counters into the stat group. */
+    void flushStats();
+
     sim::StatGroup stats;
+    /** Deferred per-access counters (see sim/stats.hh); folded in by
+     *  the group's flush hook. */
+    sim::DeferredCounter shHits, shMisses, shWritebacks, shFills;
     CacheParams p;
     MemPort &next;
     std::uint32_t nSets;

@@ -95,7 +95,13 @@ class DdrChannel
         : p(params), st(stats)
     {
         banks.fill(Bank{});
+        stats.addFlushHook([this] { flushStats(); });
     }
+
+    // The flush hook captures `this`, so the channel must stay put
+    // (it lives inside MainMemory for the whole simulation).
+    DdrChannel(const DdrChannel &) = delete;
+    DdrChannel &operator=(const DdrChannel &) = delete;
 
     /**
      * Issue one memory transaction of up to any length; the model
@@ -119,7 +125,7 @@ class DdrChannel
             done = burst(a, write, earliest);
             a += 64;
         }
-        st.counter(write ? "bytesWritten" : "bytesRead") += bytes;
+        (write ? shBytesWritten : shBytesRead) += bytes;
         if (DPU_TRACE_ARMED) {
             DPU_TRACE_COMPLETE(sim::TraceCat::Ddr, 0,
                                write ? "write" : "read", earliest,
@@ -172,12 +178,12 @@ class DdrChannel
             t += p.tRcd + p.tCl;
             b.dataReadyAt = t;
             b.openRow = row;
-            ++st.counter("rowMisses");
+            ++shRowMisses;
         } else {
             // Row hit: the column command pipelines behind earlier
             // bursts; only the CAS latency of this request bounds it.
             b.dataReadyAt = std::max(b.dataReadyAt, earliest + p.tCl);
-            ++st.counter("rowHits");
+            ++shRowHits;
         }
 
         sim::Tick data_start = std::max(b.dataReadyAt, busFree);
@@ -190,13 +196,28 @@ class DdrChannel
             sim::Tick(double(p.tBurst) / (1.0 - p.refreshDerate));
 
         busFree = data_start + t_burst;
-        st.counter("busyTicks") += t_burst;
-        ++st.counter("bursts");
+        shBusyTicks += t_burst;
+        ++shBursts;
         return busFree;
+    }
+
+    /** Fold deferred per-burst counters into the stat group. */
+    void
+    flushStats()
+    {
+        shRowMisses.flushInto(st, "rowMisses");
+        shRowHits.flushInto(st, "rowHits");
+        shBusyTicks.flushInto(st, "busyTicks");
+        shBursts.flushInto(st, "bursts");
+        shBytesRead.flushInto(st, "bytesRead");
+        shBytesWritten.flushInto(st, "bytesWritten");
     }
 
     DdrParams p;
     sim::StatGroup &st;
+    /** Deferred per-burst counters (see sim/stats.hh). */
+    sim::DeferredCounter shRowMisses, shRowHits, shBusyTicks,
+        shBursts, shBytesRead, shBytesWritten;
     std::array<Bank, 64> banks;
     sim::Tick busFree = 0;
     bool lastWasWrite = false;

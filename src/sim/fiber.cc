@@ -1,5 +1,7 @@
 #include "sim/fiber.hh"
 
+#include <cstring>
+
 #include "sim/logging.hh"
 
 // AddressSanitizer tracks one shadow stack per thread; every fiber
@@ -20,6 +22,51 @@
 #if DPU_ASAN_FIBERS
 #include <sanitizer/common_interface_defs.h>
 #endif
+
+#if !DPU_FIBER_UCONTEXT
+
+/**
+ * Switch stacks: save the callee-saved register state on the current
+ * stack, park the stack pointer in *save_sp, and resume from
+ * restore_sp. Everything else is caller-saved and spilled by the
+ * compiler around the call, so this is the entire context. The
+ * frame layout must match the one initFiberStack() fabricates for a
+ * fiber's first entry.
+ */
+extern "C" void dpuFiberSwap(void **save_sp, void *restore_sp);
+
+asm(R"(
+        .text
+        .align 16
+        .globl dpuFiberSwap
+        .hidden dpuFiberSwap
+        .type dpuFiberSwap, @function
+dpuFiberSwap:
+        pushq %rbp
+        pushq %rbx
+        pushq %r12
+        pushq %r13
+        pushq %r14
+        pushq %r15
+        subq $8, %rsp
+        stmxcsr (%rsp)
+        fnstcw 4(%rsp)
+        movq %rsp, (%rdi)
+        movq %rsi, %rsp
+        ldmxcsr (%rsp)
+        fldcw 4(%rsp)
+        addq $8, %rsp
+        popq %r15
+        popq %r14
+        popq %r13
+        popq %r12
+        popq %rbx
+        popq %rbp
+        ret
+        .size dpuFiberSwap, .-dpuFiberSwap
+)");
+
+#endif // !DPU_FIBER_UCONTEXT
 
 namespace dpu::sim {
 
@@ -67,6 +114,37 @@ Fiber::current()
     return currentFiber;
 }
 
+#if !DPU_FIBER_UCONTEXT
+
+void *
+Fiber::initFiberStack()
+{
+    // Build the frame dpuFiberSwap's restore path expects, so the
+    // first switch-in "returns" into trampoline():
+    //   sp+0   mxcsr | x87 control word (inherited from the creator)
+    //   sp+8   r15..rbp (six registers, zeroed)
+    //   sp+56  return address = trampoline
+    // The SysV ABI wants rsp % 16 == 8 at function entry, i.e. the
+    // return-address slot itself 16-aligned... which sp+56 is when
+    // sp is aligned down from a 16-byte boundary minus 72.
+    std::uintptr_t top =
+        reinterpret_cast<std::uintptr_t>(stack.data() + stack.size());
+    top &= ~std::uintptr_t(15);
+    std::uint8_t *frame = reinterpret_cast<std::uint8_t *>(top) - 72;
+    std::memset(frame, 0, 72);
+    void (*entry)() = &Fiber::trampoline;
+    std::memcpy(frame + 56, &entry, sizeof entry);
+    std::uint32_t mxcsr;
+    std::uint16_t fcw;
+    asm("stmxcsr %0" : "=m"(mxcsr));
+    asm("fnstcw %0" : "=m"(fcw));
+    std::memcpy(frame + 0, &mxcsr, sizeof mxcsr);
+    std::memcpy(frame + 4, &fcw, sizeof fcw);
+    return frame;
+}
+
+#endif // !DPU_FIBER_UCONTEXT
+
 void
 Fiber::trampoline()
 {
@@ -80,7 +158,11 @@ Fiber::trampoline()
     // Return to whoever resumed us for the last time. nullptr frees
     // this (dying) fiber's ASan fake stack.
     asanStartSwitch(nullptr, f->schedStackBottom, f->schedStackSize);
+#if DPU_FIBER_UCONTEXT
     swapcontext(&f->ctx, &f->returnCtx);
+#else
+    dpuFiberSwap(&f->fiberSp, f->schedSp);
+#endif
 }
 
 void
@@ -91,16 +173,24 @@ Fiber::resume()
                "nested fiber resume is not supported");
     if (!started) {
         started = true;
+#if DPU_FIBER_UCONTEXT
         getcontext(&ctx);
         ctx.uc_stack.ss_sp = stack.data();
         ctx.uc_stack.ss_size = stack.size();
         ctx.uc_link = nullptr;
         makecontext(&ctx, reinterpret_cast<void (*)()>(&trampoline), 0);
+#else
+        fiberSp = initFiberStack();
+#endif
     }
     currentFiber = this;
     void *sched_fake = nullptr;
     asanStartSwitch(&sched_fake, stack.data(), stack.size());
+#if DPU_FIBER_UCONTEXT
     swapcontext(&returnCtx, &ctx);
+#else
+    dpuFiberSwap(&schedSp, fiberSp);
+#endif
     asanFinishSwitch(sched_fake, nullptr, nullptr);
     currentFiber = nullptr;
 }
@@ -112,7 +202,11 @@ Fiber::yield()
     currentFiber = nullptr;
     void *fiber_fake = nullptr;
     asanStartSwitch(&fiber_fake, schedStackBottom, schedStackSize);
+#if DPU_FIBER_UCONTEXT
     swapcontext(&ctx, &returnCtx);
+#else
+    dpuFiberSwap(&fiberSp, schedSp);
+#endif
     asanFinishSwitch(fiber_fake, &schedStackBottom, &schedStackSize);
     currentFiber = this;
 }

@@ -9,20 +9,45 @@
  * structure as SystemC SC_THREADs and keeps application kernels
  * looking like the code in the paper's Listing 1.
  *
- * Implemented over POSIX ucontext. Fibers are strictly cooperative
- * and all run on the host thread that owns the event queue, so no
- * locking is needed anywhere in the simulator.
+ * Switching is a raw x86-64 stack switch (callee-saved registers +
+ * FP control words, ~a dozen instructions); POSIX ucontext is the
+ * portable fallback. glibc's swapcontext makes a sigprocmask system
+ * call on every switch, which costs more than the switch itself and
+ * dominates RPC-heavy workloads — the simulator never gives fibers
+ * distinct signal masks, so nothing is lost by skipping it. Fibers
+ * are strictly cooperative and all run on the host thread that owns
+ * the event queue, so no locking is needed anywhere in the
+ * simulator.
  */
 
 #ifndef DPU_SIM_FIBER_HH
 #define DPU_SIM_FIBER_HH
 
-#include <ucontext.h>
-
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
+
+// Sanitized builds keep the ucontext path: it is the reference
+// implementation, and CI's ASan job exercises the fiber-switch
+// annotations against it.
+#if defined(__SANITIZE_ADDRESS__)
+#define DPU_FIBER_UCONTEXT 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define DPU_FIBER_UCONTEXT 1
+#endif
+#endif
+#if !defined(DPU_FIBER_UCONTEXT) && !defined(__x86_64__)
+#define DPU_FIBER_UCONTEXT 1
+#endif
+#ifndef DPU_FIBER_UCONTEXT
+#define DPU_FIBER_UCONTEXT 0
+#endif
+
+#if DPU_FIBER_UCONTEXT
+#include <ucontext.h>
+#endif
 
 namespace dpu::sim {
 
@@ -62,11 +87,20 @@ class Fiber
 
   private:
     static void trampoline();
+#if !DPU_FIBER_UCONTEXT
+    /** Fabricate the first-entry frame; returns the initial sp. */
+    void *initFiberStack();
+#endif
 
     std::function<void()> body;
     std::vector<std::uint8_t> stack;
+#if DPU_FIBER_UCONTEXT
     ucontext_t ctx;
     ucontext_t returnCtx;
+#else
+    void *fiberSp = nullptr; ///< fiber's saved stack pointer
+    void *schedSp = nullptr; ///< scheduler's saved stack pointer
+#endif
     bool started = false;
     bool done = false;
     /** Scheduler stack bounds, captured for ASan fiber switching. */

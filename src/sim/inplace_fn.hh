@@ -1,0 +1,120 @@
+/**
+ * @file
+ * A fixed-capacity, never-allocating callable: the event queue's
+ * replacement for std::function<void()>.
+ *
+ * std::function heap-allocates any capture list larger than its
+ * small-buffer (16 B on libstdc++), which put a malloc/free pair on
+ * the schedule/execute path of every fat-capture event — ATE RPCs
+ * capture ten values. InplaceFn stores the callable inline in a
+ * Cap-byte buffer and REFUSES (at compile time) captures that do
+ * not fit, so the no-allocation property of the event kernel is a
+ * static guarantee rather than a hope. Oversized captures should
+ * either shrink (capture a pointer to long-lived state) or become
+ * an Event subclass with named members (see sim/event.hh).
+ */
+
+#ifndef DPU_SIM_INPLACE_FN_HH
+#define DPU_SIM_INPLACE_FN_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dpu::sim {
+
+/** Move-only `void()` callable with @p Cap bytes of inline capture
+ *  storage and no dynamic allocation, ever. */
+template <std::size_t Cap>
+class InplaceFn
+{
+  public:
+    InplaceFn() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InplaceFn> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    InplaceFn(F &&f) // NOLINT: implicit by design, like std::function
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(sizeof(Fn) <= Cap,
+                      "capture list too large for the event queue's "
+                      "inline callback; shrink the captures or use "
+                      "an Event subclass (sim/event.hh)");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                      "over-aligned capture");
+        static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                      "captures must be nothrow-movable");
+        ::new (static_cast<void *>(buf)) Fn(std::forward<F>(f));
+        invoke = [](void *p) { (*std::launder(static_cast<Fn *>(p)))(); };
+        manage = [](void *dst, void *src) {
+            Fn *s = std::launder(static_cast<Fn *>(src));
+            if (dst)
+                ::new (dst) Fn(std::move(*s));
+            s->~Fn();
+        };
+    }
+
+    InplaceFn(InplaceFn &&o) noexcept { moveFrom(o); }
+
+    InplaceFn &
+    operator=(InplaceFn &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            moveFrom(o);
+        }
+        return *this;
+    }
+
+    InplaceFn(const InplaceFn &) = delete;
+    InplaceFn &operator=(const InplaceFn &) = delete;
+
+    ~InplaceFn() { reset(); }
+
+    explicit operator bool() const { return invoke != nullptr; }
+
+    void
+    operator()()
+    {
+        invoke(buf);
+    }
+
+    /** Destroy the held callable (frees captured resources). */
+    void
+    reset()
+    {
+        if (manage)
+            manage(nullptr, buf);
+        invoke = nullptr;
+        manage = nullptr;
+    }
+
+  private:
+    void
+    moveFrom(InplaceFn &o) noexcept
+    {
+        if (o.manage) {
+            o.manage(buf, o.buf); // relocate: move-construct + destroy
+            invoke = o.invoke;
+            manage = o.manage;
+            o.invoke = nullptr;
+            o.manage = nullptr;
+        }
+    }
+
+    using Invoke = void (*)(void *);
+    /** dst != nullptr: move-construct *dst from *src, then destroy
+     *  *src. dst == nullptr: just destroy *src. */
+    using Manage = void (*)(void *dst, void *src);
+
+    alignas(std::max_align_t) unsigned char buf[Cap];
+    Invoke invoke = nullptr;
+    Manage manage = nullptr;
+};
+
+} // namespace dpu::sim
+
+#endif // DPU_SIM_INPLACE_FN_HH

@@ -17,6 +17,7 @@ StatGroup::~StatGroup()
 void
 StatGroup::dump(std::ostream &os) const
 {
+    flush();
     for (const auto &[name, value] : counters)
         os << groupName << "." << name << " = " << value << "\n";
     for (const auto &[name, value] : scalars)
@@ -26,6 +27,9 @@ StatGroup::dump(std::ostream &os) const
 void
 StatGroup::reset()
 {
+    // Drain deferred counts first so they don't survive the reset
+    // and leak into the next measurement window.
+    flush();
     for (auto &[name, value] : counters)
         value = 0;
     for (auto &[name, value] : scalars)

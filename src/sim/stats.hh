@@ -17,11 +17,61 @@
 #define DPU_SIM_STATS_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <ostream>
 #include <string>
+#include <vector>
 
 namespace dpu::sim {
+
+class StatGroup;
+
+/**
+ * A hot-path counter that defers its StatGroup cell.
+ *
+ * The string-keyed counter() lookup is cheap enough for control
+ * paths but shows up hard when charged per load or per issue slot
+ * (the dpCore's LSU path calls it once per 8 bytes moved). Owners
+ * keep one of these as a plain member, bump it with add()/++, and
+ * fold it into the group from a flush hook (StatGroup::addFlushHook)
+ * that runs right before any read of the cells. The cell is
+ * registered exactly when the owning site has been hit — the same
+ * rule as direct counter() use — so stat snapshots are
+ * indistinguishable from the eager version.
+ */
+class DeferredCounter
+{
+  public:
+    void
+    add(std::uint64_t n)
+    {
+        v += n;
+        touched = true;
+    }
+
+    DeferredCounter &
+    operator+=(std::uint64_t n)
+    {
+        add(n);
+        return *this;
+    }
+
+    DeferredCounter &
+    operator++()
+    {
+        add(1);
+        return *this;
+    }
+
+    /** Move the pending count into @p group's @p cell (inline
+     *  definition follows StatGroup). */
+    void flushInto(StatGroup &group, const char *cell);
+
+  private:
+    std::uint64_t v = 0;
+    bool touched = false;
+};
 
 /** A named group of scalar statistics. */
 class StatGroup
@@ -47,10 +97,25 @@ class StatGroup
         return scalars[name];
     }
 
+    /**
+     * Run @p hook before any read of the cells (get, dump,
+     * snapshot, reset). Owners use this to fold DeferredCounter
+     * members in lazily; the hook must only write cells, never read
+     * other groups. The registering object must outlive the group's
+     * last read (in practice: hooks capture `this` of the object
+     * that owns or co-owns the group).
+     */
+    void
+    addFlushHook(std::function<void()> hook)
+    {
+        flushHooks.push_back(std::move(hook));
+    }
+
     /** Read a counter (0 if never touched). */
     std::uint64_t
     get(const std::string &name) const
     {
+        flush();
         auto it = counters.find(name);
         return it == counters.end() ? 0 : it->second;
     }
@@ -59,6 +124,7 @@ class StatGroup
     double
     getScalar(const std::string &name) const
     {
+        flush();
         auto it = scalars.find(name);
         return it == scalars.end() ? 0.0 : it->second;
     }
@@ -69,6 +135,7 @@ class StatGroup
     const std::map<std::string, std::uint64_t> &
     counterCells() const
     {
+        flush();
         return counters;
     }
 
@@ -76,6 +143,7 @@ class StatGroup
     const std::map<std::string, double> &
     scalarCells() const
     {
+        flush();
         return scalars;
     }
 
@@ -86,10 +154,29 @@ class StatGroup
     void reset();
 
   private:
+    /** Fold deferred counters in; hooks mutate the maps through the
+     *  owner's non-const handle, hence callable from const reads. */
+    void
+    flush() const
+    {
+        for (const auto &h : flushHooks)
+            h();
+    }
+
     std::string groupName;
     std::map<std::string, std::uint64_t> counters;
     std::map<std::string, double> scalars;
+    std::vector<std::function<void()>> flushHooks;
 };
+
+inline void
+DeferredCounter::flushInto(StatGroup &group, const char *cell)
+{
+    if (touched) {
+        group.counter(cell) += v;
+        v = 0;
+    }
+}
 
 } // namespace dpu::sim
 

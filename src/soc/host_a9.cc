@@ -12,7 +12,7 @@ HostA9::HostA9(sim::EventQueue &eq_, mbc::Mbc &mbc_)
     mbcRef.onMessage(mbcRef.a9Box(), [this] {
         if (blocked) {
             blocked = false;
-            eq.scheduleIn(0, [this] { resume(); });
+            eq.scheduleIn(0, resumeEvent);
         }
     });
 }
@@ -23,7 +23,7 @@ HostA9::start(HostFn fn)
     sim_assert(!fiber, "A9 program already started");
     program = std::move(fn);
     fiber = std::make_unique<sim::Fiber>([this] { program(*this); });
-    eq.scheduleIn(0, [this] { resume(); });
+    eq.scheduleIn(0, resumeEvent);
 }
 
 void
@@ -78,14 +78,17 @@ HostA9::recvUntil(sim::Tick deadline, std::uint64_t &msg)
             return false;
         block();
         const std::uint64_t gen = wakeGen;
-        eq.schedule(deadline, [this, gen] {
-            // Only fire if this exact wait is still pending: a
-            // message wake (or a newer wait) invalidates the timer.
-            if (blocked && gen == wakeGen) {
-                blocked = false;
-                resume();
-            }
-        });
+        eq.schedule(deadline,
+                    [this, gen] {
+                        // Only fire if this exact wait is still
+                        // pending: a message wake (or a newer wait)
+                        // invalidates the timer.
+                        if (blocked && gen == wakeGen) {
+                            blocked = false;
+                            resume();
+                        }
+                    },
+                    sim::EvTag::Host);
         yield();
     }
     return true;
@@ -94,7 +97,7 @@ HostA9::recvUntil(sim::Tick deadline, std::uint64_t &msg)
 void
 HostA9::busyUs(double us)
 {
-    eq.scheduleIn(sim::Tick(us * 1e6), [this] { resume(); });
+    eq.scheduleIn(sim::Tick(us * 1e6), resumeEvent);
     yield();
 }
 
@@ -105,7 +108,7 @@ HostA9::sleepUntil(sim::Tick when)
         return;
     // Not a "blocked" wait: a message arriving mid-sleep must not
     // resume the fiber early (and must not double-resume it).
-    eq.schedule(when, [this] { resume(); });
+    eq.schedule(when, resumeEvent);
     yield();
 }
 

@@ -80,6 +80,25 @@ class HostA9
     void yield();
     void block();
 
+    /** The host fiber's single outstanding wake/resume (see
+     *  DpCore::ResumeEvent for the pattern). recvUntil's deadline
+     *  timer stays a pooled callback: several stale timers can be
+     *  in flight at once, disarmed by wakeGen. */
+    class ResumeEvent final : public sim::Event
+    {
+      public:
+        explicit ResumeEvent(HostA9 &h_)
+            : sim::Event(sim::EvTag::Host), h(h_)
+        {
+        }
+        void process() override { h.resume(); }
+        const char *name() const override { return "a9.resume"; }
+
+      private:
+        HostA9 &h;
+    };
+    ResumeEvent resumeEvent{*this};
+
     sim::EventQueue &eq;
     mbc::Mbc &mbcRef;
     std::unique_ptr<sim::Fiber> fiber;

@@ -102,6 +102,15 @@ class Soc
     /** Dump all stat groups. */
     void dumpStats(std::ostream &os);
 
+    /**
+     * Emit an "eventq" trace counter (pending depth, total executed
+     * events) every @p period ticks while the tracer is armed — a
+     * heartbeat track that makes stalls visible in Perfetto without
+     * per-event cost. The ticker cancels itself on the first firing
+     * with tracing disarmed, so it never keeps run() from draining.
+     */
+    void enableQueueSampling(sim::Tick period);
+
   private:
     SocParams p;
     sim::EventQueue eq;
@@ -114,6 +123,7 @@ class Soc
     std::unique_ptr<mbc::Mbc> mbcUnit;
     PowerModel powerModel;
     std::vector<bool> started;
+    std::unique_ptr<sim::PeriodicEvent> queueSampler;
 };
 
 } // namespace dpu::soc

@@ -1,0 +1,451 @@
+/**
+ * @file
+ * Event-kernel regression tests: the bounded-run clock fix, the
+ * schedule-from-callback-at-current-tick fix, pool growth/reuse,
+ * the wheel/overflow-heap boundary, PeriodicEvent lifecycle, the
+ * intrusive API, and large-scale same-tick FIFO determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/event.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/stats_registry.hh"
+
+using dpu::sim::Event;
+using dpu::sim::EventQueue;
+using dpu::sim::EvTag;
+using dpu::sim::PeriodicEvent;
+using dpu::sim::Tick;
+
+namespace {
+
+/** Minimal intrusive event that appends a label when it fires. */
+class MarkEvent final : public Event
+{
+  public:
+    MarkEvent(std::vector<std::string> &log_, std::string label_,
+              EvTag tag = EvTag::Generic)
+        : Event(tag), log(log_), label(std::move(label_))
+    {
+    }
+    void process() override { log.push_back(label); }
+    const char *name() const override { return label.c_str(); }
+
+  private:
+    std::vector<std::string> &log;
+    std::string label;
+};
+
+} // namespace
+
+// ----------------------------------------------------------------
+// Satellite 1: run(limit) must land the clock exactly on the limit
+// whenever execution stops at the bound — including when events
+// remain beyond it. (The old queue left now() at the last executed
+// event, so quantum-stepped callers saw time stand still.)
+// ----------------------------------------------------------------
+
+TEST(EventKernel, BoundedRunAdvancesClockWithEventsPendingBeyond)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(5000, [&] { ++fired; });
+
+    eq.run(1000);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 1000u); // not stuck at tick 10
+    EXPECT_EQ(eq.pending(), 1u);
+
+    // A window containing no events still advances the clock.
+    eq.run(2000);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 2000u);
+
+    // The remaining event is intact and fires at its original time.
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 5000u);
+}
+
+TEST(EventKernel, BoundedRunAdvancesClockOnEmptyQueue)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.run(777), 0u);
+    EXPECT_EQ(eq.now(), 777u);
+}
+
+// ----------------------------------------------------------------
+// Satellite 2: scheduling at the *current* tick from inside a
+// running callback must enqueue behind the pending same-tick events
+// and fire this tick. (The old priority_queue implementation moved
+// out of top() mid-iteration; a reentrant push could reallocate the
+// heap under it.)
+// ----------------------------------------------------------------
+
+TEST(EventKernel, ScheduleAtCurrentTickFromCallbackRunsThisTick)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(100, [&] {
+        order.push_back(0);
+        // Many reentrant same-tick schedules: enough to force the
+        // old heap to grow mid-callback.
+        for (int i = 1; i <= 64; ++i)
+            eq.schedule(eq.now(), [&order, i] { order.push_back(i); });
+    });
+    bool later = false;
+    eq.schedule(101, [&] {
+        later = true;
+        // Everything scheduled for tick 100 ran before tick 101.
+        EXPECT_EQ(order.size(), 65u);
+    });
+
+    eq.run();
+    ASSERT_EQ(order.size(), 65u);
+    for (int i = 0; i < 65; ++i)
+        EXPECT_EQ(order[i], i) << "position " << i;
+    EXPECT_TRUE(later);
+    EXPECT_EQ(eq.now(), 101u);
+}
+
+TEST(EventKernel, ReentrantSameTickScheduleInterleavesWithPending)
+{
+    EventQueue eq;
+    std::vector<std::string> order;
+    // a and b are both pending at tick 50 before either runs; a
+    // schedules c at the same tick. FIFO demands a, b, c.
+    eq.schedule(50, [&] {
+        order.push_back("a");
+        eq.schedule(50, [&] { order.push_back("c"); });
+    });
+    eq.schedule(50, [&] { order.push_back("b"); });
+    eq.run();
+    EXPECT_EQ(order,
+              (std::vector<std::string>{"a", "b", "c"}));
+}
+
+// ----------------------------------------------------------------
+// Satellite 3a: callback pool growth under load, reuse after.
+// ----------------------------------------------------------------
+
+TEST(EventKernel, PoolGrowsUnderLoadAndReusesAfterDraining)
+{
+    EventQueue eq;
+    // More simultaneously-pending callbacks than one 256-event slab.
+    const unsigned burst = 700;
+    unsigned fired = 0;
+    for (unsigned i = 0; i < burst; ++i)
+        eq.schedule(Tick(10 + i), [&] { ++fired; });
+    EXPECT_GE(eq.profile().poolSlabs, 3u);
+    EXPECT_GE(eq.profile().poolEvents, burst);
+
+    eq.run();
+    EXPECT_EQ(fired, burst);
+
+    // Sequential traffic recycles the free list: no further growth
+    // no matter how many events flow through.
+    const std::uint64_t slabs = eq.profile().poolSlabs;
+    for (unsigned i = 0; i < 10000; ++i) {
+        eq.scheduleIn(1, [&] { ++fired; });
+        eq.run();
+    }
+    EXPECT_EQ(fired, burst + 10000);
+    EXPECT_EQ(eq.profile().poolSlabs, slabs);
+}
+
+// ----------------------------------------------------------------
+// Satellite 3b: timing-wheel vs overflow-heap boundary. Events more
+// than 2^32 ticks out go to the heap; FIFO order must still be
+// exact when wheel- and heap-resident events share a tick.
+// ----------------------------------------------------------------
+
+TEST(EventKernel, FarEventsUseOverflowHeapAndFireInOrder)
+{
+    EventQueue eq;
+    const Tick horizon = Tick(1) << 32;
+    std::vector<std::string> order;
+
+    eq.schedule(horizon + 5, [&] { order.push_back("far"); });
+    eq.schedule(3, [&] { order.push_back("near"); });
+    eq.schedule(horizon * 3, [&] { order.push_back("farther"); });
+
+    EXPECT_GE(eq.profile().heapInserts, 2u);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<std::string>{"near", "far",
+                                               "farther"}));
+    EXPECT_EQ(eq.now(), horizon * 3);
+}
+
+TEST(EventKernel, SameTickFifoSpansWheelAndHeap)
+{
+    EventQueue eq;
+    const Tick when = (Tick(1) << 32) + 123456;
+    std::vector<std::string> order;
+
+    // Scheduled from tick 0: beyond the horizon, lands in the heap
+    // with the earliest sequence number at `when`.
+    eq.schedule(when, [&] { order.push_back("heap-first"); });
+    // Scheduled from close by: within the horizon, lands in the
+    // wheel with a later sequence number at the same tick.
+    eq.schedule(when - 8, [&] {
+        eq.schedule(when, [&] { order.push_back("wheel-second"); });
+    });
+
+    EXPECT_GE(eq.profile().heapInserts, 1u);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<std::string>{"heap-first",
+                                               "wheel-second"}));
+}
+
+TEST(EventKernel, MultiLevelCascadesPreserveOrder)
+{
+    EventQueue eq;
+    // One event per wheel level (digit widths are 8 bits), plus two
+    // same-tick events on an outer level to check FIFO survives the
+    // cascade to level 0.
+    std::vector<Tick> fireTimes;
+    const Tick deep = Tick(7) << 24; // level 3
+    eq.schedule(Tick(5), [&] { fireTimes.push_back(eq.now()); });
+    eq.schedule(Tick(3) << 8, [&] { fireTimes.push_back(eq.now()); });
+    eq.schedule(Tick(9) << 16, [&] { fireTimes.push_back(eq.now()); });
+    std::vector<std::string> deepOrder;
+    eq.schedule(deep, [&] {
+        fireTimes.push_back(eq.now());
+        deepOrder.push_back("first");
+    });
+    eq.schedule(deep, [&] { deepOrder.push_back("second"); });
+
+    eq.run();
+    EXPECT_GE(eq.profile().cascades, 3u);
+    EXPECT_TRUE(std::is_sorted(fireTimes.begin(), fireTimes.end()));
+    EXPECT_EQ(fireTimes.back(), deep);
+    EXPECT_EQ(deepOrder, (std::vector<std::string>{"first",
+                                                   "second"}));
+}
+
+// ----------------------------------------------------------------
+// Satellite 3c: PeriodicEvent fire / cancel / re-arm.
+// ----------------------------------------------------------------
+
+TEST(EventKernel, PeriodicEventFiresCancelsAndRearms)
+{
+    EventQueue eq;
+    int fires = 0;
+    PeriodicEvent *self = nullptr;
+    PeriodicEvent ticker(eq, 10, [&] {
+        if (++fires % 3 == 0)
+            self->cancel(); // stop so run() can drain
+    });
+    self = &ticker;
+
+    EXPECT_FALSE(ticker.active());
+    ticker.start(10);
+    EXPECT_TRUE(ticker.active());
+    eq.run();
+    EXPECT_EQ(fires, 3);
+    EXPECT_EQ(eq.now(), 30u); // 10, 20, 30
+    EXPECT_FALSE(ticker.active());
+
+    // Re-arm after cancel, with a new period.
+    ticker.setPeriod(5);
+    EXPECT_EQ(ticker.period(), 5u);
+    ticker.startIn(5);
+    eq.run();
+    EXPECT_EQ(fires, 6);
+    EXPECT_EQ(eq.now(), 45u); // 35, 40, 45
+    EXPECT_FALSE(ticker.active());
+
+    // cancel() when already idle is a no-op.
+    ticker.cancel();
+    EXPECT_FALSE(ticker.active());
+}
+
+// ----------------------------------------------------------------
+// Intrusive API: deschedule, reschedule, destructor unlink.
+// ----------------------------------------------------------------
+
+TEST(EventKernel, IntrusiveDescheduleAndReschedule)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    MarkEvent ev(log, "ev");
+
+    eq.schedule(100, ev);
+    EXPECT_TRUE(ev.scheduled());
+    EXPECT_EQ(ev.when(), 100u);
+    eq.deschedule(ev);
+    EXPECT_FALSE(ev.scheduled());
+    eq.run();
+    EXPECT_TRUE(log.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+
+    eq.schedule(200, ev);
+    eq.reschedule(300, ev); // moves, does not duplicate
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<std::string>{"ev"}));
+    EXPECT_EQ(eq.now(), 300u);
+    EXPECT_FALSE(ev.scheduled());
+}
+
+TEST(EventKernel, DestroyingScheduledEventUnlinksIt)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    {
+        MarkEvent doomed(log, "doomed");
+        eq.schedule(50, doomed);
+        EXPECT_EQ(eq.pending(), 1u);
+    } // destructor must deschedule
+    EXPECT_EQ(eq.pending(), 0u);
+    eq.run();
+    EXPECT_TRUE(log.empty());
+
+    // Far (heap-resident) events unlink from the destructor too.
+    {
+        MarkEvent farDoomed(log, "far");
+        eq.schedule((Tick(1) << 32) + 99, farDoomed);
+    }
+    EXPECT_EQ(eq.pending(), 0u);
+    eq.run();
+    EXPECT_TRUE(log.empty());
+}
+
+// ----------------------------------------------------------------
+// Satellite 3d: large-scale same-tick FIFO determinism. 10k
+// randomly interleaved schedules across a handful of ticks, mixing
+// pooled callbacks and intrusive events; execution order must equal
+// insertion order per tick, twice over.
+// ----------------------------------------------------------------
+
+namespace {
+
+std::vector<std::pair<Tick, unsigned>>
+runInterleavedWorkload(std::uint64_t seed)
+{
+    dpu::sim::Rng rng(seed);
+    EventQueue eq;
+
+    static const Tick ticks[4] = {1000, 2000, 3000, 4000};
+
+    /** Intrusive participant: records (tick, insertion index). */
+    class RecordEvent final : public Event
+    {
+      public:
+        std::vector<std::pair<Tick, unsigned>> *out = nullptr;
+        Tick tick = 0;
+        unsigned idx = 0;
+        void process() override { out->push_back({tick, idx}); }
+    };
+
+    std::vector<std::pair<Tick, unsigned>> fired;
+    std::vector<std::unique_ptr<RecordEvent>> intrusives;
+    unsigned perTick[4] = {0, 0, 0, 0};
+
+    for (unsigned i = 0; i < 10000; ++i) {
+        const unsigned t = unsigned(rng.below(4));
+        const Tick when = ticks[t];
+        const unsigned idx = perTick[t]++;
+        if (rng.below(3) == 0) {
+            auto ev = std::make_unique<RecordEvent>();
+            ev->out = &fired;
+            ev->tick = when;
+            ev->idx = idx;
+            eq.schedule(when, *ev);
+            intrusives.push_back(std::move(ev));
+        } else {
+            eq.schedule(when, [&fired, when, idx] {
+                fired.push_back({when, idx});
+            });
+        }
+    }
+    eq.run();
+    return fired;
+}
+
+} // namespace
+
+TEST(EventKernel, TenThousandInterleavedSameTickSchedulesAreFifo)
+{
+    const auto fired = runInterleavedWorkload(42);
+    ASSERT_EQ(fired.size(), 10000u);
+
+    // Within each tick, insertion indices come out 0, 1, 2, ...;
+    // across ticks, times are non-decreasing.
+    Tick lastTick = 0;
+    unsigned expectedIdx = 0;
+    for (const auto &[when, idx] : fired) {
+        ASSERT_GE(when, lastTick);
+        if (when != lastTick) {
+            lastTick = when;
+            expectedIdx = 0;
+        }
+        ASSERT_EQ(idx, expectedIdx) << "at tick " << when;
+        ++expectedIdx;
+    }
+
+    // Bit-identical on a second run: same seed, same order.
+    EXPECT_EQ(fired, runInterleavedWorkload(42));
+}
+
+// ----------------------------------------------------------------
+// Self-profiler: per-tag counts, lazy stats publication.
+// ----------------------------------------------------------------
+
+TEST(EventKernel, ProfilerAttributesExecutionByTag)
+{
+    EventQueue eq;
+    eq.schedule(1, [] {}, EvTag::Ate);
+    eq.schedule(2, [] {}, EvTag::Ate);
+    eq.schedule(3, [] {}, EvTag::Dms);
+    std::vector<std::string> log;
+    MarkEvent core(log, "core.tick", EvTag::Core);
+    eq.schedule(4, core);
+    eq.run();
+
+    const auto &prof = eq.profile();
+    EXPECT_EQ(prof.executed[unsigned(EvTag::Ate)], 2u);
+    EXPECT_EQ(prof.executed[unsigned(EvTag::Dms)], 1u);
+    EXPECT_EQ(prof.executed[unsigned(EvTag::Core)], 1u);
+    EXPECT_EQ(prof.totalExecuted(), 4u);
+    EXPECT_EQ(prof.schedules, 4u);
+    EXPECT_GE(prof.maxPending, 4u);
+}
+
+TEST(EventKernel, PublishStatsIsLazyAndExportsCounters)
+{
+    using dpu::sim::StatsRegistry;
+    using dpu::sim::StatsSnapshot;
+
+    auto countEventqKeys = [](const StatsSnapshot &s) {
+        std::size_t n = 0;
+        for (const auto &[k, v] : s.counters)
+            n += k.rfind("eventq.", 0) == 0;
+        return n;
+    };
+
+    EventQueue eq;
+    eq.schedule(1, [] {}, EvTag::Mbc);
+    eq.run();
+
+    // Until publishStats() opts in, the registry has no "eventq"
+    // group — golden snapshots of the modelled chip stay clean.
+    EXPECT_EQ(countEventqKeys(StatsRegistry::instance().snapshot()),
+              0u);
+
+    eq.publishStats();
+    StatsSnapshot snap = StatsRegistry::instance().snapshot();
+    EXPECT_GT(countEventqKeys(snap), 0u);
+    EXPECT_EQ(snap.counters.at("eventq.executed"), 1u);
+    EXPECT_EQ(snap.counters.at("eventq.executed.mbc"), 1u);
+    EXPECT_EQ(snap.counters.at("eventq.schedules"), 1u);
+}
