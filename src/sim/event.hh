@@ -18,6 +18,7 @@
 #ifndef DPU_SIM_EVENT_HH
 #define DPU_SIM_EVENT_HH
 
+#include <cstddef>
 #include <cstdint>
 
 #include "sim/inplace_fn.hh"
@@ -87,6 +88,7 @@ class Event
     Event *next_ = nullptr;
     Tick when_ = 0;
     std::uint64_t seq_ = 0; ///< same-tick FIFO order, queue-global
+    std::size_t heapIdx_ = 0; ///< overflow-heap slot while Where::Heap
     Where where_ = Where::None;
     std::uint8_t level_ = 0;  ///< wheel level while Where::Wheel
     bool poolOwned_ = false;  ///< queue returns it to the pool

@@ -7,7 +7,6 @@
 
 #include "sim/event_queue.hh"
 
-#include <algorithm>
 #include <chrono>
 #include <string>
 
@@ -65,6 +64,11 @@ EventQueue::place(Event &ev)
     // above k; equivalently, when XOR wheelBase fits in (k+1)
     // digits. Everything farther overflows to the (when, seq) heap.
     const Tick w = ev.when_;
+    sim_assert(w >= wheelBase,
+               "placing event '%s' behind the wheel base "
+               "(%llu < %llu)",
+               ev.name(), (unsigned long long)w,
+               (unsigned long long)wheelBase);
     const Tick x = w ^ wheelBase;
     unsigned lvl;
     if (x < (Tick(1) << levelBits))
@@ -76,9 +80,10 @@ EventQueue::place(Event &ev)
     else if (x < (Tick(1) << (4 * levelBits)))
         lvl = 3;
     else {
+        ev.heapIdx_ = far.size();
         far.push_back({w, ev.seq_, &ev});
-        std::push_heap(far.begin(), far.end(), std::greater<>{});
         ev.where_ = Event::Where::Heap;
+        farSiftUp(far.size() - 1);
         ++prof.heapInserts;
         return;
     }
@@ -89,7 +94,7 @@ EventQueue::place(Event &ev)
 }
 
 Event *
-EventQueue::wheelPeek()
+EventQueue::wheelPeek(Tick cap)
 {
     if (nWheel == 0)
         return nullptr;
@@ -113,8 +118,17 @@ EventQueue::wheelPeek()
             const unsigned shift = levelBits * lvl;
             const Tick windowMask =
                 (Tick(slotsPerLevel) << shift) - 1;
-            wheelBase = (wheelBase & ~windowMask) |
-                        (Tick(unsigned(j)) << shift);
+            const Tick windowStart =
+                (wheelBase & ~windowMask) |
+                (Tick(unsigned(j)) << shift);
+            // windowStart lower-bounds every wheel event (all live
+            // in or beyond this window). Entering a window past the
+            // cap would strand the base above a tick the caller can
+            // stop at — and schedule from — so report "nothing due
+            // by cap" and leave the base untouched.
+            if (windowStart > cap)
+                return nullptr;
+            wheelBase = windowStart;
             cascade(lvl, unsigned(j));
             break;
         }
@@ -153,13 +167,21 @@ EventQueue::cascade(unsigned lvl, unsigned slot)
 Event *
 EventQueue::popNext(Tick limit)
 {
-    Event *wev = wheelPeek();
+    // Cap the base advance at both the run bound and the heap
+    // front: after stopping at either, code may schedule anywhere
+    // at or after curTick, so the base must not have moved past
+    // them (see the wheelBase invariant in the header).
+    Tick cap = limit;
+    if (!far.empty() && far.front().when < cap)
+        cap = far.front().when;
+    Event *wev = wheelPeek(cap);
     bool useFar = false;
     if (!far.empty()) {
         const FarEntry &h = far.front();
         // Merge the two structures on exact (when, seq): same-tick
         // FIFO order holds even when one tick's events straddle the
-        // wheel horizon.
+        // wheel horizon. A null wev means no wheel event is due at
+        // or before cap, so the heap front (== cap when due) wins.
         if (!wev || h.when < wev->when_ ||
             (h.when == wev->when_ && h.seq < wev->seq_))
             useFar = true;
@@ -170,8 +192,7 @@ EventQueue::popNext(Tick limit)
         if (far.front().when > limit)
             return nullptr;
         ev = far.front().ev;
-        std::pop_heap(far.begin(), far.end(), std::greater<>{});
-        far.pop_back();
+        farRemoveAt(0);
     } else {
         if (!wev || wev->when_ > limit)
             return nullptr;
@@ -249,20 +270,73 @@ EventQueue::deschedule(Event &ev)
         unlinkWheel(ev);
         --nWheel;
     } else {
-        auto it = std::find_if(far.begin(), far.end(),
-                               [&ev](const FarEntry &e) {
-                                   return e.ev == &ev;
-                               });
-        sim_assert(it != far.end(), "heap entry missing for '%s'",
-                   ev.name());
-        far.erase(it);
-        std::make_heap(far.begin(), far.end(), std::greater<>{});
+        sim_assert(ev.heapIdx_ < far.size() &&
+                       far[ev.heapIdx_].ev == &ev,
+                   "heap entry missing for '%s'", ev.name());
+        farRemoveAt(ev.heapIdx_);
     }
     ev.where_ = Event::Where::None;
     ev.queue_ = nullptr;
     --nScheduled;
     if (ev.poolOwned_)
         release(static_cast<CallbackEvent &>(ev));
+}
+
+// ----------------------------------------------------------------
+// Overflow heap: min-heap by (when, seq) with index maintenance so
+// heap residents deschedule in O(log n).
+// ----------------------------------------------------------------
+
+void
+EventQueue::farSiftUp(std::size_t i)
+{
+    const FarEntry e = far[i];
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (!(far[parent] > e))
+            break;
+        far[i] = far[parent];
+        far[i].ev->heapIdx_ = i;
+        i = parent;
+    }
+    far[i] = e;
+    far[i].ev->heapIdx_ = i;
+}
+
+void
+EventQueue::farSiftDown(std::size_t i)
+{
+    const FarEntry e = far[i];
+    const std::size_t n = far.size();
+    for (;;) {
+        std::size_t child = 2 * i + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n && far[child] > far[child + 1])
+            ++child;
+        if (!(e > far[child]))
+            break;
+        far[i] = far[child];
+        far[i].ev->heapIdx_ = i;
+        i = child;
+    }
+    far[i] = e;
+    far[i].ev->heapIdx_ = i;
+}
+
+void
+EventQueue::farRemoveAt(std::size_t i)
+{
+    const FarEntry last = far.back();
+    far.pop_back();
+    if (i == far.size())
+        return;
+    far[i] = last;
+    far[i].ev->heapIdx_ = i;
+    // The displaced tail can belong either above or below slot i;
+    // one of the two sifts is a no-op.
+    farSiftDown(i);
+    farSiftUp(last.ev->heapIdx_);
 }
 
 // ----------------------------------------------------------------

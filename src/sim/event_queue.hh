@@ -82,6 +82,12 @@ class EventQueue
         ev.when_ = when;
         ev.seq_ = nextSeq++;
         ev.queue_ = this;
+        // An empty wheel is the moment to resync its base with the
+        // clock: placement digits stay exact however far the clock
+        // has travelled (including past the 2^32-tick horizon of a
+        // stale base), and no resident event can be invalidated.
+        if (nWheel == 0)
+            wheelBase = curTick;
         place(ev);
         ++nScheduled;
         ++prof.schedules;
@@ -297,8 +303,14 @@ class EventQueue
 
     /** Head event of the earliest wheel tick, cascading outer
      *  levels toward level 0 as the search advances wheelBase.
-     *  Null when the wheel is empty. */
-    Event *wheelPeek();
+     *  Never advances the base into a window starting beyond
+     *  @p cap — returns null instead (also when the wheel is
+     *  empty), meaning "no wheel event due at or before cap".
+     *  The cap is what keeps wheelBase <= curTick: popNext() caps
+     *  at both its limit and the overflow heap's front, the two
+     *  points where control can resume code that may schedule at
+     *  any tick >= curTick. */
+    Event *wheelPeek(Tick cap);
 
     /** Redistribute a level>=1 slot after wheelBase enters its
      *  window. */
@@ -313,6 +325,15 @@ class EventQueue
      *  pool-owned carriers. */
     void execute(Event &ev);
 
+    // Overflow min-heap by (when, seq). Hand-rolled sifts so every
+    // entry move updates its event's heapIdx_, giving O(log n)
+    // deschedule of heap residents (std::*_heap can't report where
+    // elements land).
+    void farSiftUp(std::size_t i);
+    void farSiftDown(std::size_t i);
+    /** Remove entry @p i, repairing the heap and indices. */
+    void farRemoveAt(std::size_t i);
+
     // Pool.
     CallbackEvent &acquire();
     void release(CallbackEvent &ev);
@@ -322,7 +343,12 @@ class EventQueue
     std::array<std::array<std::uint64_t, bitmapWords>, nLevels>
         bits{};
     /** All wheel-resident events fire at or after this tick; its
-     *  digits define slot membership (see place()). */
+     *  digits define slot membership (see place()). Invariant:
+     *  wheelBase <= curTick whenever user code can run, so every
+     *  legal schedule (when >= now) lands at when >= wheelBase and
+     *  the digit comparison in place() is exact. Maintained by
+     *  capping the advance in wheelPeek() and resyncing to curTick
+     *  in schedule() when the wheel is empty. */
     Tick wheelBase = 0;
     std::size_t nWheel = 0;
 

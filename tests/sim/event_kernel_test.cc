@@ -398,6 +398,217 @@ TEST(EventKernel, TenThousandInterleavedSameTickSchedulesAreFifo)
 }
 
 // ----------------------------------------------------------------
+// Wheel-base consistency. The base must never advance past a tick
+// at which control can return to scheduling code (a run() bound or
+// the overflow heap's front): a later legal schedule below a
+// runaway base would be placed against stale digits and fire out
+// of order. These pin the invariant wheelBase <= now().
+// ----------------------------------------------------------------
+
+TEST(EventKernel, ScheduleEarlierThanPendingAfterBoundedRunFiresFirst)
+{
+    EventQueue eq;
+    std::vector<Tick> order;
+    eq.schedule(5000, [&] { order.push_back(eq.now()); });
+
+    // The bounded run pops nothing, but the search for the next
+    // event must not drag the wheel base toward tick 5000.
+    eq.run(1000);
+    EXPECT_EQ(eq.now(), 1000u);
+
+    // Scheduling below the pending event (legal: 1500 >= now) must
+    // fire first, and now() must stay monotonic across both.
+    eq.schedule(1500, [&] { order.push_back(eq.now()); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<Tick>{1500, 5000}));
+    EXPECT_EQ(eq.now(), 5000u);
+}
+
+TEST(EventKernel, HeapFrontNearerThanWheelEventDoesNotSkewBase)
+{
+    EventQueue eq;
+    const Tick h = Tick(1) << 32;
+    std::vector<Tick> order;
+
+    // Heap-resident from tick 0 (3h is beyond the horizon)...
+    eq.schedule(3 * h + 5, [&] {
+        order.push_back(eq.now());
+        // ...and its callback schedules nearby: the wheel event at
+        // 3h+70000 is still pending, so the base must not have
+        // advanced past 3h+15 while popping the heap front.
+        eq.scheduleIn(10, [&] { order.push_back(eq.now()); });
+    });
+    EXPECT_EQ(eq.profile().heapInserts, 1u);
+
+    eq.run(3 * h); // park the clock past the heap entry's horizon
+    // ...then a wheel event *after* the heap front but on an outer
+    // wheel level, so finding it wants a multi-level base advance.
+    eq.schedule(3 * h + 70000, [&] { order.push_back(eq.now()); });
+    EXPECT_EQ(eq.profile().heapInserts, 1u); // wheel, not heap
+
+    eq.run();
+    EXPECT_EQ(order,
+              (std::vector<Tick>{3 * h + 5, 3 * h + 15,
+                                 3 * h + 70000}));
+    EXPECT_EQ(eq.now(), 3 * h + 70000);
+}
+
+TEST(EventKernel, QuantumSteppedRunsWithLateSchedulesStayOrdered)
+{
+    // Model-based: interleave bounded runs (the Soc::runFor shape)
+    // with schedules issued between quanta — same-quantum deltas,
+    // outer wheel levels, and past-the-horizon heap entries — and
+    // require the exact global (when, insertion) order.
+    dpu::sim::Rng rng(1234);
+    EventQueue eq;
+    std::vector<std::pair<Tick, unsigned>> expected;
+    std::vector<std::pair<Tick, unsigned>> fired;
+    unsigned id = 0;
+    Tick quantumEnd = 0;
+
+    for (int round = 0; round < 200; ++round) {
+        const unsigned n = 1 + unsigned(rng.below(8));
+        for (unsigned k = 0; k < n; ++k) {
+            Tick delta = 0;
+            switch (rng.below(4)) {
+              case 0: delta = rng.below(64); break;
+              case 1: delta = rng.below(100000); break;
+              case 2: delta = (Tick(1) << 30) + rng.below(4096); break;
+              default:
+                delta = (Tick(1) << 32) + rng.below(1u << 20);
+            }
+            const Tick when = eq.now() + delta;
+            expected.push_back({when, id});
+            eq.schedule(when, [&fired, when, evId = id] {
+                fired.push_back({when, evId});
+            });
+            ++id;
+        }
+        quantumEnd += 50000 + rng.below(100000);
+        eq.run(quantumEnd);
+        ASSERT_EQ(eq.now(), quantumEnd) << "round " << round;
+    }
+    eq.run();
+
+    // Ids increase in schedule order, so a stable sort by time is
+    // the exact (when, seq) reference order.
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    EXPECT_EQ(fired, expected);
+}
+
+// ----------------------------------------------------------------
+// The wheel past the 2^32-tick horizon: an empty wheel resyncs its
+// base to the clock on the next schedule, so long runs keep O(1)
+// wheel placement forever instead of silently degenerating to the
+// overflow heap.
+// ----------------------------------------------------------------
+
+TEST(EventKernel, WheelResyncsPastThe32BitHorizon)
+{
+    EventQueue eq;
+    const Tick h = Tick(1) << 32;
+    int jumps = 0;
+    eq.schedule(3 * h + 17, [&] { ++jumps; }); // heap: beyond horizon
+    eq.run();
+    EXPECT_EQ(jumps, 1);
+    EXPECT_EQ(eq.now(), 3 * h + 17);
+
+    // Short-delta traffic far beyond the original horizon must stay
+    // on the wheel and stay ordered.
+    const std::uint64_t heapBefore = eq.profile().heapInserts;
+    std::vector<Tick> times;
+    for (int burst = 0; burst < 16; ++burst) {
+        for (int i = 0; i < 32; ++i)
+            eq.scheduleIn(Tick(1 + i * 7),
+                          [&] { times.push_back(eq.now()); });
+        eq.run();
+    }
+    EXPECT_EQ(eq.profile().heapInserts, heapBefore);
+    EXPECT_EQ(times.size(), 16u * 32u);
+    EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+}
+
+TEST(EventKernel, PeriodicTickerCrossesHorizonOnTheWheel)
+{
+    EventQueue eq;
+    const Tick h = Tick(1) << 32;
+    eq.run(h - 250); // park the clock just below the horizon
+
+    int fires = 0;
+    PeriodicEvent ticker(eq, 100, [&] { ++fires; });
+    ticker.startIn(100);
+    eq.run(h + 750);
+    EXPECT_EQ(eq.now(), h + 750);
+    EXPECT_EQ(fires, 10); // h-150, h-50, ..., h+750
+    // Exactly one re-arm straddles the 2^32 boundary (base h-50,
+    // target h+50: their XOR sets bit 32) and transits the heap;
+    // every other re-arm resyncs an empty wheel and stays on it.
+    // A frozen base would instead send all post-crossing re-arms
+    // to the heap.
+    EXPECT_EQ(eq.profile().heapInserts, 1u);
+    ticker.cancel();
+}
+
+// ----------------------------------------------------------------
+// Heap residents deschedule via their stored heap index; scattered
+// deschedules and reschedules must leave an exact heap behind.
+// ----------------------------------------------------------------
+
+TEST(EventKernel, FarHeapDescheduleByIndexKeepsHeapConsistent)
+{
+    EventQueue eq;
+    const Tick h = Tick(1) << 32;
+
+    class IdEvent final : public Event
+    {
+      public:
+        std::vector<unsigned> *out = nullptr;
+        unsigned id = 0;
+        void process() override { out->push_back(id); }
+    };
+
+    std::vector<unsigned> firedIds;
+    std::vector<std::unique_ptr<IdEvent>> evs;
+    for (unsigned i = 0; i < 300; ++i) {
+        auto ev = std::make_unique<IdEvent>();
+        ev->out = &firedIds;
+        ev->id = i;
+        eq.schedule(h + 1000 + i * 3, *ev);
+        evs.push_back(std::move(ev));
+    }
+    EXPECT_EQ(eq.profile().heapInserts, 300u);
+
+    // Deschedule every third (arbitrary interior heap slots), then
+    // reschedule every seventh to an earlier far tick — including
+    // some just-descheduled ones, which re-enter.
+    std::vector<bool> sched(300, true), moved(300, false);
+    for (unsigned i = 0; i < 300; i += 3) {
+        eq.deschedule(*evs[i]);
+        sched[i] = false;
+    }
+    for (unsigned i = 1; i < 300; i += 7) {
+        eq.reschedule(h + 500 + i, *evs[i]);
+        sched[i] = true;
+        moved[i] = true;
+    }
+
+    eq.run();
+
+    std::vector<unsigned> expected;
+    for (unsigned i = 1; i < 300; i += 7) // h+500+i, ascending in i
+        if (moved[i])
+            expected.push_back(i);
+    for (unsigned i = 0; i < 300; ++i) // then h+1000+3i
+        if (sched[i] && !moved[i])
+            expected.push_back(i);
+    EXPECT_EQ(firedIds, expected);
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+// ----------------------------------------------------------------
 // Self-profiler: per-tag counts, lazy stats publication.
 // ----------------------------------------------------------------
 
