@@ -1,5 +1,6 @@
 #include "ate/ate.hh"
 
+#include "sim/fault.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -163,12 +164,35 @@ Ate::issue(core::DpCore &c, unsigned target, AteOp op, mem::Addr addr,
                "outstanding", c.id());
     o.busy = true;
     o.ready = false;
+    const std::uint64_t gen = ++o.gen;
 
     const unsigned src = c.id();
-    sim::Tick deliver = deliveryTick(src, target);
 
     if (op == AteOp::SwRpc)
         panic("use swRpc() for software RPCs");
+
+    // Fault plane: the request message can be lost in the crossbar
+    // (the outstanding slot stays armed — recovery is a bounded wait
+    // plus reissue) or its delivery can be delayed by `mag` ticks.
+    if (sim::faultPlane().active()) {
+        if (sim::faultPlane().fires(sim::FaultSite::AteDrop, eq.now(),
+                                    int(src))) {
+            ++stats.counter("droppedRequests");
+            DPU_TRACE_INSTANT(sim::TraceCat::Ate, src, "reqDrop",
+                              eq.now(), "target", target);
+            return;
+        }
+        std::uint64_t extra = 0;
+        if (sim::faultPlane().fires(sim::FaultSite::AteDelay,
+                                    eq.now(), int(src), &extra)) {
+            ++stats.counter("delayedRequests");
+            // Charge the link too, so FIFO ordering holds.
+            lastDeliver[local(src) * cores.size() + local(target)] +=
+                extra;
+        }
+    }
+
+    sim::Tick deliver = deliveryTick(src, target);
 
     // RPC round-trip span: 'b' at issue on the source core's track,
     // an 'X' for the remote op on the target's track, 'e' when the
@@ -183,7 +207,7 @@ Ate::issue(core::DpCore &c, unsigned target, AteOp op, mem::Addr addr,
     }
 
     eq.schedule(deliver, [this, src, target, op, addr, a, b, bytes,
-                          op_name, span_id] {
+                          op_name, span_id, gen] {
         sim::Tick op_done = 0;
         sim::Tick op_start = eq.now();
         std::uint64_t value = doRemoteOp(target, op, addr, a, b,
@@ -192,12 +216,18 @@ Ate::issue(core::DpCore &c, unsigned target, AteOp op, mem::Addr addr,
                            op_start, op_done - op_start, "src", src,
                            nullptr, 0);
         sim::Tick resp = op_done + oneWay(target, src);
-        eq.schedule(resp, [this, src, value, op_name, span_id] {
+        eq.schedule(resp, [this, src, value, op_name, span_id, gen] {
             if (span_id) {
                 DPU_TRACE_SPAN_END(sim::TraceCat::Ate, src, op_name,
                                    span_id, eq.now());
             }
             Outstanding &out = pending[local(src)];
+            if (out.gen != gen) {
+                // The requester abandoned this request (bounded wait
+                // timed out); drop the response on the floor.
+                ++stats.counter("staleResponses");
+                return;
+            }
             out.ready = true;
             out.value = value;
             cores[local(src)]->wake(eq.now());
@@ -213,6 +243,41 @@ Ate::waitResponse(core::DpCore &c)
     c.blockUntil([&o] { return o.ready; });
     o.busy = false;
     return o.value;
+}
+
+bool
+Ate::waitResponseFor(core::DpCore &c, sim::Tick timeout,
+                     std::uint64_t &value)
+{
+    Outstanding &o = pending[local(c.id())];
+    sim_assert(o.busy, "waitResponseFor with no outstanding request");
+    c.sync();
+    const sim::Tick deadline = eq.now() + timeout;
+    core::DpCore *cp = &c;
+    // Unconditional deadline wake; wake() is a no-op unless blocked,
+    // and blockUntil re-checks its predicate on spurious wakes.
+    eq.schedule(deadline, [this, cp] { cp->wake(eq.now()); },
+                sim::EvTag::Ate);
+    c.blockUntil(
+        [this, &o, deadline] { return o.ready || eq.now() >= deadline; });
+    if (!o.ready) {
+        abandonRequest(c);
+        return false;
+    }
+    o.busy = false;
+    value = o.value;
+    return true;
+}
+
+void
+Ate::abandonRequest(core::DpCore &c)
+{
+    Outstanding &o = pending[local(c.id())];
+    sim_assert(o.busy, "abandonRequest with no outstanding request");
+    o.busy = false;
+    o.ready = false;
+    ++o.gen;
+    ++stats.counter("abandonedRequests");
 }
 
 std::uint64_t
@@ -261,6 +326,7 @@ Ate::swRpc(core::DpCore &c, unsigned target,
                "outstanding", c.id());
     o.busy = true;
     o.ready = false;
+    const std::uint64_t gen = ++o.gen;
     ++stats.counter("swRpcs");
 
     const unsigned src = c.id();
@@ -274,22 +340,27 @@ Ate::swRpc(core::DpCore &c, unsigned target,
                              nullptr, 0);
     }
 
-    eq.schedule(deliver, [this, src, target, span_id,
+    eq.schedule(deliver, [this, src, target, span_id, gen,
                           fn = std::move(fn)] {
         cores[local(target)]->postInterrupt(
-            [this, src, target, span_id, fn](core::DpCore &rc) {
+            [this, src, target, span_id, gen, fn](core::DpCore &rc) {
                 fn(rc);
                 // Ack once the handler ran to completion.
                 sim::Tick resp =
                     rc.now() + oneWay(target, src);
                 eq.schedule(std::max(resp, eq.now()),
-                            [this, src, span_id] {
+                            [this, src, span_id, gen] {
                                 if (span_id) {
                                     DPU_TRACE_SPAN_END(
                                         sim::TraceCat::Ate, src,
                                         "SwRpc", span_id, eq.now());
                                 }
                                 unsigned l = local(src);
+                                if (pending[l].gen != gen) {
+                                    ++stats.counter(
+                                        "staleResponses");
+                                    return;
+                                }
                                 pending[l].ready = true;
                                 pending[l].value = 0;
                                 cores[l]->wake(eq.now());

@@ -114,6 +114,23 @@ class Ate
     /** Block until the outstanding request's response arrives. */
     std::uint64_t waitResponse(core::DpCore &c);
 
+    /**
+     * Bounded waitResponse: give up after @p timeout ticks. On
+     * timeout the outstanding request is abandoned (its generation
+     * is bumped, so a late response is discarded as stale) and the
+     * core may issue again — the primitive under rt::ReliableAte's
+     * retry loop. @return true with @p value filled on response.
+     */
+    bool waitResponseFor(core::DpCore &c, sim::Tick timeout,
+                         std::uint64_t &value);
+
+    /**
+     * Abandon the outstanding request without waiting; a response
+     * already in flight is discarded on arrival (counted as
+     * "staleResponses").
+     */
+    void abandonRequest(core::DpCore &c);
+
     // ------------------------------------------------------------
     // Software RPCs
     // ------------------------------------------------------------
@@ -135,6 +152,9 @@ class Ate
         bool busy = false;
         bool ready = false;
         std::uint64_t value = 0;
+        /** Bumped per issue and per abandon; an in-flight response
+         *  whose captured generation mismatches is stale. */
+        std::uint64_t gen = 0;
     };
 
     /** One-way message latency between two cores, in ticks. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "sim/fault.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 #include "util/crc32.hh"
@@ -100,6 +101,20 @@ Dmac::maskRuns(const Descriptor &d, std::uint32_t rows) const
 }
 
 void
+Dmac::wedge(unsigned core, const char *cause)
+{
+    // A wedge is permanent: the flag feeds host-side death
+    // attribution (the reaper reads hung()), the counter and the
+    // trace instant make the cause visible in stats and timelines.
+    wedged = true;
+    ++stats.counter(cause);
+    ++stats.counter("wedges");
+    DPU_TRACE_INSTANT(sim::TraceCat::Dms, ctx.baseCore + core,
+                      "dmacWedge", ctx.eq.now(), "core",
+                      ctx.baseCore + core);
+}
+
+void
 Dmac::execute(unsigned core, const Descriptor &d, mem::Addr eff_ddr,
               std::uint32_t eff_dmem, sim::Tick issue, DoneFn done)
 {
@@ -114,6 +129,19 @@ Dmac::execute(unsigned core, const Descriptor &d, mem::Addr eff_ddr,
         dispatcher = std::max(dispatcher, issue) +
                      ctx.params.dmacDispatch;
         issue = dispatcher;
+        // Injected fault: the controller locks up mid-dispatch and
+        // the descriptor never completes — the same observable shape
+        // as the gather-bug erratum, but schedulable on any data
+        // descriptor so recovery paths can be exercised at will.
+        if (sim::faultPlane().active() &&
+            sim::faultPlane().fires(sim::FaultSite::DmsWedge,
+                                    ctx.eq.now(),
+                                    int(ctx.baseCore + core))) {
+            wedge(core, "injectedWedges");
+            warn("fault plane: DMAC wedged on dispatch (core %u)",
+                 ctx.baseCore + core);
+            return;
+        }
     }
     switch (d.type) {
       case DescType::DdrToDmem:
@@ -173,8 +201,7 @@ Dmac::execDdrToDmem(unsigned core, const Descriptor &d,
             // RTL erratum: the BV-count FIFO overflows and the DMAD
             // stalls indefinitely (Section 3.4). The descriptor
             // never completes.
-            wedged = true;
-            ++stats.counter("gatherBugHangs");
+            wedge(core, "gatherBugHangs");
             warn("DMAC gather-bug erratum triggered: DMAD wedged");
             return;
         }

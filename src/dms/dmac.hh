@@ -211,6 +211,9 @@ class Dmac
     std::deque<PartJob> partQueue;
     bool partActive = false;
 
+    /** Record a permanent DMAC wedge: flag + stats + trace. */
+    void wedge(unsigned core, const char *cause);
+
     // Gather erratum state.
     unsigned gathersActive = 0;
     bool wedged = false;

@@ -1,5 +1,6 @@
 #include "dms/dmad.hh"
 
+#include "sim/fault.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -96,6 +97,32 @@ Dmad::parkOnSet(unsigned ch, unsigned ev)
         ctx.eq.scheduleIn(0, [this, ch] { process(ch); },
                           sim::EvTag::Dms);
     });
+}
+
+void
+Dmad::completeAt(sim::Tick t, unsigned ch, int notify,
+                 std::uint32_t span_id, const char *desc_name,
+                 bool error)
+{
+    ctx.eq.schedule(
+        std::max(t, ctx.eq.now()),
+        [this, ch, notify, span_id, desc_name, error] {
+            if (span_id) {
+                DPU_TRACE_SPAN_END(sim::TraceCat::Dms,
+                                   ctx.baseCore + coreId, desc_name,
+                                   span_id, ctx.eq.now());
+            }
+            Channel &chan = channels[ch];
+            if (notify >= 0) {
+                chan.pendingSet &= ~(1u << unsigned(notify));
+                if (error)
+                    ctx.events[coreId].markError(unsigned(notify));
+                ctx.events[coreId].set(unsigned(notify));
+            }
+            --chan.inflight;
+            process(ch);
+        },
+        sim::EvTag::Dms);
 }
 
 void
@@ -247,29 +274,28 @@ Dmad::process(unsigned ch)
 
         const int notify = d.notifyEvent;
         const char *desc_name = descTypeName(d.type);
-        dmac.execute(
-            coreId, d, eff_ddr, eff_dmem, ctx.eq.now(),
-            [this, ch, notify, span_id, desc_name](sim::Tick t) {
-                ctx.eq.schedule(
-                    std::max(t, ctx.eq.now()),
-                    [this, ch, notify, span_id, desc_name] {
-                        if (span_id) {
-                            DPU_TRACE_SPAN_END(
-                                sim::TraceCat::Dms,
-                                ctx.baseCore + coreId, desc_name,
-                                span_id, ctx.eq.now());
-                        }
-                        Channel &chan = channels[ch];
-                        if (notify >= 0) {
-                            chan.pendingSet &=
-                                ~(1u << unsigned(notify));
-                            ctx.events[coreId].set(unsigned(notify));
-                        }
-                        --chan.inflight;
-                        process(ch);
-                    },
-                    sim::EvTag::Dms);
-            });
+        if (sim::faultPlane().active() &&
+            sim::faultPlane().fires(sim::FaultSite::DmsDescError,
+                                    ctx.eq.now(),
+                                    int(ctx.baseCore + coreId))) {
+            // Injected descriptor error: the DMAC rejects the
+            // descriptor after decode and completes it with error
+            // status. No data moves; the notify event still fires
+            // (waiters must wake) carrying the error flag.
+            DPU_TRACE_INSTANT(sim::TraceCat::Dms,
+                              ctx.baseCore + coreId, "descError",
+                              ctx.eq.now(), "ch", ch);
+            completeAt(ctx.eq.now() + ctx.params.descOverhead, ch,
+                       notify, span_id, desc_name, true);
+        } else {
+            dmac.execute(
+                coreId, d, eff_ddr, eff_dmem, ctx.eq.now(),
+                [this, ch, notify, span_id,
+                 desc_name](sim::Tick t) {
+                    completeAt(t, ch, notify, span_id, desc_name,
+                               false);
+                });
+        }
 
         ++c.pc;
     }

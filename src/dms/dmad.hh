@@ -80,6 +80,15 @@ class Dmad
     };
 
     void process(unsigned ch);
+    /**
+     * Schedule the completion of an in-flight data descriptor at
+     * tick @p t: close its trace span, set the notify event (with
+     * error status when @p error), release the in-flight slot and
+     * resume the channel.
+     */
+    void completeAt(sim::Tick t, unsigned ch, int notify,
+                    std::uint32_t span_id, const char *desc_name,
+                    bool error);
     /** Park the channel until @p ev of this core clears. */
     void parkOnClear(unsigned ch, unsigned ev);
     /** Park the channel until @p ev of this core sets. */

@@ -51,6 +51,33 @@ Dms::wfe(core::DpCore &c, unsigned ev)
     });
 }
 
+Dms::WfeResult
+Dms::wfeFor(core::DpCore &c, unsigned ev, sim::Tick timeout)
+{
+    c.cycles(1);
+    c.sync();
+    const unsigned local = localId(c);
+    EventFile &ef = ctx.events[local];
+    const sim::Tick deadline = ctx.eq.now() + timeout;
+    core::DpCore *cp = &c;
+    // The deadline wake is unconditional; a core that already moved
+    // on just absorbs a spurious predicate re-check (wake() is a
+    // no-op unless the core is blocked).
+    ctx.eq.schedule(deadline, [this, cp] { cp->wake(ctx.eq.now()); },
+                    sim::EvTag::Dms);
+    c.blockUntil([this, cp, &ef, ev, deadline] {
+        if (ef.isSet(ev))
+            return true;
+        if (ctx.eq.now() >= deadline)
+            return true;
+        ef.whenSet(ev, [this, cp] { cp->wake(ctx.eq.now()); });
+        return false;
+    });
+    if (!ef.isSet(ev))
+        return WfeResult::Timeout;
+    return ef.errorSet(ev) ? WfeResult::Error : WfeResult::Ok;
+}
+
 void
 Dms::clearEvent(core::DpCore &c, unsigned ev)
 {

@@ -48,6 +48,21 @@ class Dms
     /** Wait-For-Event: block until event @p ev of this core is set. */
     void wfe(core::DpCore &c, unsigned ev);
 
+    /** Outcome of a bounded wait (see wfeFor). */
+    enum class WfeResult : std::uint8_t
+    {
+        Ok,      ///< event set, completion was clean
+        Error,   ///< event set, descriptor completed with error
+        Timeout, ///< deadline reached before the event set
+    };
+
+    /**
+     * Bounded wait-for-event: like wfe() but gives up after
+     * @p timeout ticks and reports descriptor error completions
+     * (injected or real) instead of handing back a poisoned buffer.
+     */
+    WfeResult wfeFor(core::DpCore &c, unsigned ev, sim::Tick timeout);
+
     /** Clear event @p ev (consumer hands the buffer back). */
     void clearEvent(core::DpCore &c, unsigned ev);
 
@@ -56,6 +71,13 @@ class Dms
     eventSet(unsigned core_id, unsigned ev) const
     {
         return ctx.events[core_id].isSet(ev);
+    }
+
+    /** True when @p ev of @p core_id completed with error status. */
+    bool
+    eventError(unsigned core_id, unsigned ev) const
+    {
+        return ctx.events[core_id].errorSet(ev);
     }
 
     // ------------------------------------------------------------

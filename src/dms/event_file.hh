@@ -50,15 +50,37 @@ class EventFile
         fire(onSet[ev]);
     }
 
-    /** Clear @p ev and fire any on-clear callbacks. */
+    /** Clear @p ev (and its error flag), firing on-clear callbacks. */
     void
     clear(unsigned ev)
     {
         sim_assert(ev < eventsPerCore, "event id %u out of range", ev);
+        errBits &= ~(1u << ev);
         if (!((bits >> ev) & 1))
             return;
         bits &= ~(1u << ev);
         fire(onClear[ev]);
+    }
+
+    /**
+     * Flag @p ev as completed-with-error. The producing descriptor
+     * still set()s the event (waiters must wake), but consumers that
+     * check errorSet() before touching the buffer observe the fault.
+     * The flag persists until the event is cleared.
+     */
+    void
+    markError(unsigned ev)
+    {
+        sim_assert(ev < eventsPerCore, "event id %u out of range", ev);
+        errBits |= 1u << ev;
+    }
+
+    /** True when @p ev last completed with error status. */
+    bool
+    errorSet(unsigned ev) const
+    {
+        sim_assert(ev < eventsPerCore, "event id %u out of range", ev);
+        return (errBits >> ev) & 1;
     }
 
     /** Run @p cb once, the next time @p ev becomes set. */
@@ -89,6 +111,7 @@ class EventFile
     }
 
     std::uint32_t bits = 0;
+    std::uint32_t errBits = 0;
     std::vector<Callback> onSet[eventsPerCore];
     std::vector<Callback> onClear[eventsPerCore];
 };

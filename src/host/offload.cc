@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "sim/fault.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -15,18 +16,20 @@ constexpr sim::Tick noTick = std::numeric_limits<sim::Tick>::max();
 /** Worker shutdown sentinel (no valid dispatch encodes to it). */
 constexpr std::uint64_t shutdownMsg = ~0ull;
 
-/** Host -> worker dispatch message. */
+/** Host -> worker dispatch message (carries the dispatch id, not
+ *  the job id: requeued jobs get a fresh id per dispatch so stale
+ *  acks from an earlier attempt can never credit a later one). */
 std::uint64_t
-dispatchMsg(std::uint64_t job_id, unsigned group)
+dispatchMsg(std::uint64_t dispatch_id, unsigned group)
 {
-    return (job_id << 8) | group;
+    return (dispatch_id << 8) | group;
 }
 
 /** Worker -> host completion ack. */
 std::uint64_t
-ackMsg(std::uint64_t job_id, unsigned group, unsigned lane)
+ackMsg(std::uint64_t dispatch_id, unsigned group, unsigned lane)
 {
-    return (job_id << 16) | (std::uint64_t(group) << 8) | lane;
+    return (dispatch_id << 16) | (std::uint64_t(group) << 8) | lane;
 }
 
 /** Trace track ids on TraceCat::Soc. */
@@ -102,14 +105,29 @@ OffloadScheduler::start()
                 if (msg == shutdownMsg)
                     break;
                 const unsigned g = unsigned(msg & 0xff);
-                const std::uint64_t jid = msg >> 8;
+                const std::uint64_t did = msg >> 8;
                 Group &grp = groups[g];
                 const unsigned lane = id - grp.base;
                 // The message is a pointer: chase it to the job
                 // descriptor the driver wrote in DRAM.
                 c.cycles(60);
+                // Fault plane: stall this worker before its lane
+                // runs — mag cycles, or forever when mag is 0 (a
+                // hung core; the job is reaped at its deadline).
+                std::uint64_t stall = 0;
+                if (sim::faultPlane().active() &&
+                    sim::faultPlane().fires(sim::FaultSite::CoreStall,
+                                            c.now(), int(id),
+                                            &stall)) {
+                    DPU_TRACE_INSTANT(sim::TraceCat::Core, id,
+                                      "faultStall", c.now(),
+                                      "cycles", stall);
+                    if (stall == 0)
+                        c.blockUntil([] { return false; });
+                    c.sleepCycles(stall);
+                }
                 grp.job.lane(c, lane);
-                mbc.send(c, mbc.a9Box(), ackMsg(jid, g, lane));
+                mbc.send(c, mbc.a9Box(), ackMsg(did, g, lane));
             }
         });
     }
@@ -202,6 +220,7 @@ OffloadScheduler::reapTimeouts(soc::HostA9 &host)
         JobRecord &rec = records[it->id - 1];
         rec.state = JobState::TimedOut;
         rec.finishedAt = now;
+        rec.cause = "queue";
         ++stats.counter("timedOut");
         DPU_TRACE_SPAN_END(sim::TraceCat::Soc, hostTid, "job.queued",
                            it->queueSpan, now);
@@ -211,21 +230,59 @@ OffloadScheduler::reapTimeouts(soc::HostA9 &host)
         resolveJob(rec, host);
     }
 
-    // In-flight jobs past their deadline: report, quarantine the
-    // group (late acks reclaim it), keep serving on the rest.
+    // In-flight jobs past their deadline: quarantine the group
+    // (late acks reclaim it), then either requeue the job onto a
+    // healthy group or report it timed out, attributed to a hung
+    // DMAC when one of the group's cores shows a wedge.
     for (unsigned g = 0; g < groups.size(); ++g) {
         Group &grp = groups[g];
         if (grp.state != GroupState::Busy || grp.deadline > now)
             continue;
         JobRecord &rec = records[grp.jobId - 1];
-        rec.state = JobState::TimedOut;
-        rec.finishedAt = now;
-        ++stats.counter("timedOut");
+
+        bool wedged = false;
+        for (unsigned lane = 0; lane < grp.size && !wedged; ++lane)
+            wedged = soc.dmsFor(grp.base + lane).dmac().hung();
+
         grp.state = GroupState::Quarantined;
+        grp.quarantinedAt = now;
+        ++stats.counter("quarantines");
         DPU_TRACE_SPAN_END(sim::TraceCat::Soc, groupTid + g,
                            "job.run", grp.runSpan, now);
         DPU_TRACE_INSTANT(sim::TraceCat::Soc, groupTid + g,
                           "job.timeout", now, "job", rec.id);
+
+        const unsigned max_att = grp.req.maxAttempts
+                                     ? grp.req.maxAttempts
+                                     : p.maxAttempts;
+        if (rec.attempts < max_att) {
+            // Retry on another group with a fresh deadline. The
+            // requeue bypasses the admission bound: the job was
+            // already admitted once.
+            ++stats.counter("requeued");
+            rec.state = JobState::Queued;
+            Pending pend;
+            pend.id = rec.id;
+            pend.req = std::move(grp.req);
+            pend.deadline = now + (pend.req.timeout
+                                       ? pend.req.timeout
+                                       : p.defaultTimeout);
+            pend.queueSpan = DPU_TRACE_NEXT_ID();
+            DPU_TRACE_SPAN_BEGIN(sim::TraceCat::Soc, hostTid,
+                                 "job.queued", pend.queueSpan, now,
+                                 "job", rec.id, nullptr, 0);
+            DPU_TRACE_INSTANT(sim::TraceCat::Soc, hostTid,
+                              "job.requeue", now, "job", rec.id);
+            queue.push_back(std::move(pend));
+            continue;
+        }
+
+        rec.state = JobState::TimedOut;
+        rec.finishedAt = now;
+        rec.cause = wedged ? "dmsWedge" : "deadline";
+        ++stats.counter("timedOut");
+        if (wedged)
+            ++stats.counter("wedgeTimeouts");
         resolveJob(rec, host);
     }
 }
@@ -257,22 +314,25 @@ OffloadScheduler::dispatchReady(soc::HostA9 &host)
         const sim::Tick now = host.now();
         rec.state = JobState::Running;
         rec.dispatchedAt = now;
+        ++rec.attempts;
         ++stats.counter("dispatched");
         DPU_TRACE_SPAN_END(sim::TraceCat::Soc, hostTid, "job.queued",
                            pend.queueSpan, now);
 
         grp.state = GroupState::Busy;
         grp.jobId = pend.id;
+        grp.dispatchId = nextDispatchId++;
         grp.deadline = pend.deadline;
         grp.acksOutstanding = grp.size;
         grp.job = std::move(job);
+        grp.req = std::move(pend.req);
         grp.runSpan = DPU_TRACE_NEXT_ID();
         DPU_TRACE_SPAN_BEGIN(sim::TraceCat::Soc, groupTid + g,
                              "job.run", grp.runSpan, now, "job",
                              pend.id, "group", g);
         for (unsigned lane = 0; lane < grp.size; ++lane)
             host.sendToCore(grp.base + lane,
-                            dispatchMsg(pend.id, g));
+                            dispatchMsg(grp.dispatchId, g));
     }
 }
 
@@ -281,13 +341,13 @@ OffloadScheduler::handleAck(soc::HostA9 &host, std::uint64_t msg)
 {
     const unsigned lane = unsigned(msg & 0xff);
     const unsigned g = unsigned((msg >> 8) & 0xff);
-    const std::uint64_t jid = msg >> 16;
+    const std::uint64_t did = msg >> 16;
     if (g >= groups.size() || lane >= groups[g].size) {
         ++stats.counter("strayAcks");
         return;
     }
     Group &grp = groups[g];
-    if (grp.acksOutstanding == 0 || grp.jobId != jid) {
+    if (grp.acksOutstanding == 0 || grp.dispatchId != did) {
         ++stats.counter("strayAcks");
         return;
     }
@@ -297,15 +357,19 @@ OffloadScheduler::handleAck(soc::HostA9 &host, std::uint64_t msg)
     // Last lane acked: the dispatch is over.
     host.busyUs(p.completeOverheadUs);
     const sim::Tick now = host.now();
-    JobRecord &rec = records[jid - 1];
-    if (rec.state == JobState::TimedOut) {
-        // A reaped job finished late: reclaim the group, keep the
-        // timeout verdict (the requester has long been answered).
+    JobRecord &rec = records[grp.jobId - 1];
+    if (grp.state == GroupState::Quarantined) {
+        // A reaped dispatch finished late: reclaim the group, keep
+        // the job's verdict (timed out, or requeued and by now
+        // resolved on another group — the requester has long been
+        // answered either way).
         ++stats.counter("lateJobs");
+        quarantineDownTicks += now - grp.quarantinedAt;
         grp.state = GroupState::Free;
         grp.job = {};
+        grp.req = {};
         DPU_TRACE_INSTANT(sim::TraceCat::Soc, groupTid + g,
-                          "job.lateAck", now, "job", jid);
+                          "job.lateAck", now, "job", grp.jobId);
         return;
     }
 
@@ -320,6 +384,7 @@ OffloadScheduler::handleAck(soc::HostA9 &host, std::uint64_t msg)
                        grp.runSpan, now);
     grp.state = GroupState::Free;
     grp.job = {};
+    grp.req = {};
     resolveJob(rec, host);
 }
 
@@ -384,9 +449,25 @@ OffloadScheduler::finalize(soc::HostA9 &host)
     s.timedOut = stats.counter("timedOut");
     s.validationFailed = stats.counter("validationFailed");
     s.lateJobs = stats.counter("lateJobs");
+    s.requeued = stats.counter("requeued");
+    s.quarantines = stats.counter("quarantines");
+    s.wedgeTimeouts = stats.counter("wedgeTimeouts");
     for (const Group &grp : groups)
         s.wedgedGroups += grp.state == GroupState::Quarantined;
     stats.counter("wedgedGroups") = s.wedgedGroups;
+
+    // Availability: fraction of group-ticks not spent quarantined.
+    // Closed quarantines accumulated downtime at reclaim; groups
+    // still quarantined now have been down since their reap.
+    sim::Tick down = quarantineDownTicks;
+    for (const Group &grp : groups)
+        if (grp.state == GroupState::Quarantined)
+            down += host.now() - grp.quarantinedAt;
+    if (host.now() > 0 && !groups.empty())
+        s.availability =
+            1.0 - double(down) /
+                      (double(host.now()) * double(groups.size()));
+    stats.scalar("availability") = s.availability;
 
     std::sort(latenciesUs.begin(), latenciesUs.end());
     s.p50Us = percentile(latenciesUs, 0.50);

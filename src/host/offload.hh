@@ -62,6 +62,13 @@ struct OffloadParams
     /** Arena bytes per group (inputs + outputs + DMS prefetch
      *  slack). */
     std::uint64_t arenaBytesPerGroup = 6 << 20;
+    /**
+     * Dispatch attempts per job: a running job reaped at its
+     * deadline is requeued (fresh deadline, healthy group) while
+     * attempts remain, then finally reported TimedOut. 1 preserves
+     * the PR-2 fail-fast behaviour.
+     */
+    unsigned maxAttempts = 1;
 };
 
 /** One serving request. */
@@ -79,6 +86,8 @@ struct JobRequest
      *  (fault injection uses it to plant wedged kernels). */
     std::function<apps::ServingJob(const apps::ServingContext &)>
         makeJob;
+    /** Per-request attempt budget; 0 uses the params default. */
+    unsigned maxAttempts = 0;
 };
 
 enum class JobState : std::uint8_t
@@ -100,6 +109,12 @@ struct JobRecord
     sim::Tick dispatchedAt = 0;
     sim::Tick finishedAt = 0;
     bool valid = false; ///< validator verdict (Completed only)
+    /** Dispatches performed (>1 means the job was requeued). */
+    unsigned attempts = 0;
+    /** Failure attribution for TimedOut jobs: "queue" (never
+     *  dispatched), "deadline", or "dmsWedge" (a group core's DMAC
+     *  is hung — the erratum or an injected wedge). */
+    const char *cause = "";
 
     double
     latencyUs() const
@@ -120,6 +135,13 @@ struct ServingSummary
     std::uint64_t validationFailed = 0;
     std::uint64_t lateJobs = 0;     ///< timed out, then acked late
     std::uint64_t wedgedGroups = 0; ///< still quarantined at exit
+    std::uint64_t requeued = 0;     ///< reaped jobs given a retry
+    std::uint64_t quarantines = 0;  ///< group quarantine entries
+    std::uint64_t wedgeTimeouts = 0; ///< timeouts attributed to a
+                                     ///< hung DMAC
+    /** Mean fraction of group capacity not quarantined over the
+     *  run (1.0 = no quarantine downtime). */
+    double availability = 1.0;
     double p50Us = 0, p95Us = 0, p99Us = 0, meanUs = 0, maxUs = 0;
     double throughputJobsPerSec = 0;
 };
@@ -194,10 +216,17 @@ class OffloadScheduler
         unsigned size = 0;
         GroupState state = GroupState::Free;
         std::uint64_t jobId = 0;
+        /** Monotonic per-dispatch id carried by the MBC messages;
+         *  distinguishes a late ack from a previous dispatch of the
+         *  same (requeued) job. */
+        std::uint64_t dispatchId = 0;
         sim::Tick deadline = 0; ///< running job's reap tick
         unsigned acksOutstanding = 0;
         apps::ServingJob job;
+        /** Retained so a reaped job can be requeued. */
+        JobRequest req;
         std::uint32_t runSpan = 0;
+        sim::Tick quarantinedAt = 0;
     };
 
     void hostMain(soc::HostA9 &host);
@@ -225,6 +254,10 @@ class OffloadScheduler
     std::function<void(const JobRecord &)> completeHook;
     ServingSummary finalSummary;
     std::uint64_t nextJobId = 1;
+    std::uint64_t nextDispatchId = 1;
+    /** Ticks of group downtime from reclaimed quarantines;
+     *  still-open quarantines are added at finalize(). */
+    sim::Tick quarantineDownTicks = 0;
     bool started = false;
 };
 

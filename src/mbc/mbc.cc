@@ -1,8 +1,29 @@
 #include "mbc/mbc.hh"
 
+#include "sim/fault.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace dpu::mbc {
+
+namespace {
+
+/** Fault plane: true when the in-flight message to @p dst is lost
+ *  (sender-side costs are already paid — the loss is in transit). */
+bool
+dropped(sim::EventQueue &eq, unsigned dst, sim::StatGroup &stats)
+{
+    if (!sim::faultPlane().active() ||
+        !sim::faultPlane().fires(sim::FaultSite::MbcDrop, eq.now(),
+                                 int(dst)))
+        return false;
+    ++stats.counter("dropped");
+    DPU_TRACE_INSTANT(sim::TraceCat::Soc, dst, "mbcDrop", eq.now(),
+                      "dst", dst);
+    return true;
+}
+
+} // namespace
 
 Mbc::Mbc(sim::EventQueue &eq_, std::vector<core::DpCore *> &cores_)
     : eq(eq_), cores(cores_), stats("mbc"),
@@ -35,6 +56,8 @@ Mbc::send(core::DpCore &sender, unsigned dst, std::uint64_t msg)
     sender.cycles(4);
     sender.sync();
     ++shSent;
+    if (dropped(eq, dst, stats))
+        return;
     eq.schedule(eq.now() + sim::dpCoreClock.cyclesToTicks(mbcLatency),
                 [this, dst, msg] { deliver(dst, msg); },
                 sim::EvTag::Mbc);
@@ -45,6 +68,8 @@ Mbc::sendFromHost(unsigned dst, std::uint64_t msg)
 {
     sim_assert(dst < boxes.size(), "bad mailbox %u", dst);
     ++shSent;
+    if (dropped(eq, dst, stats))
+        return;
     eq.schedule(eq.now() + sim::dpCoreClock.cyclesToTicks(mbcLatency),
                 [this, dst, msg] { deliver(dst, msg); },
                 sim::EvTag::Mbc);

@@ -24,6 +24,7 @@
 #include <cstdint>
 
 #include "mem/addr.hh"
+#include "sim/fault.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
 #include "sim/types.hh"
@@ -194,6 +195,13 @@ class DdrChannel
         // Refresh/controller derating: stretch effective burst time.
         sim::Tick t_burst =
             sim::Tick(double(p.tBurst) / (1.0 - p.refreshDerate));
+
+        // Fault plane: a mem.degrade window divides the channel's
+        // effective bandwidth by stretching each burst (thermal
+        // throttling / a misbehaving rank). Inert runs only pay the
+        // hasMemFault() flag test.
+        if (sim::faultPlane().hasMemFault())
+            t_burst *= sim::faultPlane().memBwDivisor(data_start);
 
         busFree = data_start + t_burst;
         shBusyTicks += t_burst;

@@ -216,6 +216,18 @@ class DmsCtl
     /** dms_wfe: block until @p event is set. */
     void wfe(unsigned event) { dmsRef.wfe(core, event); }
 
+    /**
+     * Bounded dms_wfe: wait at most @p timeout ticks and report
+     * descriptor error completions. The recovery-path form of wfe():
+     * a kernel that must not hang on a wedged or faulting DMS checks
+     * the result instead of trusting the buffer.
+     */
+    dms::Dms::WfeResult
+    wfeFor(unsigned event, sim::Tick timeout)
+    {
+        return dmsRef.wfeFor(core, event, timeout);
+    }
+
     /** clear_event: hand the buffer back to the DMS. */
     void clearEvent(unsigned event) { dmsRef.clearEvent(core, event); }
 
@@ -224,6 +236,13 @@ class DmsCtl
     eventSet(unsigned event) const
     {
         return dmsRef.eventSet(localId(), event);
+    }
+
+    /** True when @p event last completed with error status. */
+    bool
+    eventError(unsigned event) const
+    {
+        return dmsRef.eventError(localId(), event);
     }
 
     /** Reset the descriptor arena (new program phase). */

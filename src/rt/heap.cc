@@ -38,44 +38,58 @@ Heap::classBytes(unsigned k)
     return 16u << k;
 }
 
-mem::Addr
-Heap::grabSuperblock(core::DpCore &c, std::uint64_t bytes)
+std::optional<mem::Addr>
+Heap::tryGrabSuperblock(core::DpCore &c, std::uint64_t bytes)
 {
     // Central path: on chip this serializes on an ATE-owned mutex;
-    // charge that cost to the requesting core.
+    // charge that cost to the requesting core (even for a failing
+    // probe — the core walked the central structure to learn it).
     c.cycles(centralAllocCycles);
     std::uint64_t need =
         (bytes + superblockBytes - 1) / superblockBytes *
         superblockBytes;
     if (nextSuper + need > endAddr)
-        fatal("DPU heap exhausted: %llu bytes requested",
-              (unsigned long long)bytes);
+        return std::nullopt;
     mem::Addr p = nextSuper;
     nextSuper += need;
     return p;
 }
 
 mem::Addr
-Heap::alloc(core::DpCore &c, std::uint64_t bytes)
+Heap::grabSuperblock(core::DpCore &c, std::uint64_t bytes)
+{
+    auto p = tryGrabSuperblock(c, bytes);
+    if (!p)
+        fatal("DPU heap exhausted: %llu bytes requested",
+              (unsigned long long)bytes);
+    return *p;
+}
+
+std::optional<mem::Addr>
+Heap::tryAlloc(core::DpCore &c, std::uint64_t bytes)
 {
     sim_assert(bytes > 0, "zero-byte allocation");
     unsigned k = classOf(bytes);
 
     if (k == nSizeClasses) {
         // Huge allocation: straight from the central allocator.
-        mem::Addr p = grabSuperblock(c, bytes);
-        blockSize[p] = bytes;
+        auto p = tryGrabSuperblock(c, bytes);
+        if (!p)
+            return std::nullopt;
+        blockSize[*p] = bytes;
         live += bytes;
-        return p;
+        return *p;
     }
 
     auto &list = bins[c.id()].freeLists[k];
     if (list.empty()) {
         // Refill: carve a whole superblock into blocks of class k.
-        mem::Addr sb = grabSuperblock(c, superblockBytes);
+        auto sb = tryGrabSuperblock(c, superblockBytes);
+        if (!sb)
+            return std::nullopt;
         std::uint32_t step = std::max<std::uint32_t>(classBytes(k),
                                                      64);
-        for (mem::Addr p = sb; p + step <= sb + superblockBytes;
+        for (mem::Addr p = *sb; p + step <= *sb + superblockBytes;
              p += step)
             list.push_back(p);
     }
@@ -86,6 +100,16 @@ Heap::alloc(core::DpCore &c, std::uint64_t bytes)
     blockSize[p] = classBytes(k);
     live += classBytes(k);
     return p;
+}
+
+mem::Addr
+Heap::alloc(core::DpCore &c, std::uint64_t bytes)
+{
+    auto p = tryAlloc(c, bytes);
+    if (!p)
+        fatal("DPU heap exhausted: %llu bytes requested",
+              (unsigned long long)bytes);
+    return *p;
 }
 
 void

@@ -25,6 +25,7 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "core/dp_core.hh"
@@ -55,6 +56,15 @@ class Heap
      */
     mem::Addr alloc(core::DpCore &c, std::uint64_t bytes);
 
+    /**
+     * alloc() that reports exhaustion instead of terminating the
+     * simulation: returns std::nullopt when the arena cannot satisfy
+     * the request, so callers can shed load (reject a job, flush a
+     * cache) rather than die. Charges the same cycle costs.
+     */
+    std::optional<mem::Addr> tryAlloc(core::DpCore &c,
+                                      std::uint64_t bytes);
+
     /** Return a block to the allocating core's free list. */
     void free(core::DpCore &c, mem::Addr p);
 
@@ -77,6 +87,10 @@ class Heap
 
     /** Carve a fresh superblock (central, mutex-charged). */
     mem::Addr grabSuperblock(core::DpCore &c, std::uint64_t bytes);
+
+    /** grabSuperblock that reports exhaustion via std::nullopt. */
+    std::optional<mem::Addr> tryGrabSuperblock(core::DpCore &c,
+                                               std::uint64_t bytes);
 
     struct CoreBins
     {

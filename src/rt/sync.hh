@@ -16,11 +16,112 @@
 #define DPU_RT_SYNC_HH
 
 #include <cstdint>
+#include <optional>
 
 #include "ate/ate.hh"
 #include "core/dp_core.hh"
 
 namespace dpu::rt {
+
+/** Retry policy for ReliableAte (see below). */
+struct AteRetryPolicy
+{
+    /** Initial response timeout; doubles per retry. */
+    sim::Tick timeout = 2'000'000; // 2 us
+    /** Reissues after the first attempt. */
+    unsigned maxRetries = 6;
+    /** Initial inter-attempt backoff in core cycles; doubles per
+     *  retry, capped at 4096. */
+    sim::Cycles backoff = 64;
+};
+
+/**
+ * ATE hardware RPCs hardened against a lossy crossbar: each op is a
+ * bounded wait (Ate::waitResponseFor) wrapped in a reissue loop with
+ * exponential backoff and a doubling timeout. Retries are safe for
+ * all ops including the atomics because the modelled fault drops the
+ * *request* before the remote op executes — a request that reached
+ * the remote core always produces a response (possibly late; late
+ * responses are discarded as stale, never delivered to a retry).
+ *
+ * Ops return std::nullopt (store: false) once the retry budget is
+ * exhausted; callers degrade gracefully instead of hanging, which is
+ * the contract the chaos harness asserts.
+ */
+class ReliableAte
+{
+  public:
+    explicit ReliableAte(ate::Ate &ate, AteRetryPolicy pol = {})
+        : ateRef(ate), policy(pol)
+    {
+    }
+
+    std::optional<std::uint64_t>
+    load(core::DpCore &c, unsigned target, mem::Addr addr,
+         unsigned bytes = 8)
+    {
+        return op(c, target, ate::AteOp::Load, addr, 0, 0, bytes);
+    }
+
+    bool
+    store(core::DpCore &c, unsigned target, mem::Addr addr,
+          std::uint64_t value, unsigned bytes = 8)
+    {
+        return op(c, target, ate::AteOp::Store, addr, value, 0, bytes)
+            .has_value();
+    }
+
+    std::optional<std::uint64_t>
+    fetchAdd(core::DpCore &c, unsigned target, mem::Addr addr,
+             std::int64_t delta, unsigned bytes = 8)
+    {
+        return op(c, target, ate::AteOp::FetchAdd, addr,
+                  std::uint64_t(delta), 0, bytes);
+    }
+
+    std::optional<std::uint64_t>
+    compareSwap(core::DpCore &c, unsigned target, mem::Addr addr,
+                std::uint64_t expect, std::uint64_t desired,
+                unsigned bytes = 8)
+    {
+        return op(c, target, ate::AteOp::CompareSwap, addr, expect,
+                  desired, bytes);
+    }
+
+    /** Reissues performed across all ops so far. */
+    std::uint64_t retries() const { return nRetries; }
+
+    /** Ops that exhausted the retry budget. */
+    std::uint64_t failures() const { return nFailures; }
+
+  private:
+    std::optional<std::uint64_t>
+    op(core::DpCore &c, unsigned target, ate::AteOp o, mem::Addr addr,
+       std::uint64_t a, std::uint64_t b, unsigned bytes)
+    {
+        sim::Tick timeout = policy.timeout;
+        sim::Cycles backoff = policy.backoff;
+        for (unsigned attempt = 0; attempt <= policy.maxRetries;
+             ++attempt) {
+            ateRef.issue(c, target, o, addr, a, b, bytes);
+            std::uint64_t v = 0;
+            if (ateRef.waitResponseFor(c, timeout, v))
+                return v;
+            ++nRetries;
+            c.sleepCycles(backoff);
+            if (backoff < 4096)
+                backoff *= 2;
+            timeout *= 2;
+        }
+        ++nFailures;
+        return std::nullopt;
+    }
+
+    ate::Ate &ateRef;
+    AteRetryPolicy policy;
+    std::uint64_t nRetries = 0;
+    std::uint64_t nFailures = 0;
+};
 
 /** Spin mutex on a word in the owner core's DMEM. */
 class AteMutex

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * FaultPlane implementation: spec parsing, deterministic firing
+ * decisions, and the seeded chaos-spec generator.
+ */
+
+#include "sim/fault.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace dpu::sim {
+
+namespace {
+
+/** Spec names, indexed by FaultSite. */
+const char *const siteNames[nFaultSites] = {
+    "dms.wedge", "dms.descError", "ate.drop",   "ate.delay",
+    "mbc.drop",  "core.stall",    "mem.degrade",
+};
+
+bool
+parseSite(const std::string &name, FaultSite &out)
+{
+    for (unsigned i = 0; i < nFaultSites; ++i) {
+        if (name == siteNames[i]) {
+            out = FaultSite(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Split @p s on @p sep, dropping empty pieces. */
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        std::size_t end = s.find(sep, start);
+        if (end == std::string::npos)
+            end = s.size();
+        if (end > start)
+            out.push_back(s.substr(start, end - start));
+        start = end + 1;
+    }
+    return out;
+}
+
+std::uint64_t
+parseU64(const std::string &rule, const std::string &v)
+{
+    char *end = nullptr;
+    // Route through strtod so window keys accept "2e9" notation.
+    double d = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0' || d < 0)
+        fatal("fault spec '%s': bad numeric value '%s'", rule.c_str(),
+              v.c_str());
+    return std::uint64_t(d);
+}
+
+double
+parseF64(const std::string &rule, const std::string &v)
+{
+    char *end = nullptr;
+    double d = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0')
+        fatal("fault spec '%s': bad numeric value '%s'", rule.c_str(),
+              v.c_str());
+    return d;
+}
+
+} // namespace
+
+const char *
+faultSiteName(FaultSite site)
+{
+    return siteNames[unsigned(site)];
+}
+
+void
+FaultPlane::reset()
+{
+    rules.clear();
+    memRules = 0;
+    specStr.clear();
+    for (auto &c : counts)
+        c = 0;
+    stats.reset();
+}
+
+void
+FaultPlane::configure(const std::string &spec, std::uint64_t seed)
+{
+    reset();
+    if (spec.empty())
+        return;
+
+    for (const std::string &part : split(spec, ';')) {
+        FaultRule r;
+        const std::size_t at = part.find('@');
+        const std::string siteName = part.substr(0, at);
+        if (!parseSite(siteName, r.site))
+            fatal("fault spec '%s': unknown site '%s'", part.c_str(),
+                  siteName.c_str());
+
+        std::uint64_t ruleSeed = seed ^ (0x6661756c74ull + rules.size());
+        if (at != std::string::npos) {
+            for (const std::string &kv : split(part.substr(at + 1), ',')) {
+                const std::size_t eq = kv.find('=');
+                if (eq == std::string::npos)
+                    fatal("fault spec '%s': key '%s' needs a value",
+                          part.c_str(), kv.c_str());
+                const std::string k = kv.substr(0, eq);
+                const std::string v = kv.substr(eq + 1);
+                if (k == "p") {
+                    r.p = parseF64(part, v);
+                    if (r.p < 0.0 || r.p > 1.0)
+                        fatal("fault spec '%s': p=%s out of [0,1]",
+                              part.c_str(), v.c_str());
+                } else if (k == "nth") {
+                    r.nth = parseU64(part, v);
+                } else if (k == "from") {
+                    r.from = parseU64(part, v);
+                } else if (k == "to") {
+                    r.to = parseU64(part, v);
+                } else if (k == "max") {
+                    r.max = parseU64(part, v);
+                } else if (k == "mag") {
+                    r.mag = parseU64(part, v);
+                } else if (k == "unit") {
+                    r.unit = int(parseF64(part, v));
+                } else if (k == "seed") {
+                    ruleSeed = parseU64(part, v);
+                } else {
+                    fatal("fault spec '%s': unknown key '%s'",
+                          part.c_str(), k.c_str());
+                }
+            }
+        }
+        r.rng = Rng(ruleSeed);
+        if (r.site == FaultSite::MemDegrade) {
+            // A degrade window needs a divisor; default to 4x.
+            if (r.mag < 2)
+                r.mag = 4;
+            ++memRules;
+        }
+        rules.push_back(r);
+    }
+
+    specStr = spec;
+    stats = std::make_unique<StatGroup>("fault");
+}
+
+bool
+FaultPlane::fires(FaultSite site, Tick now, int unit,
+                  std::uint64_t *magnitude)
+{
+    for (auto &r : rules) {
+        if (r.site != site)
+            continue;
+        if (r.unit >= 0 && unit >= 0 && r.unit != unit)
+            continue;
+        if (now < r.from || now >= r.to)
+            continue;
+        ++r.seen;
+        if (r.fired >= r.max)
+            continue;
+        bool hit;
+        if (r.nth)
+            hit = r.seen % r.nth == 0;
+        else
+            hit = r.p >= 1.0 || r.rng.uniform() < r.p;
+        if (!hit)
+            continue;
+        ++r.fired;
+        ++counts[unsigned(site)];
+        if (stats)
+            ++stats->counter(siteNames[unsigned(site)]);
+        if (magnitude)
+            *magnitude = r.mag;
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+FaultPlane::memBwDivisor(Tick now)
+{
+    std::uint64_t factor = 1;
+    for (auto &r : rules) {
+        if (r.site != FaultSite::MemDegrade)
+            continue;
+        if (now < r.from || now >= r.to)
+            continue;
+        factor *= r.mag;
+        // Count degraded bursts; budget caps window length, not
+        // bursts, so `max` is ignored here.
+        ++r.fired;
+        ++counts[unsigned(FaultSite::MemDegrade)];
+    }
+    if (factor > 1 && stats)
+        ++stats->counter(siteNames[unsigned(FaultSite::MemDegrade)]);
+    return factor;
+}
+
+std::uint64_t
+FaultPlane::injectedTotal() const
+{
+    std::uint64_t total = 0;
+    for (auto c : counts)
+        total += c;
+    return total;
+}
+
+std::string
+FaultPlane::randomSpec(std::uint64_t seed)
+{
+    // Seed-deterministic chaos schedule: pick 1-3 fault rules with
+    // bounded rates so a run degrades without flat-lining. Magnitudes
+    // and windows come from the same Rng, so the schedule is a pure
+    // function of the seed.
+    Rng rng(seed * 0x9e3779b97f4a7c15ull + 0xc4a05ull);
+    const unsigned nRules = 1 + unsigned(rng.below(3));
+    std::string spec;
+    for (unsigned i = 0; i < nRules; ++i) {
+        if (!spec.empty())
+            spec += ';';
+        char buf[128];
+        switch (rng.below(7)) {
+        case 0: // rare permanent DMAC wedge
+            std::snprintf(buf, sizeof(buf), "dms.wedge@nth=%llu,max=1",
+                          (unsigned long long)(20 + rng.below(60)));
+            break;
+        case 1: // sporadic descriptor error completions
+            std::snprintf(buf, sizeof(buf),
+                          "dms.descError@p=0.0%llu,max=%llu",
+                          (unsigned long long)(1 + rng.below(9)),
+                          (unsigned long long)(2 + rng.below(6)));
+            break;
+        case 2: // lost RPC requests (recovered by retry)
+            std::snprintf(buf, sizeof(buf), "ate.drop@p=0.0%llu,max=%llu",
+                          (unsigned long long)(1 + rng.below(9)),
+                          (unsigned long long)(2 + rng.below(8)));
+            break;
+        case 3: // jittered RPC delivery, 1-4 us extra
+            std::snprintf(buf, sizeof(buf), "ate.delay@p=0.1,mag=%llu",
+                          (unsigned long long)((1 + rng.below(4)) *
+                                               1000000ull));
+            break;
+        case 4: // lost mailbox messages (recovered by requeue)
+            std::snprintf(buf, sizeof(buf), "mbc.drop@nth=%llu,max=%llu",
+                          (unsigned long long)(15 + rng.below(40)),
+                          (unsigned long long)(1 + rng.below(3)));
+            break;
+        case 5: // finite worker stalls, 100-900 us of cycles
+            std::snprintf(buf, sizeof(buf),
+                          "core.stall@nth=%llu,max=2,mag=%llu",
+                          (unsigned long long)(5 + rng.below(20)),
+                          (unsigned long long)((1 + rng.below(9)) *
+                                               80000ull));
+            break;
+        default: // degraded DDR bandwidth window
+            std::snprintf(buf, sizeof(buf),
+                          "mem.degrade@from=%llu,to=%llu,mag=%llu",
+                          (unsigned long long)(rng.below(4) * 500000000ull),
+                          (unsigned long long)(2000000000ull +
+                                               rng.below(4) *
+                                                   1000000000ull),
+                          (unsigned long long)(2 + rng.below(7)));
+            break;
+        }
+        spec += buf;
+    }
+    return spec;
+}
+
+FaultPlane &
+faultPlane()
+{
+    static FaultPlane plane;
+    return plane;
+}
+
+} // namespace dpu::sim

@@ -316,3 +316,94 @@ TEST(Ate, DpuSerializedFixesStaleness)
     EXPECT_EQ(stale, 0u);
     EXPECT_EQ(fresh, 42u);
 }
+
+// ----------------------------------------------------------------
+// Fault recovery: dropped requests, bounded waits, retry wrapper.
+// ----------------------------------------------------------------
+
+#include "sim/fault.hh"
+
+TEST(Ate, DroppedRequestIsRetriedAndAppliedExactlyOnce)
+{
+    sim::faultPlane().reset();
+    // Lose exactly the first RPC request (before the remote op
+    // executes, so the retry cannot double-apply).
+    sim::faultPlane().configure("ate.drop@nth=1,max=1", 5);
+
+    soc::Soc s(smallParams());
+    s.start(0, [&](core::DpCore &c) {
+        rt::AteRetryPolicy pol;
+        pol.timeout = sim::Tick(1e6); // 1 us
+        pol.maxRetries = 2;
+        rt::ReliableAte ra(s.ate(), pol);
+
+        auto old = ra.fetchAdd(c, 7, mem::dmemAddr(7, 64), 5);
+        ASSERT_TRUE(old.has_value());
+        EXPECT_EQ(*old, 0u);
+        EXPECT_EQ(ra.retries(), 1u);
+        EXPECT_EQ(ra.failures(), 0u);
+
+        auto now = ra.load(c, 7, mem::dmemAddr(7, 64));
+        ASSERT_TRUE(now.has_value());
+        EXPECT_EQ(*now, 5u) << "the add must land exactly once";
+    });
+    s.run();
+    sim::faultPlane().reset();
+    EXPECT_TRUE(s.allFinished());
+}
+
+TEST(Ate, ExhaustedRetriesFailCleanlyWithoutHanging)
+{
+    sim::faultPlane().reset();
+    sim::faultPlane().configure("ate.drop@p=1", 5); // fabric is dead
+
+    soc::Soc s(smallParams());
+    s.start(0, [&](core::DpCore &c) {
+        rt::AteRetryPolicy pol;
+        pol.timeout = sim::Tick(1e6);
+        pol.maxRetries = 2;
+        rt::ReliableAte ra(s.ate(), pol);
+
+        auto v = ra.load(c, 7, mem::dmemAddr(7, 64));
+        EXPECT_FALSE(v.has_value());
+        EXPECT_EQ(ra.retries(), 3u); // 1 + maxRetries issues
+        EXPECT_EQ(ra.failures(), 1u);
+    });
+    s.run(); // must drain: a dead fabric fails ops, not the sim
+    sim::faultPlane().reset();
+    EXPECT_TRUE(s.allFinished());
+}
+
+TEST(Ate, DelayedResponseAfterAbandonIsDiscardedAsStale)
+{
+    sim::faultPlane().reset();
+    // Delay the first request's delivery by 4 us. The delay
+    // charges the (src,dst) link, so the first retry queues behind
+    // it and also times out; the second retry (backed-off timeout
+    // now 4 us) completes. Both late responses must be dropped as
+    // stale instead of corrupting the retried operation's slot.
+    sim::faultPlane().configure("ate.delay@nth=1,max=1,mag=4000000",
+                                5);
+
+    soc::Soc s(smallParams());
+    s.start(0, [&](core::DpCore &c) {
+        rt::AteRetryPolicy pol;
+        pol.timeout = sim::Tick(1e6);
+        pol.maxRetries = 2;
+        rt::ReliableAte ra(s.ate(), pol);
+
+        auto v = ra.load(c, 7, mem::dmemAddr(7, 96));
+        ASSERT_TRUE(v.has_value());
+        EXPECT_EQ(ra.retries(), 2u);
+
+        // Park long enough for the delayed original to come back.
+        c.sleepCycles(8000);
+        auto again = ra.load(c, 7, mem::dmemAddr(7, 96));
+        ASSERT_TRUE(again.has_value());
+        EXPECT_EQ(*again, *v);
+    });
+    s.run();
+    EXPECT_EQ(s.ate().statGroup().get("staleResponses"), 2u);
+    sim::faultPlane().reset();
+    EXPECT_TRUE(s.allFinished());
+}

@@ -10,7 +10,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "host/offload.hh"
+#include "rt/dms_ctl.hh"
+#include "sim/fault.hh"
 #include "soc/soc.hh"
 
 using namespace dpu;
@@ -276,6 +280,195 @@ TEST(OffloadScheduler, ClosedLoopResubmitsFromCompletionHook)
 
     EXPECT_EQ(sched.summary().completed, target);
     EXPECT_EQ(sched.summary().rejected, 0u);
+    EXPECT_TRUE(s.allFinished());
+    EXPECT_TRUE(a9.finished());
+}
+
+// ----------------------------------------------------------------
+// Recovery paths: requeue, attempt budgets, failure attribution,
+// and dispatch-id-keyed late-ack reclamation.
+// ----------------------------------------------------------------
+
+namespace {
+
+/** Two-group chip: a fault costs one group, not the test. */
+OffloadParams
+twoGroups()
+{
+    OffloadParams p;
+    p.nCores = 8;
+    p.groupSize = 4;
+    return p;
+}
+
+} // namespace
+
+TEST(OffloadScheduler, ReapedJobRequeuesAndCompletesElsewhere)
+{
+    soc::Soc s;
+    soc::HostA9 a9(s.eventQueue(), s.mbc());
+    OffloadScheduler sched(s, a9, twoGroups());
+
+    // First dispatch wedges lane 0 forever; the retry is clean.
+    auto dispatches = std::make_shared<unsigned>(0);
+    JobRequest req;
+    req.timeout = sim::Tick(1e9); // 1 ms
+    req.maxAttempts = 2;          // per-request override
+    req.makeJob = [dispatches](const apps::ServingContext &) {
+        const unsigned n = (*dispatches)++;
+        apps::ServingJob job;
+        job.stage = [] {};
+        job.lane = [n](core::DpCore &c, unsigned lane) {
+            if (n == 0 && lane == 0)
+                c.blockUntil([] { return false; });
+            c.alu(16);
+        };
+        return job;
+    };
+    sched.enqueueAt(0, std::move(req));
+
+    sched.start();
+    s.run();
+
+    const ServingSummary sum = sched.summary();
+    EXPECT_EQ(sum.completed, 1u);
+    EXPECT_EQ(sum.timedOut, 0u);
+    EXPECT_EQ(sum.requeued, 1u);
+    EXPECT_EQ(sum.quarantines, 1u);
+    EXPECT_EQ(sum.wedgedGroups, 1u)
+        << "the wedged group stays quarantined";
+    const JobRecord &rec = sched.jobs()[0];
+    EXPECT_EQ(rec.state, JobState::Completed);
+    EXPECT_EQ(rec.attempts, 2u);
+    EXPECT_EQ(s.unfinishedCores().size(), 1u);
+    EXPECT_TRUE(a9.finished());
+}
+
+TEST(OffloadScheduler, ExhaustedAttemptsReportDeadlineCause)
+{
+    soc::Soc s;
+    soc::HostA9 a9(s.eventQueue(), s.mbc());
+    OffloadParams p = twoGroups();
+    p.maxAttempts = 2;
+    OffloadScheduler sched(s, a9, p);
+
+    JobRequest wedge = wedgedJob(); // wedges on every attempt
+    wedge.timeout = sim::Tick(1e9);
+    sched.enqueueAt(0, std::move(wedge));
+
+    sched.start();
+    s.run();
+
+    const ServingSummary sum = sched.summary();
+    EXPECT_EQ(sum.completed, 0u);
+    EXPECT_EQ(sum.timedOut, 1u);
+    EXPECT_EQ(sum.requeued, 1u);
+    EXPECT_EQ(sum.quarantines, 2u);
+    EXPECT_EQ(sum.wedgedGroups, 2u);
+    EXPECT_EQ(sum.wedgeTimeouts, 0u)
+        << "a parked fiber is not a DMAC wedge";
+    const JobRecord &rec = sched.jobs()[0];
+    EXPECT_EQ(rec.state, JobState::TimedOut);
+    EXPECT_EQ(rec.attempts, 2u);
+    EXPECT_STREQ(rec.cause, "deadline");
+    EXPECT_LT(sum.availability, 1.0);
+    EXPECT_TRUE(a9.finished());
+}
+
+TEST(OffloadScheduler, HungDmacTimeoutIsAttributedToTheWedge)
+{
+    sim::faultPlane().reset();
+    sim::faultPlane().configure("dms.wedge@nth=1,max=1", 3);
+
+    soc::Soc s;
+    soc::HostA9 a9(s.eventQueue(), s.mbc());
+    OffloadScheduler sched(s, a9, twoGroups());
+
+    // Lane 0 pushes one DMS descriptor and waits unbounded; the
+    // injected DMAC wedge drops its completion, so the job is
+    // reaped and the reaper must blame the hung DMAC.
+    JobRequest req;
+    req.timeout = sim::Tick(1e9);
+    req.makeJob = [](const apps::ServingContext &ctx) {
+        apps::ServingJob job;
+        job.stage = [] {};
+        job.lane = [ctx](core::DpCore &c, unsigned lane) {
+            if (lane != 0) {
+                c.alu(16);
+                return;
+            }
+            rt::DmsCtl ctl(c, ctx.soc->dmsFor(c.id()));
+            ctl.ddrToDmem()
+                .rows(64)
+                .width(4)
+                .from(ctx.arena)
+                .to(0)
+                .event(0)
+                .push(0);
+            ctl.wfe(0); // hangs: the wedge never completes it
+        };
+        return job;
+    };
+    sched.enqueueAt(0, std::move(req));
+    sched.enqueueAt(1, quickJob()); // the other group still serves
+
+    sched.start();
+    s.run();
+    sim::faultPlane().reset();
+
+    const ServingSummary sum = sched.summary();
+    EXPECT_EQ(sum.completed, 1u);
+    EXPECT_EQ(sum.timedOut, 1u);
+    EXPECT_EQ(sum.wedgeTimeouts, 1u);
+    const JobRecord &rec = sched.jobs()[0];
+    EXPECT_EQ(rec.state, JobState::TimedOut);
+    EXPECT_STREQ(rec.cause, "dmsWedge");
+    EXPECT_TRUE(a9.finished());
+}
+
+TEST(OffloadScheduler, LateAckFromOldDispatchReclaimsDuringRetry)
+{
+    soc::Soc s;
+    soc::HostA9 a9(s.eventQueue(), s.mbc());
+    OffloadParams p = twoGroups();
+    p.maxAttempts = 2;
+    OffloadScheduler sched(s, a9, p);
+
+    // Attempt 1 is slow-but-finite (reaped, acks late); attempt 2
+    // is quick. The late acks carry the first dispatch id and must
+    // reclaim the quarantined group — not be miscredited to the
+    // job, which by then is completing on the other group.
+    auto dispatches = std::make_shared<unsigned>(0);
+    JobRequest req;
+    req.timeout = sim::Tick(1e9); // 1 ms
+    req.makeJob = [dispatches](const apps::ServingContext &) {
+        const unsigned n = (*dispatches)++;
+        apps::ServingJob job;
+        job.stage = [] {};
+        job.lane = [n](core::DpCore &c, unsigned) {
+            c.sleepCycles(n == 0 ? 2'000'000 : 1'000);
+        };
+        return job;
+    };
+    sched.enqueueAt(0, std::move(req));
+    // A late arrival keeps the host listening past the late acks.
+    sched.enqueueAt(sim::Tick(4e9), quickJob());
+
+    sched.start();
+    s.run();
+
+    const ServingSummary sum = sched.summary();
+    EXPECT_EQ(sum.completed, 2u);
+    EXPECT_EQ(sum.timedOut, 0u);
+    EXPECT_EQ(sum.requeued, 1u);
+    EXPECT_EQ(sum.quarantines, 1u);
+    EXPECT_EQ(sum.lateJobs, 1u);
+    EXPECT_EQ(sum.wedgedGroups, 0u)
+        << "the late acks must reclaim the quarantined group";
+    const JobRecord &rec = sched.jobs()[0];
+    EXPECT_EQ(rec.state, JobState::Completed);
+    EXPECT_EQ(rec.attempts, 2u);
+    EXPECT_LT(sum.availability, 1.0);
     EXPECT_TRUE(s.allFinished());
     EXPECT_TRUE(a9.finished());
 }

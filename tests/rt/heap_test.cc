@@ -129,3 +129,56 @@ TEST(Heap, ManyCoresAllocateDisjointBlocks)
     }
     EXPECT_EQ(owner.size(), 32u * 64u);
 }
+
+TEST(Heap, TryAllocReportsExhaustionWithoutDying)
+{
+    soc::Soc s(smallParams());
+    // Four 64 KB superblocks in total.
+    rt::Heap heap(1 << 20, 256 * 1024, 32);
+
+    s.start(0, [&](core::DpCore &c) {
+        // Drain the arena with huge allocations.
+        std::vector<mem::Addr> got;
+        for (;;) {
+            auto p = heap.tryAlloc(c, 64 * 1024);
+            if (!p)
+                break;
+            got.push_back(*p);
+        }
+        EXPECT_EQ(got.size(), 4u);
+        const std::uint64_t live = heap.liveBytes();
+
+        // Every further path fails cleanly: huge, and small-class
+        // (whose refill can't carve a superblock either).
+        EXPECT_FALSE(heap.tryAlloc(c, 128 * 1024).has_value());
+        EXPECT_FALSE(heap.tryAlloc(c, 32).has_value());
+        EXPECT_EQ(heap.liveBytes(), live)
+            << "failed allocations must not leak accounting";
+
+        // The failure is recoverable state, not a poisoned heap:
+        // freeing keeps working (huge blocks are not recycled, but
+        // the free itself must account correctly).
+        heap.free(c, got.back());
+        EXPECT_EQ(heap.liveBytes(), live - 64 * 1024);
+    });
+    s.run();
+    EXPECT_TRUE(s.allFinished());
+}
+
+TEST(Heap, TryAllocMatchesAllocOnTheHappyPath)
+{
+    soc::Soc s(smallParams());
+    rt::Heap heap(1 << 20, 8 << 20, 32);
+    s.start(0, [&](core::DpCore &c) {
+        auto p = heap.tryAlloc(c, 256);
+        ASSERT_TRUE(p.has_value());
+        EXPECT_EQ(*p % 64, 0u);
+        mem::Addr q = heap.alloc(c, 256);
+        EXPECT_NE(*p, q);
+        heap.free(c, *p);
+        heap.free(c, q);
+        EXPECT_EQ(heap.liveBytes(), 0u);
+    });
+    s.run();
+    EXPECT_TRUE(s.allFinished());
+}

@@ -274,3 +274,105 @@ TEST(HostA9, AllCoresToHostExactlyOnce)
     for (unsigned i = 0; i < counts.size(); ++i)
         EXPECT_EQ(counts[i], 1u) << "message " << i;
 }
+
+TEST(HostA9, RecvUntilDeadlineTiedWithDeliveryTimesOutFirst)
+{
+    soc::Soc s(smallParams());
+    soc::HostA9 a9(s.eventQueue(), s.mbc());
+
+    // Worker timing: sleep 6 + send 4 + MBC latency 30 cycles puts
+    // the delivery at tick 50000 — exactly the host's deadline. The
+    // deadline timer was scheduled first (at t=0), so same-tick
+    // FIFO fires it before the delivery: the bounded wait reports a
+    // timeout, and the message is receivable in the same tick.
+    s.start(0, [&](core::DpCore &c) {
+        c.sleepCycles(6);
+        s.mbc().send(c, s.mbc().a9Box(), 77);
+    });
+
+    bool timed_out = false;
+    sim::Tick woke_at = 0, got_at = 0;
+    std::uint64_t got = 0;
+    a9.start([&](soc::HostA9 &host) {
+        std::uint64_t msg;
+        timed_out = !host.recvUntil(50'000, msg);
+        woke_at = host.now();
+        got = host.recv();
+        got_at = host.now();
+    });
+
+    s.run();
+    EXPECT_TRUE(a9.finished());
+    EXPECT_TRUE(timed_out);
+    EXPECT_EQ(woke_at, 50'000u);
+    EXPECT_EQ(got, 77u);
+    EXPECT_EQ(got_at, 50'000u)
+        << "the tied delivery must be receivable in the same tick";
+}
+
+TEST(HostA9, StaleDeadlineDoesNotCutLaterBoundedWaitShort)
+{
+    soc::Soc s(smallParams());
+    soc::HostA9 a9(s.eventQueue(), s.mbc());
+
+    // The first bounded wait is satisfied long before its 1 ms
+    // deadline, leaving that timer armed. It fires in the middle of
+    // the second bounded wait, whose own deadline is 3 ms; without
+    // the generation bump the stale timer would end the second wait
+    // two milliseconds early.
+    s.start(0, [&](core::DpCore &c) {
+        s.mbc().send(c, s.mbc().a9Box(), 1);
+    });
+
+    bool first = false, second = true;
+    sim::Tick woke_at = 0;
+    a9.start([&](soc::HostA9 &host) {
+        std::uint64_t msg;
+        first = host.recvUntil(sim::Tick(1e9), msg);
+        second = host.recvUntil(sim::Tick(3e9), msg);
+        woke_at = host.now();
+    });
+
+    s.run();
+    EXPECT_TRUE(a9.finished());
+    EXPECT_TRUE(first);
+    EXPECT_FALSE(second);
+    EXPECT_EQ(woke_at, sim::Tick(3e9))
+        << "the second wait must run to its own deadline";
+}
+
+TEST(HostA9, BackToBackBoundedWaitsTimeOutAtExactDeadlines)
+{
+    soc::Soc s(smallParams());
+    soc::HostA9 a9(s.eventQueue(), s.mbc());
+
+    // Reply lands at (800 + 4 + 30) cycles = tick 1042500, past all
+    // four staggered deadlines: each wait must time out at exactly
+    // its own deadline, and the fifth wait sees the delivery.
+    s.start(0, [&](core::DpCore &c) {
+        c.sleepCycles(800);
+        s.mbc().send(c, s.mbc().a9Box(), 5);
+    });
+
+    std::vector<sim::Tick> wokeAt;
+    bool delivered = false;
+    std::uint64_t got = 0;
+    a9.start([&](soc::HostA9 &host) {
+        std::uint64_t msg;
+        for (unsigned i = 1; i <= 4; ++i) {
+            EXPECT_FALSE(host.recvUntil(sim::Tick(i) * 200'000,
+                                        msg));
+            wokeAt.push_back(host.now());
+        }
+        delivered = host.recvUntil(sim::Tick(1e12), msg);
+        got = msg;
+    });
+
+    s.run();
+    EXPECT_TRUE(a9.finished());
+    ASSERT_EQ(wokeAt.size(), 4u);
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_EQ(wokeAt[i], sim::Tick(i + 1) * 200'000);
+    EXPECT_TRUE(delivered);
+    EXPECT_EQ(got, 5u);
+}
