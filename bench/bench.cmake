@@ -22,4 +22,6 @@ dpu_add_bench(bench_fig16_tpch)
 dpu_add_bench(bench_ablation_16nm)
 dpu_add_bench(bench_serving)
 target_link_libraries(bench_serving PRIVATE dpu_host)
+dpu_add_bench(bench_board)
+target_link_libraries(bench_board PRIVATE dpu_host dpu_board)
 dpu_add_bench(bench_simperf)

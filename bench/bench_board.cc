@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Multi-DPU board scaling bench. The paper deployed the chip as a
+ * many-DPU in-memory database appliance (Section 6: "a single
+ * board carries multiple DPUs behind one host"); this bench is the
+ * repro of that posture on the simulated board fabric:
+ *
+ *  1. Sharded SQL partition/join scaling — the hash-partitioned
+ *     table workload of board_apps.hh at 1, 2 and 4 DPUs. Work per
+ *     DPU is fixed (weak scaling), so ideal aggregate throughput
+ *     grows linearly with board size and every deviation is
+ *     cross-DPU exchange cost on the modelled links. The run
+ *     fails (non-zero exit) when the 2-DPU board does not beat
+ *     1.6x or the 4-DPU board 2.5x of single-chip throughput.
+ *  2. Distributed HLL — per-DPU sketches merged across the fabric,
+ *     reported against the true distinct count.
+ *  3. Board serving — the request mix flows through the sharded
+ *     BoardScheduler (hash routing) on a 2-DPU board; reports
+ *     board-wide tail latency and availability.
+ *
+ * Output: human tables plus one JSON line (last line of stdout)
+ * for CI artifact collection (BENCH_board.json).
+ */
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/report.hh"
+#include "board/board.hh"
+#include "board/board_apps.hh"
+#include "host/board_offload.hh"
+#include "sim/fault.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+using namespace dpu;
+
+namespace {
+
+struct SqlPoint
+{
+    unsigned nDpus = 0;
+    board::ShardedSqlResult res;
+    double speedup = 0; ///< aggregate throughput vs 1 DPU
+};
+
+/** One sharded-SQL run on a fresh board (clean fault plane). */
+board::ShardedSqlResult
+sqlRun(unsigned n_dpus, const board::ShardedSqlConfig &cfg)
+{
+    sim::faultPlane().reset();
+    board::BoardParams bp;
+    bp.nDpus = n_dpus;
+    board::Board b(bp);
+    return board::runShardedSql(b, cfg);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool smoke = bench::smokeRun(argc, argv);
+    const char *faults =
+        bench::argValue(argc, argv, "--faults", "");
+    const std::uint64_t fault_seed = std::strtoull(
+        bench::argValue(argc, argv, "--fault-seed", "1"), nullptr,
+        0);
+
+    board::ShardedSqlConfig scfg;
+    scfg.rowsPerDpu = smoke ? (1u << 12) : (1u << 15);
+
+    // ------------------------------------------------------------
+    // 1. Sharded SQL scaling curve
+    // ------------------------------------------------------------
+    bench::header("board scaling",
+                  "hash-partitioned SQL across 1/2/4 DPUs");
+    bench::row("  %5s %10s %12s %10s %9s %8s", "dpus", "rows",
+               "rows/s", "seconds", "linkPeak", "speedup");
+
+    std::vector<SqlPoint> curve;
+    bool ok = true;
+    for (unsigned n : {1u, 2u, 4u}) {
+        SqlPoint pt;
+        pt.nDpus = n;
+        pt.res = sqlRun(n, scfg);
+        ok = ok && pt.res.valid;
+        curve.push_back(pt);
+    }
+    const double base = curve.front().res.rowsPerSec();
+    for (SqlPoint &pt : curve) {
+        pt.speedup = base > 0 ? pt.res.rowsPerSec() / base : 0;
+        bench::row("  %5u %10llu %12.3g %10.3g %8.1f%% %7.2fx",
+                   pt.nDpus,
+                   (unsigned long long)pt.res.rows,
+                   pt.res.rowsPerSec(), pt.res.seconds,
+                   pt.res.peakLinkUtilization * 100, pt.speedup);
+    }
+    // The scaling gates. Simulated time is deterministic, so these
+    // are regression gates, not flaky thresholds.
+    const double gate2 = 1.6, gate4 = 2.5;
+    if (curve[1].speedup <= gate2) {
+        bench::row("  FAIL: 2-DPU speedup %.2fx <= %.2fx gate",
+                   curve[1].speedup, gate2);
+        ok = false;
+    }
+    if (curve[2].speedup <= gate4) {
+        bench::row("  FAIL: 4-DPU speedup %.2fx <= %.2fx gate",
+                   curve[2].speedup, gate4);
+        ok = false;
+    }
+
+    // Optional fault overlay: same 2-DPU workload under a seeded
+    // link-fault schedule — must still validate (retries + doorbell
+    // backfill), just slower.
+    board::ShardedSqlResult faulted;
+    bool ran_faulted = false;
+    if (*faults) {
+        sim::faultPlane().reset();
+        sim::faultPlane().configure(faults, fault_seed);
+        board::BoardParams bp;
+        bp.nDpus = 2;
+        board::Board fb(bp);
+        faulted = board::runShardedSql(fb, scfg);
+        sim::faultPlane().reset();
+        ran_faulted = true;
+        ok = ok && faulted.valid;
+        bench::row("  under faults \"%s\": valid %d, %.3g rows/s, "
+                   "%llu doorbells lost",
+                   faults, int(faulted.valid),
+                   faulted.rowsPerSec(),
+                   (unsigned long long)faulted.doorbellsLost);
+    }
+
+    // ------------------------------------------------------------
+    // 2. Distributed HLL
+    // ------------------------------------------------------------
+    bench::header("board HLL",
+                  "cross-DPU sketch merge (2 DPUs)");
+    board::DistHllConfig hcfg;
+    if (smoke) {
+        hcfg.elementsPerDpu = 1 << 12;
+        hcfg.cardinality = 1 << 10;
+    }
+    sim::faultPlane().reset();
+    board::BoardParams hbp;
+    hbp.nDpus = 2;
+    board::Board hb(hbp);
+    const board::DistHllResult hll =
+        board::runDistributedHll(hb, hcfg);
+    ok = ok && hll.valid;
+    bench::row("  estimate %.0f  true %llu  err %.2f%%  "
+               "sketchExact %d  %.3g s",
+               hll.estimate, (unsigned long long)hll.trueDistinct,
+               hll.errorFrac * 100, int(hll.sketchExact),
+               hll.seconds);
+
+    // ------------------------------------------------------------
+    // 3. Serving through the sharded scheduler
+    // ------------------------------------------------------------
+    bench::header("board serving",
+                  "hash-routed request mix (2 DPUs)");
+    sim::faultPlane().reset();
+    board::BoardParams sbp;
+    sbp.nDpus = 2;
+    board::Board sb(sbp);
+    host::OffloadParams op;
+    host::BoardScheduler bsched(sb, op, host::ShardRouting::Hash);
+
+    const unsigned n_jobs = smoke ? 16 : 48;
+    const double rate = 4000;
+    sim::Rng rng(0x0b0a7d);
+    sim::Tick t = 0;
+    const char *mix[] = {"filter", "groupby-low", "hll-crc",
+                         "json"};
+    std::vector<std::uint64_t> per_shard(sb.nDpus(), 0);
+    for (unsigned i = 0; i < n_jobs; ++i) {
+        host::JobRequest req;
+        const apps::AppSpec *spec =
+            apps::findApp(mix[rng.below(4)]);
+        sim_assert(spec, "mix app missing from registry");
+        req.app = spec->name;
+        req.cfg = spec->makeConfig();
+        if (req.app == "filter")
+            spec->set(req.cfg, "rowsPerCore", "4096");
+        if (req.app == "groupby-low")
+            spec->set(req.cfg, "nRows", "16384");
+        if (req.app == "hll-crc") {
+            spec->set(req.cfg, "nElements", "8192");
+            spec->set(req.cfg, "cardinality", "2048");
+        }
+        if (req.app == "json")
+            spec->set(req.cfg, "nRecords", "512");
+        req.seed = rng.next();
+        const double gap_s = rng.uniform() / rate;
+        t += sim::Tick(gap_s * 1e12);
+        ++per_shard[bsched.route(req)];
+        bsched.enqueueAt(t, std::move(req));
+    }
+    bsched.start();
+    sb.run();
+    bench::flushTrace();
+    const host::ServingSummary sum = bsched.summary();
+    ok = ok && sum.completed > 0 && sum.timedOut == 0 &&
+         sum.validationFailed == 0;
+    bench::row("  shard split: dpu0 %llu, dpu1 %llu of %u jobs",
+               (unsigned long long)per_shard[0],
+               (unsigned long long)per_shard[1], n_jobs);
+    for (unsigned d = 0; d < sb.nDpus(); ++d)
+        for (const host::JobRecord &r : bsched.shard(d).jobs())
+            if (r.state == host::JobState::Completed && !r.valid)
+                bench::row("  INVALID: dpu%u job %llu app %s", d,
+                           (unsigned long long)r.id,
+                           r.app.c_str());
+    bench::row("  completed %llu  timedOut %llu  "
+               "validationFailed %llu  rejected %llu",
+               (unsigned long long)sum.completed,
+               (unsigned long long)sum.timedOut,
+               (unsigned long long)sum.validationFailed,
+               (unsigned long long)sum.rejected);
+    bench::row("  p50 %.1f us  p99 %.1f us  availability %.3f  "
+               "%.3g jobs/s",
+               sum.p50Us, sum.p99Us, sum.availability,
+               sum.throughputJobsPerSec);
+
+    // ------------------------------------------------------------
+    // JSON (last line of stdout)
+    // ------------------------------------------------------------
+    {
+        bench::Json j;
+        j.field("bench", "board");
+        j.field("smoke", std::uint64_t(smoke));
+        j.arr("sqlScaling");
+        for (const SqlPoint &pt : curve) {
+            j.elem();
+            j.field("nDpus", std::uint64_t(pt.nDpus));
+            j.field("rows", pt.res.rows);
+            j.field("rowsPerSec", pt.res.rowsPerSec());
+            j.field("seconds", pt.res.seconds);
+            j.field("bytesShipped", pt.res.bytesShipped);
+            j.field("peakLinkUtilization",
+                    pt.res.peakLinkUtilization);
+            j.field("speedup", pt.speedup);
+            j.field("valid", std::uint64_t(pt.res.valid));
+            j.end();
+        }
+        j.end();
+        j.field("gate2", gate2).field("gate4", gate4);
+        if (ran_faulted) {
+            j.obj("sqlFaulted");
+            j.field("spec", faults);
+            j.field("valid", std::uint64_t(faulted.valid));
+            j.field("rowsPerSec", faulted.rowsPerSec());
+            j.field("doorbellsLost", faulted.doorbellsLost);
+            j.end();
+        }
+        j.obj("hll");
+        j.field("estimate", hll.estimate);
+        j.field("trueDistinct", hll.trueDistinct);
+        j.field("errorFrac", hll.errorFrac);
+        j.field("sketchExact", std::uint64_t(hll.sketchExact));
+        j.field("valid", std::uint64_t(hll.valid));
+        j.end();
+        j.obj("serving");
+        j.field("nDpus", std::uint64_t(2));
+        j.field("jobs", std::uint64_t(n_jobs));
+        j.field("completed", sum.completed);
+        j.field("timedOut", sum.timedOut);
+        j.field("p50Us", sum.p50Us);
+        j.field("p99Us", sum.p99Us);
+        j.field("availability", sum.availability);
+        j.field("jobsPerSec", sum.throughputJobsPerSec);
+        j.end();
+        j.field("pass", std::uint64_t(ok));
+    }
+
+    if (!ok) {
+        std::fprintf(stderr, "bench_board: FAILED gates\n");
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,89 @@
+#include "board/board.hh"
+
+#include "sim/logging.hh"
+
+namespace dpu::board {
+
+Board::Board(const BoardParams &params)
+    : p(params), link(eq, p.nDpus, p.link)
+{
+    sim_assert(p.nDpus >= 1, "a board carries at least one DPU");
+    dpus.reserve(p.nDpus);
+    hosts.reserve(p.nDpus);
+    for (unsigned d = 0; d < p.nDpus; ++d) {
+        dpus.push_back(std::make_unique<soc::Soc>(eq, p.soc));
+        hosts.push_back(
+            std::make_unique<soc::HostA9>(eq, dpus[d]->mbc()));
+    }
+}
+
+sim::Tick
+Board::run()
+{
+    eq.run();
+    return eq.now();
+}
+
+sim::Tick
+Board::runFor(sim::Tick limit)
+{
+    eq.run(eq.now() + limit);
+    return eq.now();
+}
+
+bool
+Board::allFinished() const
+{
+    for (const auto &d : dpus)
+        if (!d->allFinished())
+            return false;
+    return true;
+}
+
+void
+Board::dma(unsigned src_dpu, mem::Addr src_addr, unsigned dst_dpu,
+           mem::Addr dst_addr, std::uint64_t bytes,
+           LinkFabric::BulkHandler done)
+{
+    sim_assert(src_dpu < nDpus() && dst_dpu < nDpus() &&
+                   src_dpu != dst_dpu,
+               "bad DMA route %u -> %u", src_dpu, dst_dpu);
+    auto buf = std::make_shared<std::vector<std::uint8_t>>(bytes);
+    dpus[src_dpu]->memory().store().read(src_addr, buf->data(),
+                                         bytes);
+    dmaAttempt(src_dpu, dst_dpu, dst_addr, std::move(buf),
+               std::move(done), 1 + p.dmaRetries);
+}
+
+void
+Board::dmaAttempt(unsigned src_dpu, unsigned dst_dpu,
+                  mem::Addr dst_addr,
+                  std::shared_ptr<std::vector<std::uint8_t>> buf,
+                  LinkFabric::BulkHandler done, unsigned attempts)
+{
+    const std::uint64_t bytes = buf->size();
+    link.sendBulk(
+        src_dpu, dst_dpu, bytes,
+        [this, src_dpu, dst_dpu, dst_addr, buf = std::move(buf),
+         done = std::move(done), attempts](bool ok) mutable {
+            if (ok) {
+                dpus[dst_dpu]->memory().store().write(
+                    dst_addr, buf->data(), buf->size());
+                if (done)
+                    done(true);
+                return;
+            }
+            if (attempts > 1) {
+                ++link.statGroup().counter("bulkRetries");
+                dmaAttempt(src_dpu, dst_dpu, dst_addr,
+                           std::move(buf), std::move(done),
+                           attempts - 1);
+                return;
+            }
+            ++link.statGroup().counter("bulkFailed");
+            if (done)
+                done(false);
+        });
+}
+
+} // namespace dpu::board

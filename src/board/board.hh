@@ -1,0 +1,104 @@
+/**
+ * @file
+ * A multi-DPU board: N chips, one event kernel, one link fabric.
+ *
+ * The paper evaluates a single 32-dpCore DPU; its DMS partitioner
+ * and ATE fabric, however, compose beyond one chip, and the serving
+ * deployment model (Section 2.4) places many DPUs behind one host.
+ * The Board models that next tier: every Soc is constructed on the
+ * Board's shared sim::EventQueue, so all chips advance on one
+ * deterministic timeline, and a LinkFabric carries inter-DPU RPC
+ * doorbells and DDR-to-DDR bulk transfers.
+ *
+ * Bulk data movement (dma()) is descriptor-style: the payload is
+ * snapshotted from the source chip's functional DDR store when the
+ * descriptor is issued, occupies the (src, dst) link channel for its
+ * serialization time, and lands in the destination store at the
+ * delivery tick. Link-level drops are retried a bounded number of
+ * times before the completion hook reports failure; DDR-side timing
+ * on the endpoints is not charged (the link, two orders of magnitude
+ * slower than a DDR channel, is the modelled bottleneck — see
+ * DESIGN.md §12).
+ *
+ * Each DPU also gets its own HostA9 (the per-chip offload driver
+ * endpoint); host::BoardScheduler runs one OffloadScheduler per chip
+ * on top of these.
+ */
+
+#ifndef DPU_BOARD_BOARD_HH
+#define DPU_BOARD_BOARD_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "board/link.hh"
+#include "sim/event_queue.hh"
+#include "soc/host_a9.hh"
+#include "soc/soc.hh"
+
+namespace dpu::board {
+
+struct BoardParams
+{
+    unsigned nDpus = 2;
+    soc::SocParams soc = soc::dpu40nm();
+    LinkParams link{};
+    /** Bulk-transfer retransmissions before dma() reports failure. */
+    unsigned dmaRetries = 4;
+};
+
+/** N DPUs sharing one event kernel, connected by a LinkFabric. */
+class Board
+{
+  public:
+    explicit Board(const BoardParams &params);
+
+    unsigned nDpus() const { return unsigned(dpus.size()); }
+    const BoardParams &params() const { return p; }
+
+    sim::EventQueue &eventQueue() { return eq; }
+    sim::Tick now() const { return eq.now(); }
+    double seconds() const { return double(eq.now()) * 1e-12; }
+
+    soc::Soc &dpu(unsigned d) { return *dpus[d]; }
+    soc::HostA9 &host(unsigned d) { return *hosts[d]; }
+    LinkFabric &fabric() { return link; }
+
+    /** Run the shared kernel until it drains; @return end tick. */
+    sim::Tick run();
+
+    /** Run with a simulated-time limit (deadlock detection). */
+    sim::Tick runFor(sim::Tick limit);
+
+    /** True when every started kernel on every chip has returned. */
+    bool allFinished() const;
+
+    /**
+     * Ship @p bytes from DPU @p src_dpu's DDR at @p src_addr to DPU
+     * @p dst_dpu's DDR at @p dst_addr over the fabric. The payload
+     * is snapshotted now; the destination bytes appear at the
+     * delivery tick. Dropped transfers are retransmitted up to
+     * params().dmaRetries times, then @p done (optional) reports
+     * false.
+     */
+    void dma(unsigned src_dpu, mem::Addr src_addr, unsigned dst_dpu,
+             mem::Addr dst_addr, std::uint64_t bytes,
+             LinkFabric::BulkHandler done = {});
+
+  private:
+    void dmaAttempt(unsigned src_dpu, unsigned dst_dpu,
+                    mem::Addr dst_addr,
+                    std::shared_ptr<std::vector<std::uint8_t>> buf,
+                    LinkFabric::BulkHandler done, unsigned attempts);
+
+    BoardParams p;
+    sim::EventQueue eq;
+    std::vector<std::unique_ptr<soc::Soc>> dpus;
+    std::vector<std::unique_ptr<soc::HostA9>> hosts;
+    LinkFabric link;
+};
+
+} // namespace dpu::board
+
+#endif // DPU_BOARD_BOARD_HH

@@ -1,0 +1,546 @@
+#include "board/board_apps.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "apps/common.hh"
+#include "apps/hll.hh"
+#include "rt/dms_ctl.hh"
+#include "rt/partition.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "util/crc32.hh"
+
+namespace dpu::board {
+
+namespace {
+
+/** Contiguous [begin, begin+count) share of @p total for @p lane. */
+struct Slice
+{
+    std::uint64_t begin = 0;
+    std::uint64_t count = 0;
+};
+
+Slice
+laneSlice(std::uint64_t total, unsigned n_lanes, unsigned lane)
+{
+    const std::uint64_t per = (total + n_lanes - 1) / n_lanes;
+    const std::uint64_t b = std::min<std::uint64_t>(total, lane * per);
+    const std::uint64_t e = std::min<std::uint64_t>(total, b + per);
+    return {b, e - b};
+}
+
+/** Dump @p bytes of DMEM at @p src_off to DDR @p dst, synchronous. */
+void
+dumpToDdr(rt::DmsCtl &ctl, std::uint16_t src_off, mem::Addr dst,
+          std::uint32_t bytes)
+{
+    ctl.dmemToDdr().rows(bytes / 4).width(4).from(src_off).to(dst)
+        .event(6).noAutoInc().push(1);
+    ctl.wfe(6);
+    ctl.clearEvent(6);
+}
+
+/** Per-DPU key/value table, regenerable host-side for validation. */
+std::vector<std::uint32_t>
+sqlTable(const ShardedSqlConfig &cfg, unsigned dpu)
+{
+    sim::Rng rng{cfg.seed ^ (0x9e3779b97f4a7c15ull * (dpu + 1))};
+    std::vector<std::uint32_t> v(std::size_t(cfg.rowsPerDpu) * 2);
+    for (std::uint32_t r = 0; r < cfg.rowsPerDpu; ++r) {
+        v[r] = std::uint32_t(rng.next());            // key column
+        v[cfg.rowsPerDpu + r] = std::uint32_t(rng.below(1 << 16));
+    }
+    return v;
+}
+
+} // namespace
+
+ShardedSqlResult
+runShardedSql(Board &b, const ShardedSqlConfig &cfg)
+{
+    ShardedSqlResult res;
+    const unsigned n = b.nDpus();
+    sim_assert(sqlPartitions % n == 0,
+               "board size %u must divide the %u-way partition "
+               "fan-out (owner cores map 1:1)",
+               n, sqlPartitions);
+    const std::uint32_t rows = cfg.rowsPerDpu;
+    const std::uint32_t stride = rows * 4;
+    const std::uint16_t buf_bytes = 1024 + 4;
+
+    // DDR layout, identical on every DPU. Staging slots carry 4x
+    // the mean partition share plus slack so a skewed CRC split
+    // cannot overrun (P(>4x mean) is negligible at these sizes).
+    const mem::Addr table_base = 0x100000;
+    const std::uint64_t slot =
+        apps::alignUp(std::uint64_t(rows) / sqlPartitions * 8 * 4 +
+                          4096,
+                      4096);
+    const mem::Addr stage_base =
+        apps::alignUp(table_base + std::uint64_t(rows) * 8 + 65536,
+                      4096);
+    const mem::Addr recv_base = stage_base + sqlPartitions * slot;
+    const mem::Addr partial_base =
+        recv_base + std::uint64_t(n) * sqlPartitions * slot;
+    const std::uint64_t ddr_need =
+        partial_base + sqlPartitions * std::uint64_t(n) * 16 + 8192;
+    sim_assert(ddr_need <= b.dpu(0).params().ddrBytes,
+               "sharded SQL layout needs %llu MB of DDR per DPU",
+               (unsigned long long)(ddr_need >> 20));
+
+    // ------------------------------------------------------------
+    // Stage each DPU's table slice (host-side, functional).
+    // ------------------------------------------------------------
+    for (unsigned d = 0; d < n; ++d)
+        apps::stage(b.dpu(d), table_base, sqlTable(cfg, d));
+
+    // Host-side control metadata: per (dpu, partition) row counts
+    // observed by the consumers, and the counts announced to owners
+    // by doorbell RPCs.
+    std::vector<std::uint64_t> counts(std::size_t(n) * sqlPartitions,
+                                      0);
+    std::vector<std::uint64_t> recvCounts(
+        std::size_t(n) * n * sqlPartitions, 0);
+    std::vector<bool> recvSeen(std::size_t(n) * n * sqlPartitions,
+                               false);
+
+    // ------------------------------------------------------------
+    // Phase A: every DPU hash-partitions its slice 32 ways; each
+    // consumer core drains its partition ring to a DDR staging slot.
+    // ------------------------------------------------------------
+    for (unsigned d = 0; d < n; ++d) {
+        soc::Soc *s = &b.dpu(d);
+        for (unsigned id = 0; id < sqlPartitions; ++id) {
+            s->start(id, [&counts, s, d, id, table_base, stride,
+                          rows, buf_bytes, stage_base,
+                          slot](core::DpCore &c) {
+                rt::DmsCtl ctl(c, s->dmsFor(id));
+                if (id == 0) {
+                    rt::PartitionJob job;
+                    job.table = table_base;
+                    job.nRows = rows;
+                    job.nCols = 2;
+                    job.colWidth = 4;
+                    job.colStride = stride;
+                    job.chunkRows = 128;
+                    job.dstBufBytes = buf_bytes;
+                    rt::runPartition(ctl, job);
+                }
+                const mem::Addr dst = stage_base + id * slot;
+                std::uint64_t got = 0;
+                rt::consumePartition(
+                    ctl, 0, buf_bytes, 2, 16,
+                    [&](std::uint32_t off, std::uint32_t nrows) {
+                        // Stage the sealed buffer's tuples behind
+                        // the previous ones, synchronously (the
+                        // ring slot is reused after return).
+                        ctl.dmemToDdr()
+                            .rows(nrows * 2)
+                            .width(4)
+                            .from(off)
+                            .to(dst + got * 8)
+                            .event(9)
+                            .noAutoInc()
+                            .push(1);
+                        ctl.wfe(9);
+                        ctl.clearEvent(9);
+                        got += nrows;
+                        c.dualIssue(nrows, nrows);
+                    });
+                counts[d * sqlPartitions + id] = got;
+                if (id == 0) {
+                    ctl.wfe(30);
+                    ctl.clearEvent(30);
+                }
+            });
+        }
+    }
+    b.run();
+    if (!b.allFinished())
+        return res;
+
+    // ------------------------------------------------------------
+    // Exchange: ship every non-owned partition to its owner, then
+    // announce the row count with a doorbell RPC. The DMA layer
+    // retries link drops; a lost doorbell is recovered from the
+    // host's control metadata after the exchange drains.
+    // ------------------------------------------------------------
+    for (unsigned o = 0; o < n; ++o) {
+        b.fabric().onRpc(o, [&recvCounts, &recvSeen, n,
+                             o](unsigned src, std::uint64_t payload) {
+            const unsigned part = unsigned(payload >> 48);
+            const std::uint64_t cnt =
+                payload & ((1ull << 48) - 1);
+            recvCounts[(std::uint64_t(o) * n + src) *
+                           sqlPartitions +
+                       part] = cnt;
+            recvSeen[(std::uint64_t(o) * n + src) * sqlPartitions +
+                     part] = true;
+        });
+    }
+
+    std::uint64_t dmaFailures = 0;
+    for (unsigned d = 0; d < n; ++d) {
+        for (unsigned p = 0; p < sqlPartitions; ++p) {
+            const unsigned o = p % n;
+            if (o == d)
+                continue;
+            const std::uint64_t cnt =
+                counts[d * sqlPartitions + p];
+            const mem::Addr dst =
+                recv_base +
+                (std::uint64_t(d) * sqlPartitions + p) * slot;
+            if (cnt == 0) {
+                // Nothing to ship; the doorbell alone announces
+                // the empty partition.
+                b.fabric().sendRpc(
+                    d, o, (std::uint64_t(p) << 48) | 0);
+                continue;
+            }
+            b.dma(d, stage_base + p * slot, o, dst, cnt * 8,
+                  [&b, &dmaFailures, d, o, p, cnt](bool ok) {
+                      if (!ok) {
+                          ++dmaFailures;
+                          return;
+                      }
+                      b.fabric().sendRpc(
+                          d, o,
+                          (std::uint64_t(p) << 48) | cnt);
+                  });
+        }
+    }
+    b.run();
+    if (dmaFailures)
+        return res; // link gave up past its retry budget
+
+    // Doorbells lost to link.drop: the offload driver falls back to
+    // its own dispatch bookkeeping (it staged the transfers).
+    for (unsigned o = 0; o < n; ++o) {
+        for (unsigned d = 0; d < n; ++d) {
+            if (o == d)
+                continue;
+            for (unsigned p = 0; p < sqlPartitions; ++p) {
+                if (p % n != o)
+                    continue;
+                const std::size_t ri =
+                    (std::uint64_t(o) * n + d) * sqlPartitions + p;
+                if (!recvSeen[ri]) {
+                    ++res.doorbellsLost;
+                    recvCounts[ri] = counts[d * sqlPartitions + p];
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------
+    // Phase B: owners aggregate COUNT/SUM per (partition, source)
+    // region — one core per region keeps all 32 cores of every
+    // owner busy at any board size.
+    // ------------------------------------------------------------
+    for (unsigned o = 0; o < n; ++o) {
+        soc::Soc *s = &b.dpu(o);
+        std::vector<unsigned> owned;
+        for (unsigned p = 0; p < sqlPartitions; ++p)
+            if (p % n == o)
+                owned.push_back(p);
+        for (unsigned k = 0; k < unsigned(owned.size()) * n; ++k) {
+            const unsigned p = owned[k / n];
+            const unsigned src = k % n;
+            const std::uint64_t nrows =
+                src == o
+                    ? counts[o * sqlPartitions + p]
+                    : recvCounts[(std::uint64_t(o) * n + src) *
+                                     sqlPartitions +
+                                 p];
+            const mem::Addr region =
+                src == o
+                    ? stage_base + p * slot
+                    : recv_base +
+                          (std::uint64_t(src) * sqlPartitions + p) *
+                              slot;
+            const mem::Addr out =
+                partial_base + (std::uint64_t(p) * n + src) * 16;
+            s->start(k, [s, nrows, region, out](core::DpCore &c) {
+                rt::DmsCtl ctl(c, s->dmsFor(c.id()));
+                std::uint64_t cnt = 0, sum = 0;
+                if (nrows) {
+                    rt::StreamReader in(ctl, region, nrows * 8, 0,
+                                        2048, 2, 0, 0);
+                    in.forEach([&](std::uint32_t off,
+                                   std::uint32_t blen) {
+                        for (std::uint32_t i = 0; i < blen; i += 8) {
+                            sum += c.dmem().load<std::uint32_t>(
+                                off + i + 4);
+                            ++cnt;
+                        }
+                        c.dualIssue(blen / 8 * 2, blen / 8 * 2);
+                    });
+                }
+                c.dmem().store<std::uint64_t>(0x6000, cnt);
+                c.dmem().store<std::uint64_t>(0x6008, sum);
+                c.dualIssue(4, 4);
+                dumpToDdr(ctl, 0x6000, out, 16);
+            });
+        }
+    }
+    b.run();
+    if (!b.allFinished())
+        return res;
+
+    res.rows = std::uint64_t(rows) * n;
+    res.seconds = b.seconds();
+    res.bytesShipped = b.fabric().bytesCarried();
+    res.peakLinkUtilization = b.fabric().peakUtilization();
+
+    // ------------------------------------------------------------
+    // Host reference: replay every table, partition by the same
+    // CRC32 radix the hash engine applies, and compare the owners'
+    // partial aggregates bit-exactly.
+    // ------------------------------------------------------------
+    std::vector<std::uint64_t> expCnt(sqlPartitions, 0);
+    std::vector<std::uint64_t> expSum(sqlPartitions, 0);
+    for (unsigned d = 0; d < n; ++d) {
+        auto t = sqlTable(cfg, d);
+        for (std::uint32_t r = 0; r < rows; ++r) {
+            const unsigned p =
+                util::crc32Key(t[r]) & (sqlPartitions - 1);
+            ++expCnt[p];
+            expSum[p] += t[rows + r];
+        }
+    }
+    for (unsigned p = 0; p < sqlPartitions; ++p) {
+        const unsigned o = p % n;
+        std::uint64_t cnt = 0, sum = 0;
+        for (unsigned src = 0; src < n; ++src) {
+            auto part = apps::unstage<std::uint64_t>(
+                b.dpu(o),
+                partial_base + (std::uint64_t(p) * n + src) * 16, 2);
+            cnt += part[0];
+            sum += part[1];
+        }
+        if (cnt != expCnt[p] || sum != expSum[p])
+            return res;
+    }
+    res.valid = true;
+    return res;
+}
+
+// ----------------------------------------------------------------
+// Distributed HLL
+// ----------------------------------------------------------------
+
+namespace {
+
+/** Per-DPU element stream (same distinct pool on every DPU). */
+apps::HllConfig
+hllGen(const DistHllConfig &cfg, unsigned dpu)
+{
+    apps::HllConfig g;
+    g.nElements = cfg.elementsPerDpu;
+    g.cardinality = cfg.cardinality;
+    g.pBits = cfg.pBits;
+    g.seed = cfg.seed ^ (0xd15c0ull * (dpu + 1));
+    return g;
+}
+
+/** The kernel's CRC64 composition, replayed host-side. */
+std::uint64_t
+crcMix(std::uint64_t e)
+{
+    const std::uint32_t lo = util::crc32Key64(e);
+    const std::uint32_t hi =
+        util::crc32Key(lo ^ std::uint32_t(e >> 32));
+    return (std::uint64_t(hi) << 32) | lo;
+}
+
+} // namespace
+
+DistHllResult
+runDistributedHll(Board &b, const DistHllConfig &cfg)
+{
+    DistHllResult res;
+    const unsigned n = b.nDpus();
+    const std::uint32_t m = 1u << cfg.pBits;
+    sim_assert(m <= 4096, "board HLL keeps the sketch in DMEM");
+    sim_assert(cfg.nLanes >= 1 && cfg.nLanes <= 32,
+               "board HLL lanes must fit one DPU");
+
+    const mem::Addr data_base = 0x100000;
+    const mem::Addr lane_regs = apps::alignUp(
+        data_base + cfg.elementsPerDpu * 8 + 4096, 4096);
+    const mem::Addr dpu_sketch =
+        apps::alignUp(lane_regs + std::uint64_t(cfg.nLanes) * m,
+                      4096);
+    const mem::Addr recv_sketch = dpu_sketch + apps::alignUp(m, 4096);
+    const mem::Addr final_sketch =
+        recv_sketch + apps::alignUp(std::uint64_t(n) * m, 4096);
+    sim_assert(final_sketch + m <= b.dpu(0).params().ddrBytes,
+               "board HLL layout overruns DDR");
+
+    for (unsigned d = 0; d < n; ++d)
+        apps::stage(b.dpu(d), data_base,
+                    apps::hlldetail::makeElements(hllGen(cfg, d)));
+
+    // ------------------------------------------------------------
+    // Phase 1: per-lane sketches (CRC32 + NTZ, Section 5.4).
+    // ------------------------------------------------------------
+    for (unsigned d = 0; d < n; ++d) {
+        soc::Soc *s = &b.dpu(d);
+        for (unsigned lane = 0; lane < cfg.nLanes; ++lane) {
+            s->start(lane, [s, lane, cfg, m, data_base,
+                            lane_regs](core::DpCore &c) {
+                const Slice sl = laneSlice(cfg.elementsPerDpu,
+                                           cfg.nLanes, lane);
+                rt::DmsCtl ctl(c, s->dmsFor(c.id()));
+                constexpr std::uint32_t tile = 4096;
+                const std::uint32_t reg_off = 2 * tile;
+                std::vector<std::uint8_t> regs(m, 0);
+                if (sl.count) {
+                    rt::StreamReader in(ctl, data_base + sl.begin * 8,
+                                        sl.count * 8, 0, tile, 2, 0,
+                                        0);
+                    in.forEach([&](std::uint32_t off,
+                                   std::uint32_t blen) {
+                        for (std::uint32_t i = 0; i < blen; i += 8) {
+                            const std::uint64_t e =
+                                c.dmem().load<std::uint64_t>(off + i);
+                            const std::uint32_t lo = c.crcHash64(e);
+                            const std::uint32_t hi = c.crcHash(
+                                lo ^ std::uint32_t(e >> 32));
+                            const std::uint64_t h =
+                                (std::uint64_t(hi) << 32) | lo;
+                            (void)c.ntz(h << cfg.pBits | 1);
+                            apps::hlldetail::update(h, cfg.pBits,
+                                                    true, regs);
+                            c.dualIssue(3, 3);
+                        }
+                    });
+                }
+                c.dmem().write(reg_off, regs.data(), m);
+                c.dualIssue(m / 8, m / 8);
+                dumpToDdr(ctl, std::uint16_t(reg_off),
+                          lane_regs + std::uint64_t(lane) * m, m);
+            });
+        }
+    }
+    b.run();
+    if (!b.allFinished())
+        return res;
+
+    // ------------------------------------------------------------
+    // Phase 2: on-chip max-merge of the lane sketches (core 0).
+    // ------------------------------------------------------------
+    for (unsigned d = 0; d < n; ++d) {
+        soc::Soc *s = &b.dpu(d);
+        s->start(0, [s, cfg, m, lane_regs, dpu_sketch](
+                        core::DpCore &c) {
+            rt::DmsCtl ctl(c, s->dmsFor(c.id()));
+            std::vector<std::uint8_t> merged(m, 0);
+            std::uint64_t pos = 0;
+            rt::StreamReader in(ctl, lane_regs,
+                                std::uint64_t(cfg.nLanes) * m, 0,
+                                2048, 2, 0, 0);
+            in.forEach([&](std::uint32_t off, std::uint32_t blen) {
+                for (std::uint32_t i = 0; i < blen; ++i) {
+                    const std::uint8_t r =
+                        c.dmem().load<std::uint8_t>(off + i);
+                    std::uint8_t &cell = merged[(pos + i) % m];
+                    cell = std::max(cell, r);
+                }
+                c.dualIssue(blen / 4, blen / 4);
+                pos += blen;
+            });
+            const std::uint32_t out_off = 0x4000;
+            c.dmem().write(out_off, merged.data(), m);
+            c.dualIssue(m / 8, m / 8);
+            dumpToDdr(ctl, std::uint16_t(out_off), dpu_sketch, m);
+        });
+    }
+    b.run();
+    if (!b.allFinished())
+        return res;
+
+    // ------------------------------------------------------------
+    // Phase 3: ship every chip sketch to DPU 0 over the fabric
+    // (DPU 0's own sketch moves locally, host-side).
+    // ------------------------------------------------------------
+    std::uint64_t dmaFailures = 0;
+    {
+        std::vector<std::uint8_t> own(m);
+        b.dpu(0).memory().store().read(dpu_sketch, own.data(), m);
+        b.dpu(0).memory().store().write(recv_sketch, own.data(), m);
+    }
+    for (unsigned d = 1; d < n; ++d)
+        b.dma(d, dpu_sketch, 0,
+              recv_sketch + std::uint64_t(d) * m, m,
+              [&dmaFailures](bool ok) { dmaFailures += !ok; });
+    b.run();
+    if (dmaFailures)
+        return res;
+
+    // ------------------------------------------------------------
+    // Phase 4: DPU 0 merges the board sketch.
+    // ------------------------------------------------------------
+    {
+        soc::Soc *s = &b.dpu(0);
+        s->start(0, [s, n, m, recv_sketch,
+                     final_sketch](core::DpCore &c) {
+            rt::DmsCtl ctl(c, s->dmsFor(c.id()));
+            std::vector<std::uint8_t> merged(m, 0);
+            std::uint64_t pos = 0;
+            rt::StreamReader in(ctl, recv_sketch,
+                                std::uint64_t(n) * m, 0, 2048, 2, 0,
+                                0);
+            in.forEach([&](std::uint32_t off, std::uint32_t blen) {
+                for (std::uint32_t i = 0; i < blen; ++i) {
+                    const std::uint8_t r =
+                        c.dmem().load<std::uint8_t>(off + i);
+                    std::uint8_t &cell = merged[(pos + i) % m];
+                    cell = std::max(cell, r);
+                }
+                c.dualIssue(blen / 4, blen / 4);
+                pos += blen;
+            });
+            const std::uint32_t out_off = 0x4000;
+            c.dmem().write(out_off, merged.data(), m);
+            c.dualIssue(m / 8, m / 8);
+            dumpToDdr(ctl, std::uint16_t(out_off), final_sketch, m);
+        });
+    }
+    b.run();
+    if (!b.allFinished())
+        return res;
+
+    // ------------------------------------------------------------
+    // Host reference: replay every stream through the same CRC
+    // composition, merge, and compare bit-exactly.
+    // ------------------------------------------------------------
+    std::vector<std::uint8_t> expect(m, 0);
+    std::set<std::uint64_t> distinct;
+    for (unsigned d = 0; d < n; ++d) {
+        auto data = apps::hlldetail::makeElements(hllGen(cfg, d));
+        for (std::uint64_t e : data) {
+            distinct.insert(e);
+            apps::hlldetail::update(crcMix(e), cfg.pBits, true,
+                                    expect);
+        }
+    }
+    auto got =
+        apps::unstage<std::uint8_t>(b.dpu(0), final_sketch, m);
+    res.sketchExact = got == expect;
+    res.trueDistinct = distinct.size();
+    res.estimate = apps::hlldetail::estimate(got);
+    res.errorFrac =
+        std::abs(res.estimate - double(res.trueDistinct)) /
+        double(res.trueDistinct);
+    res.seconds = b.seconds();
+    res.valid = res.sketchExact && res.errorFrac < 0.15;
+    return res;
+}
+
+} // namespace dpu::board

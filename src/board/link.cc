@@ -1,0 +1,135 @@
+#include "board/link.hh"
+
+#include <algorithm>
+
+#include "sim/fault.hh"
+#include "sim/logging.hh"
+
+namespace dpu::board {
+
+namespace {
+
+/** Stat cell prefix for the (src, dst) channel. */
+std::string
+chPrefix(unsigned s, unsigned d)
+{
+    return "ch" + std::to_string(s) + "to" + std::to_string(d);
+}
+
+} // namespace
+
+LinkFabric::LinkFabric(sim::EventQueue &eq_, unsigned n_dpus,
+                       const LinkParams &params)
+    : eq(eq_), n(n_dpus), p(params), chans(std::size_t(n) * n),
+      handlers(n), stats("link")
+{
+    sim_assert(n >= 1, "a board fabric needs at least one DPU");
+    sim_assert(p.gbPerSec > 0, "link bandwidth must be positive");
+}
+
+void
+LinkFabric::onRpc(unsigned dst, RpcHandler handler)
+{
+    sim_assert(dst < n, "bad fabric endpoint %u", dst);
+    handlers[dst] = std::move(handler);
+}
+
+sim::Tick
+LinkFabric::serTicks(std::uint64_t bytes) const
+{
+    const double wire = double(std::max<std::uint64_t>(
+        bytes, p.flitBytes));
+    // ps per byte = 1000 / (GB/s); pure integer-in, integer-out so
+    // the timing is a reproducible function of (bytes, params).
+    return sim::Tick(wire * (1000.0 / p.gbPerSec) + 0.5);
+}
+
+sim::Tick
+LinkFabric::transit(unsigned src, unsigned dst, std::uint64_t bytes,
+                    bool &dropped)
+{
+    sim_assert(src < n && dst < n && src != dst,
+               "bad fabric route %u -> %u", src, dst);
+    Channel &c = chan(src, dst);
+    const sim::Tick now = eq.now();
+    const sim::Tick ser = serTicks(bytes);
+    const sim::Tick tx_start = std::max(now, c.nextFree);
+    const sim::Tick tx_done = tx_start + ser;
+    c.nextFree = tx_done;
+    c.busyTicks += ser;
+    c.bytes += bytes;
+    ++c.msgs;
+    totalBytes += bytes;
+    ++totalMsgs;
+    ++stats.counter("msgs");
+    stats.counter("bytes") += bytes;
+    const std::string ch = chPrefix(src, dst);
+    stats.counter(ch + ".bytes") += bytes;
+    stats.counter(ch + ".busyTicks") = c.busyTicks;
+
+    sim::Tick extra = 0;
+    std::uint64_t mag = 0;
+    sim::FaultPlane &fp = sim::faultPlane();
+    const int unit = int(src * n + dst);
+    if (fp.active() &&
+        fp.fires(sim::FaultSite::LinkDelay, now, unit, &mag)) {
+        extra = mag ? sim::Tick(mag) : p.hopLatency;
+        ++stats.counter("delayed");
+    }
+    dropped = fp.active() &&
+              fp.fires(sim::FaultSite::LinkDrop, now, unit, &mag);
+    if (dropped)
+        ++stats.counter("drops");
+    return tx_done + p.hopLatency + extra;
+}
+
+void
+LinkFabric::sendRpc(unsigned src, unsigned dst, std::uint64_t payload)
+{
+    bool dropped = false;
+    const sim::Tick arrive = transit(src, dst, 8, dropped);
+    if (dropped)
+        return; // lost in the fabric; sender-level recovery applies
+    eq.schedule(arrive,
+                [this, src, dst, payload] {
+                    if (handlers[dst])
+                        handlers[dst](src, payload);
+                    else
+                        ++stats.counter("unhandledRpcs");
+                },
+                sim::EvTag::Link);
+}
+
+void
+LinkFabric::sendBulk(unsigned src, unsigned dst, std::uint64_t bytes,
+                     BulkHandler deliver)
+{
+    sim_assert(deliver, "bulk transfer needs a delivery hook");
+    bool dropped = false;
+    const sim::Tick arrive = transit(src, dst, bytes, dropped);
+    const bool ok = !dropped;
+    eq.schedule(arrive,
+                [h = std::move(deliver), ok] { h(ok); },
+                sim::EvTag::Link);
+}
+
+double
+LinkFabric::utilization(unsigned src, unsigned dst) const
+{
+    if (eq.now() == 0)
+        return 0;
+    return double(chan(src, dst).busyTicks) / double(eq.now());
+}
+
+double
+LinkFabric::peakUtilization() const
+{
+    double peak = 0;
+    for (unsigned s = 0; s < n; ++s)
+        for (unsigned d = 0; d < n; ++d)
+            if (s != d)
+                peak = std::max(peak, utilization(s, d));
+    return peak;
+}
+
+} // namespace dpu::board

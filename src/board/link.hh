@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Inter-DPU link fabric timing model.
+ *
+ * A board carries N DPUs connected pairwise by full-duplex
+ * serial links (think PCIe/Interlaken lanes off each chip's A9
+ * complex). The fabric models each ordered (src, dst) pair as an
+ * independent channel with a store-and-forward cost:
+ *
+ *   txStart  = max(now, channel.nextFree)
+ *   txDone   = txStart + serialization(bytes)
+ *   delivery = txDone + hopLatency [+ link.delay magnitude]
+ *
+ * so concurrent messages on one channel serialize while opposite
+ * directions and disjoint pairs proceed in parallel. Two traffic
+ * classes share the channels:
+ *
+ *  - RPCs: pointer-sized control messages (ATE-style doorbells)
+ *    delivered to a per-DPU handler;
+ *  - bulk transfers: DMS-descriptor-sized payloads between DDR
+ *    spaces; the fabric only models the wire time and invokes the
+ *    caller's delivery hook, which performs the byte copy
+ *    (board::Board::dma composes the two).
+ *
+ * Faults ride the process-wide plane (sim/fault.hh): `link.drop`
+ * loses a message after it burned its wire time (RPCs vanish, bulk
+ * deliveries report !ok so the sender can retry), `link.delay` adds
+ * `mag` ticks to one delivery. The fault `unit` of a channel is
+ * src * nDpus + dst.
+ *
+ * Everything lands in the "link" StatGroup: aggregate msgs / bytes /
+ * drops / delays plus per-channel bytes and busy ticks, from which
+ * utilization() derives per-channel and peak occupancy.
+ */
+
+#ifndef DPU_BOARD_LINK_HH
+#define DPU_BOARD_LINK_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace dpu::board {
+
+/** Link timing knobs (defaults: a modest 12 GB/s board link). */
+struct LinkParams
+{
+    /** Propagation + SerDes + endpoint turnaround per message. */
+    sim::Tick hopLatency = sim::Tick(600'000); // 600 ns
+    /** Per-direction serialization bandwidth. */
+    double gbPerSec = 12.0;
+    /** Minimum wire occupancy per message (header flit). */
+    std::uint32_t flitBytes = 64;
+};
+
+/** The board's N x N channel matrix. */
+class LinkFabric
+{
+  public:
+    /** Per-DPU RPC delivery hook: (source DPU, payload). */
+    using RpcHandler =
+        std::function<void(unsigned src, std::uint64_t payload)>;
+    /** Bulk delivery hook: ok=false means the link dropped it. */
+    using BulkHandler = std::function<void(bool ok)>;
+
+    LinkFabric(sim::EventQueue &eq, unsigned n_dpus,
+               const LinkParams &params);
+
+    unsigned size() const { return n; }
+    const LinkParams &params() const { return p; }
+
+    /** Install DPU @p dst's RPC handler (replaces any previous). */
+    void onRpc(unsigned dst, RpcHandler handler);
+
+    /**
+     * Post a pointer-sized RPC from DPU @p src to DPU @p dst. A
+     * dropped RPC vanishes (senders needing reliability must
+     * timeout and retry, as with ATE messages).
+     */
+    void sendRpc(unsigned src, unsigned dst, std::uint64_t payload);
+
+    /**
+     * Occupy the (src, dst) channel with @p bytes of payload and
+     * schedule @p deliver at the arrival tick. ok=false signals a
+     * link.drop: the wire time was spent but the payload was lost.
+     */
+    void sendBulk(unsigned src, unsigned dst, std::uint64_t bytes,
+                  BulkHandler deliver);
+
+    /** Fraction of simulated time the (src, dst) channel spent
+     *  serializing (0 when the clock has not advanced). */
+    double utilization(unsigned src, unsigned dst) const;
+
+    /** Busiest channel's utilization — the scaling bottleneck. */
+    double peakUtilization() const;
+
+    std::uint64_t bytesCarried() const { return totalBytes; }
+    std::uint64_t messages() const { return totalMsgs; }
+
+    sim::StatGroup &statGroup() { return stats; }
+
+  private:
+    struct Channel
+    {
+        sim::Tick nextFree = 0;
+        sim::Tick busyTicks = 0;
+        std::uint64_t bytes = 0;
+        std::uint64_t msgs = 0;
+    };
+
+    Channel &chan(unsigned s, unsigned d) { return chans[s * n + d]; }
+    const Channel &
+    chan(unsigned s, unsigned d) const
+    {
+        return chans[s * n + d];
+    }
+
+    /** Wire ticks for @p bytes at the configured bandwidth. */
+    sim::Tick serTicks(std::uint64_t bytes) const;
+
+    /**
+     * Occupy the channel and decide the message's fate. @return
+     * the delivery tick; @p dropped reports a link.drop firing.
+     */
+    sim::Tick transit(unsigned src, unsigned dst,
+                      std::uint64_t bytes, bool &dropped);
+
+    sim::EventQueue &eq;
+    unsigned n;
+    LinkParams p;
+    std::vector<Channel> chans;
+    std::vector<RpcHandler> handlers;
+    std::uint64_t totalBytes = 0;
+    std::uint64_t totalMsgs = 0;
+    sim::StatGroup stats;
+};
+
+} // namespace dpu::board
+
+#endif // DPU_BOARD_LINK_HH

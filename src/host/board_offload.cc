@@ -1,0 +1,132 @@
+#include "host/board_offload.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/crc32.hh"
+
+namespace dpu::host {
+
+namespace {
+
+constexpr sim::Tick noTick = std::numeric_limits<sim::Tick>::max();
+
+/** Nearest-rank percentile of an ascending-sorted sample. */
+double
+percentile(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0;
+    std::size_t rank = std::size_t(q * double(sorted.size()) + 0.5);
+    if (rank > 0)
+        --rank;
+    return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+} // namespace
+
+BoardScheduler::BoardScheduler(board::Board &b, OffloadParams per_dpu,
+                               ShardRouting routing_)
+    : brd(b), routing(routing_)
+{
+    shards.reserve(b.nDpus());
+    for (unsigned d = 0; d < b.nDpus(); ++d) {
+        OffloadParams p = per_dpu;
+        p.statName = "sched.dpu" + std::to_string(d);
+        shards.push_back(std::make_unique<OffloadScheduler>(
+            b.dpu(d), b.host(d), std::move(p)));
+    }
+}
+
+unsigned
+BoardScheduler::route(const JobRequest &req)
+{
+    if (routing == ShardRouting::RoundRobin) {
+        const unsigned d = rrNext;
+        rrNext = (rrNext + 1) % nShards();
+        return d;
+    }
+    // Hash policy: CRC-fold the seed over an FNV hash of the app
+    // name so requests of one app with distinct seeds spread while
+    // identical requests always land on the same chip.
+    std::uint32_t h = 2166136261u;
+    for (char ch : req.app)
+        h = (h ^ std::uint8_t(ch)) * 16777619u;
+    h = util::crc32Key(h ^ std::uint32_t(req.seed));
+    h = util::crc32Key(h ^ std::uint32_t(req.seed >> 32));
+    return h % nShards();
+}
+
+void
+BoardScheduler::enqueueAt(sim::Tick when, JobRequest req)
+{
+    const unsigned d = route(req);
+    enqueueAt(when, d, std::move(req));
+}
+
+void
+BoardScheduler::enqueueAt(sim::Tick when, unsigned dpu,
+                          JobRequest req)
+{
+    sim_assert(dpu < nShards(), "request routed off the board (%u)",
+               dpu);
+    shards[dpu]->enqueueAt(when, std::move(req));
+}
+
+void
+BoardScheduler::start()
+{
+    for (auto &s : shards)
+        s->start();
+}
+
+ServingSummary
+BoardScheduler::summary() const
+{
+    ServingSummary agg;
+    std::vector<double> lat;
+    sim::Tick first = noTick, last = 0;
+    double avail = 0;
+    for (const auto &s : shards) {
+        const ServingSummary part = s->summary();
+        agg.submitted += part.submitted;
+        agg.accepted += part.accepted;
+        agg.rejected += part.rejected;
+        agg.dispatched += part.dispatched;
+        agg.completed += part.completed;
+        agg.timedOut += part.timedOut;
+        agg.validationFailed += part.validationFailed;
+        agg.lateJobs += part.lateJobs;
+        agg.wedgedGroups += part.wedgedGroups;
+        agg.requeued += part.requeued;
+        agg.quarantines += part.quarantines;
+        agg.wedgeTimeouts += part.wedgeTimeouts;
+        avail += part.availability;
+        for (const JobRecord &rec : s->jobs()) {
+            first = std::min(first, rec.enqueuedAt);
+            last = std::max(last, rec.finishedAt);
+            if (rec.state == JobState::Completed)
+                lat.push_back(rec.latencyUs());
+        }
+    }
+    if (!shards.empty())
+        agg.availability = avail / double(shards.size());
+
+    std::sort(lat.begin(), lat.end());
+    agg.p50Us = percentile(lat, 0.50);
+    agg.p95Us = percentile(lat, 0.95);
+    agg.p99Us = percentile(lat, 0.99);
+    if (!lat.empty()) {
+        double sum = 0;
+        for (double l : lat)
+            sum += l;
+        agg.meanUs = sum / double(lat.size());
+        agg.maxUs = lat.back();
+    }
+    if (agg.completed > 0 && last > first)
+        agg.throughputJobsPerSec =
+            double(agg.completed) / (double(last - first) * 1e-12);
+    return agg;
+}
+
+} // namespace dpu::host

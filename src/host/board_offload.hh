@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Board-level sharded offload scheduling.
+ *
+ * One OffloadScheduler per DPU (each with its own HostA9 endpoint,
+ * admission queue, quarantine and availability accounting), plus a
+ * routing layer that assigns every request to a shard before the
+ * run starts:
+ *
+ *  - Hash routing: a deterministic CRC mix of the request's app
+ *    name and seed — the serving-tier "partition by key" path, so
+ *    a request's home DPU is a pure function of the request;
+ *  - RoundRobin: arrival-order striping, the load-balancing path.
+ *
+ * Routing is static (decided at enqueue time, before any chip
+ * runs): a request never migrates between DPUs mid-flight, which
+ * keeps the board bit-deterministic and mirrors how a front-end
+ * proxy shards by connection. Per-DPU failure handling (reaping,
+ * quarantine, retries) still applies locally; summary() aggregates
+ * the per-shard outcomes into one board-wide ServingSummary with
+ * recomputed percentiles.
+ */
+
+#ifndef DPU_HOST_BOARD_OFFLOAD_HH
+#define DPU_HOST_BOARD_OFFLOAD_HH
+
+#include <memory>
+#include <vector>
+
+#include "board/board.hh"
+#include "host/offload.hh"
+
+namespace dpu::host {
+
+/** How requests pick their home DPU. */
+enum class ShardRouting
+{
+    Hash,       ///< pure function of (app, seed)
+    RoundRobin, ///< arrival-order striping
+};
+
+/** N per-DPU offload schedulers behind one routing layer. */
+class BoardScheduler
+{
+  public:
+    BoardScheduler(board::Board &b, OffloadParams per_dpu,
+                   ShardRouting routing = ShardRouting::Hash);
+
+    unsigned nShards() const { return unsigned(shards.size()); }
+    OffloadScheduler &shard(unsigned d) { return *shards[d]; }
+    const OffloadScheduler &shard(unsigned d) const
+    {
+        return *shards[d];
+    }
+
+    /** The shard @p req routes to (advances the RoundRobin
+     *  cursor when that policy is active). */
+    unsigned route(const JobRequest &req);
+
+    /** Open-loop arrival routed by policy. */
+    void enqueueAt(sim::Tick when, JobRequest req);
+
+    /** Open-loop arrival pinned to DPU @p dpu. */
+    void enqueueAt(sim::Tick when, unsigned dpu, JobRequest req);
+
+    /** Start every shard's workers and host driver loop; then run
+     *  the board. */
+    void start();
+
+    /**
+     * Board-wide aggregate (valid after the board has run):
+     * counts summed, availability averaged over shards, latency
+     * percentiles recomputed over every completed job, throughput
+     * over the board-wide first-enqueue..last-finish window.
+     */
+    ServingSummary summary() const;
+
+  private:
+    board::Board &brd;
+    ShardRouting routing;
+    std::vector<std::unique_ptr<OffloadScheduler>> shards;
+    unsigned rrNext = 0;
+};
+
+} // namespace dpu::host
+
+#endif // DPU_HOST_BOARD_OFFLOAD_HH

@@ -52,7 +52,7 @@ percentile(const std::vector<double> &sorted, double q)
 
 OffloadScheduler::OffloadScheduler(soc::Soc &soc_, soc::HostA9 &a9_,
                                    OffloadParams params)
-    : soc(soc_), a9(a9_), p(params), stats("sched")
+    : soc(soc_), a9(a9_), p(std::move(params)), stats(p.statName)
 {
     sim_assert(p.groupSize > 0 && p.nCores % p.groupSize == 0,
                "group size %u must divide the %u managed cores",

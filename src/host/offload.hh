@@ -69,6 +69,13 @@ struct OffloadParams
      * the PR-2 fail-fast behaviour.
      */
     unsigned maxAttempts = 1;
+    /**
+     * Name of the scheduler's StatGroup. Multi-DPU boards run one
+     * scheduler per chip; distinct names ("sched.dpu0", ...) keep
+     * board-wide stat snapshots self-describing instead of relying
+     * on the registry's #N disambiguation.
+     */
+    std::string statName = "sched";
 };
 
 /** One serving request. */

@@ -23,6 +23,7 @@ evTagName(EvTag t)
       case EvTag::Mem: return "mem";
       case EvTag::Soc: return "soc";
       case EvTag::Host: return "host";
+      case EvTag::Link: return "link";
     }
     return "?";
 }

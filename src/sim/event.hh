@@ -38,10 +38,11 @@ enum class EvTag : std::uint8_t {
     Mem,         ///< cache / DDR transactions
     Soc,         ///< chip-level glue
     Host,        ///< A9 host complex & offload scheduler
+    Link,        ///< inter-DPU board fabric deliveries
 };
 
 /** Number of EvTag values (profiler array sizing). */
-constexpr unsigned nEvTags = 8;
+constexpr unsigned nEvTags = 9;
 
 /** Lower-case tag name ("core", "dms", ...) for stat keys. */
 const char *evTagName(EvTag t);

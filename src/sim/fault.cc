@@ -18,7 +18,8 @@ namespace {
 /** Spec names, indexed by FaultSite. */
 const char *const siteNames[nFaultSites] = {
     "dms.wedge", "dms.descError", "ate.drop",   "ate.delay",
-    "mbc.drop",  "core.stall",    "mem.degrade",
+    "mbc.drop",  "core.stall",    "mem.degrade", "link.drop",
+    "link.delay",
 };
 
 bool

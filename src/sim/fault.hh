@@ -18,6 +18,8 @@
  *   mbc.drop       mailbox message lost
  *   core.stall     worker-lane stall of `mag` cycles (0 = forever)
  *   mem.degrade    DDR burst time multiplied by `mag` in [from,to)
+ *   link.drop      inter-DPU link message lost in the board fabric
+ *   link.delay     inter-DPU link delivery delayed by `mag` ticks
  *
  * Keys (all optional):
  *   p=0.05      per-opportunity firing probability
@@ -64,10 +66,12 @@ enum class FaultSite : std::uint8_t
     MbcDrop,
     CoreStall,
     MemDegrade,
+    LinkDrop,
+    LinkDelay,
 };
 
 /** Number of FaultSite values. */
-constexpr unsigned nFaultSites = 7;
+constexpr unsigned nFaultSites = 9;
 
 /** Spec-string name ("dms.wedge", ...) of a site. */
 const char *faultSiteName(FaultSite site);

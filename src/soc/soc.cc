@@ -12,8 +12,18 @@ const mem::CacheParams l2Params{256 * 1024, 8, 6};
 
 } // namespace
 
-Soc::Soc(const SocParams &params)
-    : p(params), powerModel(params), started(params.nCores(), false)
+Soc::Soc(const SocParams &params) : Soc(nullptr, params) {}
+
+Soc::Soc(sim::EventQueue &shared, const SocParams &params)
+    : Soc(&shared, params)
+{
+}
+
+Soc::Soc(sim::EventQueue *shared, const SocParams &params)
+    : p(params),
+      ownedEq(shared ? nullptr : std::make_unique<sim::EventQueue>()),
+      eq(shared ? *shared : *ownedEq), powerModel(params),
+      started(params.nCores(), false)
 {
     mm = std::make_unique<mem::MainMemory>(p.ddr, p.ddrBytes);
 

@@ -38,6 +38,16 @@ class Soc
   public:
     explicit Soc(const SocParams &params = dpu40nm());
 
+    /**
+     * Build the chip on an externally owned event queue. This is
+     * how a multi-DPU Board (board/board.hh) places N chips in ONE
+     * event kernel: every DPU's events interleave on the shared
+     * clock, so cross-DPU interactions stay deterministic. run() /
+     * runFor() drive the shared queue — with several chips on it,
+     * only the owner (the Board) should drive.
+     */
+    Soc(sim::EventQueue &shared, const SocParams &params = dpu40nm());
+
     const SocParams &params() const { return p; }
     unsigned nCores() const { return p.nCores(); }
 
@@ -112,8 +122,13 @@ class Soc
     void enableQueueSampling(sim::Tick period);
 
   private:
+    /** Delegation target of both public constructors. */
+    Soc(sim::EventQueue *shared, const SocParams &params);
+
     SocParams p;
-    sim::EventQueue eq;
+    /** Null when the queue is shared (Board-owned). */
+    std::unique_ptr<sim::EventQueue> ownedEq;
+    sim::EventQueue &eq;
     std::unique_ptr<mem::MainMemory> mm;
     std::vector<std::unique_ptr<mem::Cache>> l2s;
     std::vector<std::unique_ptr<core::DpCore>> cores;
