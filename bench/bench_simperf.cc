@@ -28,8 +28,12 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+#include <thread>
+
 #include "bench/report.hh"
 #include "rt/dms_ctl.hh"
+#include "sim/parallel.hh"
 #include "sim/rng.hh"
 #include "soc/soc.hh"
 
@@ -181,6 +185,68 @@ runListing1(unsigned bufs)
     return r;
 }
 
+/**
+ * The kernel storm sharded over 4 queue partitions driven by the
+ * EpochRunner at @p threads workers (lookahead = the board link's
+ * 600 ns) — measures the parallel event kernel itself, free of chip
+ * model weight. Identical simulated work at every thread count.
+ */
+Result
+runParallelKernel(std::uint64_t total_per_part, unsigned chains,
+                  unsigned threads)
+{
+    constexpr unsigned parts = 4;
+    std::vector<std::unique_ptr<sim::EventQueue>> qs;
+    std::vector<sim::EventQueue *> qp;
+    for (unsigned d = 0; d < parts; ++d) {
+        qs.push_back(std::make_unique<sim::EventQueue>());
+        qp.push_back(qs.back().get());
+    }
+
+    struct Chain
+    {
+        sim::EventQueue &eq;
+        std::uint64_t &executed;
+        std::uint64_t total;
+        sim::Rng rng;
+
+        void
+        fire()
+        {
+            if (++executed >= total)
+                return;
+            // Cycle-scale deltas only: many events per 600 ns epoch
+            // window, the shape parallelism pays off on.
+            eq.scheduleIn((rng.next() >> 8) % 20'000,
+                          [this] { fire(); });
+        }
+    };
+
+    std::vector<std::uint64_t> executed(parts, 0);
+    std::vector<std::unique_ptr<Chain>> cs;
+    sim::Rng seeds(7);
+    for (unsigned d = 0; d < parts; ++d)
+        for (unsigned i = 0; i < chains; ++i)
+            cs.push_back(std::make_unique<Chain>(Chain{
+                *qs[d], executed[d], total_per_part,
+                sim::Rng(seeds.next())}));
+
+    sim::ParallelParams pp;
+    pp.threads = threads;
+    pp.lookahead = 600'000;
+    sim::EpochRunner runner(qp, pp, [](unsigned) {});
+
+    const double t0 = wallNow();
+    for (auto &c : cs)
+        c->fire();
+    const sim::Tick end = runner.run();
+    const double wall = wallNow() - t0;
+    std::uint64_t events = 0;
+    for (std::uint64_t e : executed)
+        events += e;
+    return {"kernel4x" + std::to_string(threads), end, wall, events};
+}
+
 } // namespace
 
 int
@@ -230,6 +296,31 @@ main(int argc, char **argv)
         }
     }
 
+    // ------------------------------------------------------------
+    // Parallel kernel scaling: 4 partitions, serial vs --threads
+    // ------------------------------------------------------------
+    const unsigned threads = unsigned(std::strtoul(
+        bench::argValue(argc, argv, "--threads", "4"), nullptr, 0));
+    const unsigned host_cores = std::thread::hardware_concurrency();
+    const std::uint64_t per_part = smoke ? 100'000 : 1'000'000;
+    bench::header("parallel kernel",
+                  "4-partition epoch runner, serial vs --threads");
+    const Result pserial =
+        best([&] { return runParallelKernel(per_part, 16, 1); });
+    const Result ppar =
+        best([&] { return runParallelKernel(per_part, 16, threads); });
+    const double pspeedup =
+        ppar.wallSec > 0 ? pserial.wallSec / ppar.wallSec : 0;
+    bench::row("  %-10s %16llu %16.3g %14.2f",
+               pserial.name.c_str(),
+               (unsigned long long)pserial.simTicks,
+               pserial.ticksPerSec(), pserial.eventsPerSec() / 1e6);
+    bench::row("  %-10s %16llu %16.3g %14.2f  (%.2fx, %u cores)",
+               ppar.name.c_str(),
+               (unsigned long long)ppar.simTicks,
+               ppar.ticksPerSec(), ppar.eventsPerSec() / 1e6,
+               pspeedup, host_cores);
+
     {
         bench::Json j;
         j.field("bench", "simperf")
@@ -246,6 +337,14 @@ main(int argc, char **argv)
                 .end();
         j.end();
         j.field("worstSocTicksPerWallSec", worstSoc);
+        j.obj("parallelKernel");
+        j.field("threads", std::uint64_t(threads));
+        j.field("hostCores", std::uint64_t(host_cores));
+        j.field("wallSecSerial", pserial.wallSec);
+        j.field("wallSecParallel", ppar.wallSec);
+        j.field("wallSpeedup", pspeedup);
+        j.field("eventsPerWallSecParallel", ppar.eventsPerSec());
+        j.end();
     }
 
     if (floor > 0 && worstSoc < floor) {

@@ -1,24 +1,30 @@
 /**
  * @file
- * A multi-DPU board: N chips, one event kernel, one link fabric.
+ * A multi-DPU board: N chips, N event-kernel partitions, one link
+ * fabric, one epoch runner.
  *
  * The paper evaluates a single 32-dpCore DPU; its DMS partitioner
  * and ATE fabric, however, compose beyond one chip, and the serving
  * deployment model (Section 2.4) places many DPUs behind one host.
- * The Board models that next tier: every Soc is constructed on the
- * Board's shared sim::EventQueue, so all chips advance on one
- * deterministic timeline, and a LinkFabric carries inter-DPU RPC
- * doorbells and DDR-to-DDR bulk transfers.
+ * The Board models that next tier: every Soc is constructed on its
+ * OWN sim::EventQueue partition, and a sim::EpochRunner advances the
+ * partitions in conservative epochs bounded by the LinkFabric's
+ * store-and-forward latency — serially with threads=1 (the default),
+ * or on a worker pool with BoardParams::threads > 1. Cross-chip
+ * traffic (RPC doorbells, bulk DMA) moves only through the fabric's
+ * epoch mailboxes, so the simulated schedule — every stat, trace
+ * record and memory image — is bit-identical at any thread count
+ * (see DESIGN.md §13).
  *
  * Bulk data movement (dma()) is descriptor-style: the payload is
  * snapshotted from the source chip's functional DDR store when the
  * descriptor is issued, occupies the (src, dst) link channel for its
  * serialization time, and lands in the destination store at the
- * delivery tick. Link-level drops are retried a bounded number of
- * times before the completion hook reports failure; DDR-side timing
- * on the endpoints is not charged (the link, two orders of magnitude
- * slower than a DDR channel, is the modelled bottleneck — see
- * DESIGN.md §12).
+ * delivery tick (executed on the destination's partition). Link-level
+ * drops are retried a bounded number of times before the completion
+ * hook reports failure; DDR-side timing on the endpoints is not
+ * charged (the link, two orders of magnitude slower than a DDR
+ * channel, is the modelled bottleneck — see DESIGN.md §12).
  *
  * Each DPU also gets its own HostA9 (the per-chip offload driver
  * endpoint); host::BoardScheduler runs one OffloadScheduler per chip
@@ -34,6 +40,7 @@
 
 #include "board/link.hh"
 #include "sim/event_queue.hh"
+#include "sim/parallel.hh"
 #include "soc/host_a9.hh"
 #include "soc/soc.hh"
 
@@ -46,9 +53,18 @@ struct BoardParams
     LinkParams link{};
     /** Bulk-transfer retransmissions before dma() reports failure. */
     unsigned dmaRetries = 4;
+    /** Worker threads for the epoch runner (1 = serial epochs; the
+     *  schedule is identical either way). */
+    unsigned threads = 1;
+    /** Pin workers to cores (Linux only; best effort). */
+    bool pinCores = false;
+    /** Epoch lookahead in ticks; 0 picks the link hop latency, the
+     *  largest window that keeps cross-chip delivery conservative.
+     *  Values above the hop latency are clamped to it. */
+    sim::Tick lookahead = 0;
 };
 
-/** N DPUs sharing one event kernel, connected by a LinkFabric. */
+/** N DPUs on per-chip kernel partitions, connected by a LinkFabric. */
 class Board
 {
   public:
@@ -57,15 +73,20 @@ class Board
     unsigned nDpus() const { return unsigned(dpus.size()); }
     const BoardParams &params() const { return p; }
 
-    sim::EventQueue &eventQueue() { return eq; }
-    sim::Tick now() const { return eq.now(); }
-    double seconds() const { return double(eq.now()) * 1e-12; }
+    /** DPU @p d's event-queue partition. */
+    sim::EventQueue &eventQueue(unsigned d = 0) { return *queues[d]; }
+
+    /** The board clock: the executing partition's clock from inside
+     *  an event, the common aligned tick from the host phase. */
+    sim::Tick now() const;
+
+    double seconds() const { return double(now()) * 1e-12; }
 
     soc::Soc &dpu(unsigned d) { return *dpus[d]; }
     soc::HostA9 &host(unsigned d) { return *hosts[d]; }
     LinkFabric &fabric() { return link; }
 
-    /** Run the shared kernel until it drains; @return end tick. */
+    /** Run every partition until the board drains; @return end tick. */
     sim::Tick run();
 
     /** Run with a simulated-time limit (deadlock detection). */
@@ -74,13 +95,21 @@ class Board
     /** True when every started kernel on every chip has returned. */
     bool allFinished() const;
 
+    /** Epoch-runner counters (epochs, idle skips; diagnostics). */
+    const sim::EpochRunner::Stats &runnerStats() const;
+
+    /** Worker threads the runner actually uses. */
+    unsigned runnerThreads() const;
+
     /**
      * Ship @p bytes from DPU @p src_dpu's DDR at @p src_addr to DPU
      * @p dst_dpu's DDR at @p dst_addr over the fabric. The payload
      * is snapshotted now; the destination bytes appear at the
      * delivery tick. Dropped transfers are retransmitted up to
      * params().dmaRetries times, then @p done (optional) reports
-     * false.
+     * false. @p done runs on the SOURCE chip's partition at the
+     * final delivery tick. Callable from the host phase or from
+     * events on the source chip's partition.
      */
     void dma(unsigned src_dpu, mem::Addr src_addr, unsigned dst_dpu,
              mem::Addr dst_addr, std::uint64_t bytes,
@@ -92,11 +121,23 @@ class Board
                     std::shared_ptr<std::vector<std::uint8_t>> buf,
                     LinkFabric::BulkHandler done, unsigned attempts);
 
+    /** Per-source-DPU DMA recovery tallies (src thread owned). */
+    struct DmaShadow
+    {
+        std::uint64_t retries = 0;
+        std::uint64_t failed = 0;
+    };
+
     BoardParams p;
-    sim::EventQueue eq;
+    std::vector<std::unique_ptr<sim::EventQueue>> queues;
+    LinkFabric link;
     std::vector<std::unique_ptr<soc::Soc>> dpus;
     std::vector<std::unique_ptr<soc::HostA9>> hosts;
-    LinkFabric link;
+    std::vector<DmaShadow> dmaShadows;
+    std::unique_ptr<sim::EpochRunner> runner;
+    /** Host-phase board clock: the common tick every partition was
+     *  aligned on at the end of the last run. */
+    sim::Tick boardNow = 0;
 };
 
 } // namespace dpu::board

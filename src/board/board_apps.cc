@@ -106,8 +106,11 @@ runShardedSql(Board &b, const ShardedSqlConfig &cfg)
                                       0);
     std::vector<std::uint64_t> recvCounts(
         std::size_t(n) * n * sqlPartitions, 0);
-    std::vector<bool> recvSeen(std::size_t(n) * n * sqlPartitions,
-                               false);
+    // One byte per slot, not vector<bool>: the doorbell handlers run
+    // on the owning DPU's partition, and bit-packing would let two
+    // owners' writes share a byte.
+    std::vector<std::uint8_t> recvSeen(
+        std::size_t(n) * n * sqlPartitions, 0);
 
     // ------------------------------------------------------------
     // Phase A: every DPU hash-partitions its slice 32 ways; each
@@ -180,11 +183,13 @@ runShardedSql(Board &b, const ShardedSqlConfig &cfg)
                            sqlPartitions +
                        part] = cnt;
             recvSeen[(std::uint64_t(o) * n + src) * sqlPartitions +
-                     part] = true;
+                     part] = 1;
         });
     }
 
-    std::uint64_t dmaFailures = 0;
+    // DMA completions run on the source chip's partition: give each
+    // source its own failure tally and sum after the run.
+    std::vector<std::uint64_t> dmaFails(n, 0);
     for (unsigned d = 0; d < n; ++d) {
         for (unsigned p = 0; p < sqlPartitions; ++p) {
             const unsigned o = p % n;
@@ -203,9 +208,9 @@ runShardedSql(Board &b, const ShardedSqlConfig &cfg)
                 continue;
             }
             b.dma(d, stage_base + p * slot, o, dst, cnt * 8,
-                  [&b, &dmaFailures, d, o, p, cnt](bool ok) {
+                  [&b, fail = &dmaFails[d], d, o, p, cnt](bool ok) {
                       if (!ok) {
-                          ++dmaFailures;
+                          ++*fail;
                           return;
                       }
                       b.fabric().sendRpc(
@@ -215,8 +220,9 @@ runShardedSql(Board &b, const ShardedSqlConfig &cfg)
         }
     }
     b.run();
-    if (dmaFailures)
-        return res; // link gave up past its retry budget
+    for (std::uint64_t f : dmaFails)
+        if (f)
+            return res; // link gave up past its retry budget
 
     // Doorbells lost to link.drop: the offload driver falls back to
     // its own dispatch bookkeeping (it staged the transfers).
@@ -469,7 +475,7 @@ runDistributedHll(Board &b, const DistHllConfig &cfg)
     // Phase 3: ship every chip sketch to DPU 0 over the fabric
     // (DPU 0's own sketch moves locally, host-side).
     // ------------------------------------------------------------
-    std::uint64_t dmaFailures = 0;
+    std::vector<std::uint64_t> dmaFails(n, 0);
     {
         std::vector<std::uint8_t> own(m);
         b.dpu(0).memory().store().read(dpu_sketch, own.data(), m);
@@ -478,10 +484,11 @@ runDistributedHll(Board &b, const DistHllConfig &cfg)
     for (unsigned d = 1; d < n; ++d)
         b.dma(d, dpu_sketch, 0,
               recv_sketch + std::uint64_t(d) * m, m,
-              [&dmaFailures](bool ok) { dmaFailures += !ok; });
+              [fail = &dmaFails[d]](bool ok) { *fail += !ok; });
     b.run();
-    if (dmaFailures)
-        return res;
+    for (std::uint64_t f : dmaFails)
+        if (f)
+            return res;
 
     // ------------------------------------------------------------
     // Phase 4: DPU 0 merges the board sketch.

@@ -22,15 +22,36 @@
  *    caller's delivery hook, which performs the byte copy
  *    (board::Board::dma composes the two).
  *
+ * Parallel execution. Every DPU owns its own sim::EventQueue
+ * partition (board::Board runs them under a sim::EpochRunner), so
+ * the fabric never schedules into another chip's queue directly.
+ * A send runs entirely on the source chip — channel occupancy,
+ * fault decisions and the delivery tick are all computed
+ * synchronously against the source clock — and the delivery is
+ * parked in the per-(src, dst) epoch mailbox. At each epoch barrier
+ * the runner calls drainInbound(dst) on the thread that owns dst,
+ * which schedules every parked delivery into dst's queue in
+ * deterministic (src, send order) sequence. Because the runner's
+ * lookahead never exceeds hopLatency, a delivery tick is always at
+ * or beyond the end of the epoch that produced it, so the receiving
+ * clock has never passed it. That makes the parallel schedule a
+ * pure function of the simulated traffic: any thread count yields
+ * bit-identical stats, traces and memory images.
+ *
  * Faults ride the process-wide plane (sim/fault.hh): `link.drop`
  * loses a message after it burned its wire time (RPCs vanish, bulk
- * deliveries report !ok so the sender can retry), `link.delay` adds
+ * deliveries are lost so the sender retries), `link.delay` adds
  * `mag` ticks to one delivery. The fault `unit` of a channel is
- * src * nDpus + dst.
+ * src * nDpus + dst; decisions draw from the SOURCE chip's domain
+ * stream (the fabric enters DomainScope(src) for the decision), so
+ * they too are independent of thread interleaving.
  *
  * Everything lands in the "link" StatGroup: aggregate msgs / bytes /
  * drops / delays plus per-channel bytes and busy ticks, from which
- * utilization() derives per-channel and peak occupancy.
+ * utilization() derives per-channel and peak occupancy. The cells
+ * are fed from per-channel shadows owned by the source thread and
+ * folded in a flush hook, so parallel partitions never touch the
+ * shared map.
  */
 
 #ifndef DPU_BOARD_LINK_HH
@@ -67,11 +88,13 @@ class LinkFabric
     /** Bulk delivery hook: ok=false means the link dropped it. */
     using BulkHandler = std::function<void(bool ok)>;
 
-    LinkFabric(sim::EventQueue &eq, unsigned n_dpus,
-               const LinkParams &params);
+    LinkFabric(unsigned n_dpus, const LinkParams &params);
 
     unsigned size() const { return n; }
     const LinkParams &params() const { return p; }
+
+    /** Bind DPU @p dpu's event-queue partition (host phase). */
+    void attach(unsigned dpu, sim::EventQueue &q);
 
     /** Install DPU @p dst's RPC handler (replaces any previous). */
     void onRpc(unsigned dst, RpcHandler handler);
@@ -79,17 +102,38 @@ class LinkFabric
     /**
      * Post a pointer-sized RPC from DPU @p src to DPU @p dst. A
      * dropped RPC vanishes (senders needing reliability must
-     * timeout and retry, as with ATE messages).
+     * timeout and retry, as with ATE messages). Runs on the source
+     * chip; delivery is parked until drainInbound(dst).
      */
     void sendRpc(unsigned src, unsigned dst, std::uint64_t payload);
 
     /**
      * Occupy the (src, dst) channel with @p bytes of payload and
-     * schedule @p deliver at the arrival tick. ok=false signals a
-     * link.drop: the wire time was spent but the payload was lost.
+     * decide the message's fate now, against the source clock.
+     * @return the delivery tick; @p dropped reports a link.drop
+     * (wire time spent, payload lost — the caller owns retries).
      */
-    void sendBulk(unsigned src, unsigned dst, std::uint64_t bytes,
-                  BulkHandler deliver);
+    sim::Tick startBulk(unsigned src, unsigned dst,
+                        std::uint64_t bytes, bool &dropped);
+
+    /**
+     * Park @p fn in the (src, dst) mailbox for execution on DPU
+     * @p dst's queue at tick @p when (a delivery tick returned by
+     * startBulk). Drained at the next epoch barrier.
+     */
+    void postDelivery(unsigned src, unsigned dst, sim::Tick when,
+                      std::function<void()> fn);
+
+    /**
+     * Schedule every parked delivery bound for @p dst into dst's
+     * queue, sources in ascending order, each channel in send
+     * order. Called by the epoch runner on the thread owning dst
+     * (and by hand after host-phase sends in tests).
+     */
+    void drainInbound(unsigned dst);
+
+    /** Parked deliveries across all mailboxes (diagnostics). */
+    std::size_t inboundPending() const;
 
     /** Fraction of simulated time the (src, dst) channel spent
      *  serializing (0 when the clock has not advanced). */
@@ -98,18 +142,29 @@ class LinkFabric
     /** Busiest channel's utilization — the scaling bottleneck. */
     double peakUtilization() const;
 
-    std::uint64_t bytesCarried() const { return totalBytes; }
-    std::uint64_t messages() const { return totalMsgs; }
+    std::uint64_t bytesCarried() const;
+    std::uint64_t messages() const;
 
     sim::StatGroup &statGroup() { return stats; }
 
   private:
+    /** One ordered (src, dst) channel; owned by src's thread. */
     struct Channel
     {
         sim::Tick nextFree = 0;
         sim::Tick busyTicks = 0;
         std::uint64_t bytes = 0;
         std::uint64_t msgs = 0;
+        std::uint64_t drops = 0;
+        std::uint64_t delays = 0;
+    };
+
+    /** One parked delivery: an RPC payload or a bulk action. */
+    struct Pending
+    {
+        sim::Tick when = 0;
+        std::uint64_t payload = 0;
+        std::function<void()> fn; ///< non-empty = bulk delivery
     };
 
     Channel &chan(unsigned s, unsigned d) { return chans[s * n + d]; }
@@ -123,19 +178,27 @@ class LinkFabric
     sim::Tick serTicks(std::uint64_t bytes) const;
 
     /**
-     * Occupy the channel and decide the message's fate. @return
-     * the delivery tick; @p dropped reports a link.drop firing.
+     * Occupy the channel and decide the message's fate against the
+     * source clock, in the source's fault domain. @return the
+     * delivery tick; @p dropped reports a link.drop firing.
      */
     sim::Tick transit(unsigned src, unsigned dst,
                       std::uint64_t bytes, bool &dropped);
 
-    sim::EventQueue &eq;
+    /** Fold the channel shadows into the StatGroup cells. */
+    void foldStats();
+
     unsigned n;
     LinkParams p;
+    std::vector<sim::EventQueue *> queues;
     std::vector<Channel> chans;
+    /** Epoch mailboxes, indexed src * n + dst. A mailbox is written
+     *  by src's thread in the compute phase and read by dst's thread
+     *  in the drain phase; the runner's barriers order the two. */
+    std::vector<std::vector<Pending>> inbox;
     std::vector<RpcHandler> handlers;
-    std::uint64_t totalBytes = 0;
-    std::uint64_t totalMsgs = 0;
+    /** Per-dst count of RPCs delivered with no handler installed. */
+    std::vector<std::uint64_t> unhandled;
     sim::StatGroup stats;
 };
 

@@ -205,6 +205,7 @@ EventQueue::popNext(Tick limit)
     ev->queue_ = nullptr;
     --nScheduled;
     curTick = ev->when_;
+    lastEvTick = curTick;
     return ev;
 }
 
@@ -229,24 +230,66 @@ EventQueue::execute(Event &ev)
 }
 
 std::uint64_t
-EventQueue::run(Tick limit)
+EventQueue::runWindow(Tick end)
 {
     std::uint64_t executed = 0;
     const auto t0 = wallProfiling ? WallClock::now()
                                   : WallClock::time_point{};
-    while (Event *ev = popNext(limit)) {
+    while (Event *ev = popNext(end)) {
         execute(*ev);
         ++executed;
     }
+    if (wallProfiling)
+        prof.runWallNs += elapsedNs(t0);
+    return executed;
+}
+
+std::uint64_t
+EventQueue::run(Tick limit)
+{
+    const std::uint64_t executed = runWindow(limit);
     // A bounded run always lands exactly on its bound — whether the
     // queue drained or events remain beyond it — so quantum-stepped
     // callers and stats windows see now() == limit, never a clock
     // stuck at the last executed event.
     if (limit != maxTick && curTick < limit)
         curTick = limit;
-    if (wallProfiling)
-        prof.runWallNs += elapsedNs(t0);
     return executed;
+}
+
+Tick
+EventQueue::nextDueLowerBound() const
+{
+    Tick best = maxTick;
+    if (!far.empty())
+        best = far.front().when;
+    if (nWheel == 0)
+        return best;
+    // The first non-empty level lower-bounds every deeper one: a
+    // level-k resident differs from the base in digit k and agrees
+    // above, and ticks never precede the base, so it fires before
+    // anything parked at level k+1.
+    for (unsigned lvl = 0; lvl < nLevels; ++lvl) {
+        const int s = findFirst(bits[lvl]);
+        if (s < 0)
+            continue;
+        Tick lb;
+        if (lvl == 0) {
+            // Level-0 slots hold exactly one tick: exact.
+            lb = (wheelBase & ~Tick(slotsPerLevel - 1)) |
+                 Tick(unsigned(s));
+        } else {
+            const unsigned shift = levelBits * lvl;
+            const Tick windowMask =
+                (Tick(slotsPerLevel) << shift) - 1;
+            lb = (wheelBase & ~windowMask) |
+                 (Tick(unsigned(s)) << shift);
+        }
+        if (lb < best)
+            best = lb;
+        break;
+    }
+    return best;
 }
 
 bool

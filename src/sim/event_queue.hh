@@ -155,6 +155,31 @@ class EventQueue
      */
     std::uint64_t run(Tick limit = maxTick);
 
+    /**
+     * Like run(@p end) but the clock stays at the last executed
+     * event instead of parking on the bound. The parallel epoch
+     * runner (sim/parallel.hh) advances partitions with this so a
+     * drained partition's clock never overshoots the board's true
+     * final tick; the runner aligns all clocks explicitly at the
+     * end of the whole run.
+     */
+    std::uint64_t runWindow(Tick end);
+
+    /** Tick of the last event actually executed (run() may park the
+     *  clock past it on a bounded run). 0 before any event fires. */
+    Tick lastEventTick() const { return lastEvTick; }
+
+    /**
+     * Non-mutating lower bound on the earliest pending event's tick:
+     * exact when the earliest resident sits in wheel level 0 or in
+     * the overflow heap, else the start of its level's time window
+     * (at most one wasted epoch refines it, because running past a
+     * window start cascades it to level 0). maxTick when empty. The
+     * epoch runner uses this to place the next lookahead window —
+     * and to jump idle gaps instead of marching through them.
+     */
+    Tick nextDueLowerBound() const;
+
     /** Execute exactly one event if one exists. @return true if so. */
     bool step();
 
@@ -355,6 +380,7 @@ class EventQueue
     std::vector<FarEntry> far; ///< min-heap by (when, seq)
 
     Tick curTick = 0;
+    Tick lastEvTick = 0; ///< tick of the last executed event
     std::uint64_t nextSeq = 0;
     std::size_t nScheduled = 0;
 

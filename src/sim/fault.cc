@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "sim/domain.hh"
 #include "sim/logging.hh"
 
 namespace dpu::sim {
@@ -83,13 +84,56 @@ faultSiteName(FaultSite site)
 }
 
 void
+FaultPlane::seedDomain(FaultRule &r, unsigned d)
+{
+    // Domain 0 replays the pre-domain single stream exactly; higher
+    // domains split off with a golden-ratio stride so no two chips
+    // share a sequence.
+    r.dom[d].rng = Rng(d == 0 ? r.ruleSeed
+                              : r.ruleSeed +
+                                    0x9e3779b97f4a7c15ull * d);
+}
+
+void
+FaultPlane::ensureDomains(unsigned n)
+{
+    if (n <= nDomains) {
+        return;
+    }
+    for (auto &r : rules) {
+        const unsigned have = unsigned(r.dom.size());
+        r.dom.resize(n);
+        for (unsigned d = have; d < n; ++d)
+            seedDomain(r, d);
+    }
+    domCounts.resize(n);
+    nDomains = n;
+}
+
+void
+FaultPlane::foldStats()
+{
+    if (!stats)
+        return;
+    for (auto &dc : domCounts) {
+        for (unsigned s = 0; s < nFaultSites; ++s) {
+            if (dc.pending[s]) {
+                stats->counter(siteNames[s]) += dc.pending[s];
+                dc.pending[s] = 0;
+            }
+        }
+    }
+}
+
+void
 FaultPlane::reset()
 {
     rules.clear();
     memRules = 0;
     specStr.clear();
-    for (auto &c : counts)
-        c = 0;
+    // The domain count is sticky (a live Board keeps its sizing);
+    // the tallies are not.
+    domCounts.assign(nDomains, DomainCounts{});
     stats.reset();
 }
 
@@ -142,7 +186,10 @@ FaultPlane::configure(const std::string &spec, std::uint64_t seed)
                 }
             }
         }
-        r.rng = Rng(ruleSeed);
+        r.ruleSeed = ruleSeed;
+        r.dom.resize(nDomains);
+        for (unsigned d = 0; d < nDomains; ++d)
+            seedDomain(r, d);
         if (r.site == FaultSite::MemDegrade) {
             // A degrade window needs a divisor; default to 4x.
             if (r.mag < 2)
@@ -154,12 +201,18 @@ FaultPlane::configure(const std::string &spec, std::uint64_t seed)
 
     specStr = spec;
     stats = std::make_unique<StatGroup>("fault");
+    stats->addFlushHook([this] { foldStats(); });
 }
 
 bool
 FaultPlane::fires(FaultSite site, Tick now, int unit,
                   std::uint64_t *magnitude)
 {
+    const unsigned d = currentDomain();
+    sim_assert(d < nDomains,
+               "fault opportunity in unsized domain %u (call "
+               "ensureDomains)",
+               d);
     for (auto &r : rules) {
         if (r.site != site)
             continue;
@@ -167,20 +220,20 @@ FaultPlane::fires(FaultSite site, Tick now, int unit,
             continue;
         if (now < r.from || now >= r.to)
             continue;
-        ++r.seen;
-        if (r.fired >= r.max)
+        FaultRule::DomainState &ds = r.dom[d];
+        ++ds.seen;
+        if (ds.fired >= r.max)
             continue;
         bool hit;
         if (r.nth)
-            hit = r.seen % r.nth == 0;
+            hit = ds.seen % r.nth == 0;
         else
-            hit = r.p >= 1.0 || r.rng.uniform() < r.p;
+            hit = r.p >= 1.0 || ds.rng.uniform() < r.p;
         if (!hit)
             continue;
-        ++r.fired;
-        ++counts[unsigned(site)];
-        if (stats)
-            ++stats->counter(siteNames[unsigned(site)]);
+        ++ds.fired;
+        ++domCounts[d].counts[unsigned(site)];
+        ++domCounts[d].pending[unsigned(site)];
         if (magnitude)
             *magnitude = r.mag;
         return true;
@@ -191,6 +244,11 @@ FaultPlane::fires(FaultSite site, Tick now, int unit,
 std::uint64_t
 FaultPlane::memBwDivisor(Tick now)
 {
+    const unsigned d = currentDomain();
+    sim_assert(d < nDomains,
+               "fault opportunity in unsized domain %u (call "
+               "ensureDomains)",
+               d);
     std::uint64_t factor = 1;
     for (auto &r : rules) {
         if (r.site != FaultSite::MemDegrade)
@@ -200,11 +258,11 @@ FaultPlane::memBwDivisor(Tick now)
         factor *= r.mag;
         // Count degraded bursts; budget caps window length, not
         // bursts, so `max` is ignored here.
-        ++r.fired;
-        ++counts[unsigned(FaultSite::MemDegrade)];
+        ++r.dom[d].fired;
+        ++domCounts[d].counts[unsigned(FaultSite::MemDegrade)];
     }
-    if (factor > 1 && stats)
-        ++stats->counter(siteNames[unsigned(FaultSite::MemDegrade)]);
+    if (factor > 1)
+        ++domCounts[d].pending[unsigned(FaultSite::MemDegrade)];
     return factor;
 }
 
@@ -212,8 +270,9 @@ std::uint64_t
 FaultPlane::injectedTotal() const
 {
     std::uint64_t total = 0;
-    for (auto c : counts)
-        total += c;
+    for (const auto &dc : domCounts)
+        for (auto c : dc.counts)
+            total += c;
     return total;
 }
 

@@ -30,12 +30,22 @@
  *   unit=U      only opportunities of unit U (core id; default any)
  *   seed=S      per-rule seed override
  *
- * Determinism: every rule owns its own Rng, seeded from
- * (configure seed, rule index) — never from wall clock — and a
- * decision consumes randomness only for p-rules with p < 1. Since
- * the event kernel replays identically for identical inputs, the
- * sequence of fires() calls, hence of injected faults, is
- * bit-reproducible: same spec + seed => same faults => same stats.
+ * Determinism: every rule owns one Rng PER EXECUTION DOMAIN (see
+ * sim/domain.hh), seeded from (configure seed, rule index, domain) —
+ * never from wall clock — and a decision consumes randomness only
+ * for p-rules with p < 1. A multi-DPU board runs each DPU in its own
+ * domain, so every chip's opportunity stream draws from its own rule
+ * state whatever thread executes it and however partitions
+ * interleave: same spec + seed => same faults => same stats, at any
+ * --threads. Domain 0 is seeded exactly as the pre-domain single
+ * stream, keeping single-chip runs byte-identical. Note the `max`
+ * firing budget and `nth` counters are likewise per (rule, domain).
+ *
+ * Thread-safety: fires() only mutates current-domain state, and the
+ * "fault" stat group is fed through per-domain deferred counts
+ * folded on read, so concurrent partitions never share cells. All
+ * configuration (configure / reset / ensureDomains) is host-phase
+ * only — never call it while a parallel run is in flight.
  *
  * The plane is inert until configured: every hook point first tests
  * active(), so un-faulted runs execute the exact pre-fault paths and
@@ -84,14 +94,40 @@ struct FaultRule
     std::uint64_t nth = 0;     ///< fire every nth opportunity (0=off)
     Tick from = 0;             ///< active window start (inclusive)
     Tick to = maxTick;         ///< active window end (exclusive)
-    std::uint64_t max = ~0ull; ///< firing budget
+    std::uint64_t max = ~0ull; ///< firing budget (per domain)
     std::uint64_t mag = 0;     ///< site-specific magnitude
     int unit = -1;             ///< unit filter (-1 = any)
 
-    // Runtime state.
-    std::uint64_t seen = 0;  ///< opportunities examined
-    std::uint64_t fired = 0; ///< faults injected
-    Rng rng{0};
+    /** Per-domain runtime state (index = execution domain). */
+    struct DomainState
+    {
+        std::uint64_t seen = 0;  ///< opportunities examined
+        std::uint64_t fired = 0; ///< faults injected
+        Rng rng{0};
+    };
+
+    std::vector<DomainState> dom;
+    std::uint64_t ruleSeed = 0;
+
+    /** Opportunities examined, summed over domains. */
+    std::uint64_t
+    seenTotal() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &d : dom)
+            n += d.seen;
+        return n;
+    }
+
+    /** Faults injected, summed over domains. */
+    std::uint64_t
+    firedTotal() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &d : dom)
+            n += d.fired;
+        return n;
+    }
 };
 
 /** The process-wide fault scheduler. Use sim::faultPlane(). */
@@ -130,11 +166,24 @@ class FaultPlane
      */
     std::uint64_t memBwDivisor(Tick now);
 
-    /** Faults injected at @p site since configure(). */
+    /**
+     * Make the plane ready for domains [0, @p n): sizes every rule's
+     * per-domain state (board::Board calls this for its DPU count).
+     * Host-phase only; existing domain streams are untouched.
+     */
+    void ensureDomains(unsigned n);
+
+    /** Domains the plane is sized for (>= 1 once configured). */
+    unsigned domains() const { return nDomains; }
+
+    /** Faults injected at @p site since configure(), all domains. */
     std::uint64_t
     injected(FaultSite site) const
     {
-        return counts[unsigned(site)];
+        std::uint64_t total = 0;
+        for (const auto &d : domCounts)
+            total += d.counts[unsigned(site)];
+        return total;
     }
 
     /** Total faults injected since configure(). */
@@ -154,10 +203,26 @@ class FaultPlane
     static std::string randomSpec(std::uint64_t seed);
 
   private:
+    /** Per-domain injection tallies: absolute counts for injected()
+     *  plus pending deltas folded into the stat group on read. */
+    struct DomainCounts
+    {
+        std::uint64_t counts[nFaultSites] = {};
+        std::uint64_t pending[nFaultSites] = {};
+    };
+
+    /** Seed domain @p d of rule @p r (0 replays the pre-domain
+     *  single stream). */
+    static void seedDomain(FaultRule &r, unsigned d);
+
+    /** Fold every domain's pending stat deltas into the group. */
+    void foldStats();
+
     std::vector<FaultRule> rules;
     unsigned memRules = 0;
+    unsigned nDomains = 1;
     std::string specStr;
-    std::uint64_t counts[nFaultSites] = {};
+    std::vector<DomainCounts> domCounts{1};
     std::unique_ptr<StatGroup> stats;
 };
 

@@ -23,6 +23,27 @@
 #include <sanitizer/common_interface_defs.h>
 #endif
 
+// ThreadSanitizer likewise keeps one shadow (clocks, stack) per
+// thread of execution; a raw stack switch it cannot see makes it
+// attribute one fiber's accesses to another and report phantom
+// races. The fiber API lets us announce every switch. The parallel
+// board runner keeps each fiber on the one worker thread that owns
+// its DPU's partition, so announcing the switches is all TSan needs.
+#if defined(__SANITIZE_THREAD__)
+#define DPU_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DPU_TSAN_FIBERS 1
+#endif
+#endif
+#ifndef DPU_TSAN_FIBERS
+#define DPU_TSAN_FIBERS 0
+#endif
+
+#if DPU_TSAN_FIBERS
+#include <sanitizer/tsan_interface.h>
+#endif
+
 #if !DPU_FIBER_UCONTEXT
 
 /**
@@ -94,6 +115,24 @@ asanFinishSwitch([[maybe_unused]] void *fake_save,
 #endif
 }
 
+inline void *
+tsanCurrentFiber()
+{
+#if DPU_TSAN_FIBERS
+    return __tsan_get_current_fiber();
+#else
+    return nullptr;
+#endif
+}
+
+inline void
+tsanSwitchTo([[maybe_unused]] void *fiber)
+{
+#if DPU_TSAN_FIBERS
+    __tsan_switch_to_fiber(fiber, 0);
+#endif
+}
+
 } // namespace
 
 Fiber::Fiber(std::function<void()> fn, std::size_t stack_size)
@@ -106,6 +145,10 @@ Fiber::~Fiber()
     // A fiber destroyed mid-flight simply abandons its stack; the
     // simulation tear-down path (Soc::~Soc) only does this after the
     // event queue has stopped, so no callbacks can resume it again.
+#if DPU_TSAN_FIBERS
+    if (tsanFiber)
+        __tsan_destroy_fiber(tsanFiber);
+#endif
 }
 
 Fiber *
@@ -158,6 +201,7 @@ Fiber::trampoline()
     // Return to whoever resumed us for the last time. nullptr frees
     // this (dying) fiber's ASan fake stack.
     asanStartSwitch(nullptr, f->schedStackBottom, f->schedStackSize);
+    tsanSwitchTo(f->tsanParent);
 #if DPU_FIBER_UCONTEXT
     swapcontext(&f->ctx, &f->returnCtx);
 #else
@@ -182,10 +226,15 @@ Fiber::resume()
 #else
         fiberSp = initFiberStack();
 #endif
+#if DPU_TSAN_FIBERS
+        tsanFiber = __tsan_create_fiber(0);
+#endif
     }
     currentFiber = this;
     void *sched_fake = nullptr;
     asanStartSwitch(&sched_fake, stack.data(), stack.size());
+    tsanParent = tsanCurrentFiber();
+    tsanSwitchTo(tsanFiber);
 #if DPU_FIBER_UCONTEXT
     swapcontext(&returnCtx, &ctx);
 #else
@@ -202,6 +251,7 @@ Fiber::yield()
     currentFiber = nullptr;
     void *fiber_fake = nullptr;
     asanStartSwitch(&fiber_fake, schedStackBottom, schedStackSize);
+    tsanSwitchTo(tsanParent);
 #if DPU_FIBER_UCONTEXT
     swapcontext(&ctx, &returnCtx);
 #else

@@ -106,6 +106,10 @@ class Fiber
     /** Scheduler stack bounds, captured for ASan fiber switching. */
     const void *schedStackBottom = nullptr;
     std::size_t schedStackSize = 0;
+    /** TSan shadow state for this fiber / the context that resumed
+     *  it; nullptr outside ThreadSanitizer builds. */
+    void *tsanFiber = nullptr;
+    void *tsanParent = nullptr;
 };
 
 } // namespace dpu::sim

@@ -56,28 +56,59 @@ void
 Tracer::arm(std::size_t capacity)
 {
     sim_assert(capacity > 0, "tracer capacity must be non-zero");
-    ring.assign(capacity, TraceRecord{});
-    total = 0;
+    cap = capacity;
+    for (auto &d : doms) {
+        d->ring.assign(cap, TraceRecord{});
+        d->total = 0;
+    }
+    // Restart the id streams with the rings: an armed window is
+    // self-contained, so repeated runs in one process export
+    // bit-identical traces.
+    std::fill(idGens.begin(), idGens.end(), 0);
     isArmed = true;
 }
 
 void
 Tracer::clear()
 {
-    std::fill(ring.begin(), ring.end(), TraceRecord{});
-    total = 0;
+    for (auto &d : doms) {
+        std::fill(d->ring.begin(), d->ring.end(), TraceRecord{});
+        d->total = 0;
+    }
+    std::fill(idGens.begin(), idGens.end(), 0);
+}
+
+void
+Tracer::ensureDomains(unsigned n)
+{
+    while (doms.size() < n) {
+        doms.push_back(std::make_unique<Domain>());
+        if (isArmed)
+            doms.back()->ring.assign(cap, TraceRecord{});
+    }
+    if (idGens.size() < n)
+        idGens.resize(n, 0);
+    nDoms = std::max(nDoms, n);
 }
 
 std::size_t
 Tracer::size() const
 {
-    return std::size_t(std::min<std::uint64_t>(total, ring.size()));
+    std::size_t total = 0;
+    for (const auto &d : doms)
+        total += std::size_t(
+            std::min<std::uint64_t>(d->total, d->ring.size()));
+    return total;
 }
 
 std::uint64_t
 Tracer::dropped() const
 {
-    return total > ring.size() ? total - ring.size() : 0;
+    std::uint64_t n = 0;
+    for (const auto &d : doms)
+        if (d->total > d->ring.size())
+            n += d->total - d->ring.size();
+    return n;
 }
 
 void
@@ -89,16 +120,26 @@ Tracer::nameTrack(TraceCat cat, std::uint32_t tid, std::string name)
 void
 Tracer::exportJson(std::ostream &os) const
 {
-    // Oldest-first indices into the ring, then a stable sort by
-    // timestamp so every track's events appear in monotone order.
+    // Merge the domain rings: oldest-first per domain, concatenated
+    // in domain order, then a stable sort by timestamp — the
+    // resulting (ts, domain, local order) total order is a pure
+    // function of the simulated execution, independent of how many
+    // threads recorded.
     const std::size_t n = size();
-    std::vector<std::uint32_t> order(n);
-    const std::uint64_t first = total - n;
-    for (std::size_t i = 0; i < n; ++i)
-        order[i] = std::uint32_t((first + i) % ring.size());
+    std::vector<const TraceRecord *> order;
+    order.reserve(n);
+    for (const auto &d : doms) {
+        if (d->ring.empty())
+            continue;
+        const std::size_t held = std::size_t(
+            std::min<std::uint64_t>(d->total, d->ring.size()));
+        const std::uint64_t first = d->total - held;
+        for (std::size_t i = 0; i < held; ++i)
+            order.push_back(&d->ring[(first + i) % d->ring.size()]);
+    }
     std::stable_sort(order.begin(), order.end(),
-                     [this](std::uint32_t a, std::uint32_t b) {
-                         return ring[a].ts < ring[b].ts;
+                     [](const TraceRecord *a, const TraceRecord *b) {
+                         return a->ts < b->ts;
                      });
 
     os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
@@ -107,8 +148,8 @@ Tracer::exportJson(std::ostream &os) const
     // Metadata: subsystem process names + registered track names,
     // but only for pids that actually appear (or were registered).
     bool pidSeen[256] = {};
-    for (std::size_t i = 0; i < n; ++i)
-        pidSeen[ring[order[i]].pid] = true;
+    for (const TraceRecord *r : order)
+        pidSeen[r->pid] = true;
     for (const auto &[key, _] : trackNames)
         pidSeen[key.first] = true;
     for (unsigned pid = 0; pid < 256; ++pid) {
@@ -130,7 +171,7 @@ Tracer::exportJson(std::ostream &os) const
     }
 
     for (std::size_t i = 0; i < n; ++i) {
-        const TraceRecord &r = ring[order[i]];
+        const TraceRecord &r = *order[i];
         if (comma)
             os << ",";
         comma = true;

@@ -18,6 +18,15 @@
  *    clock domain of the recording component (a dpCore's lazy clock
  *    or the global event queue); the exporter sorts records, so
  *    per-track timestamp order in the JSON is monotone.
+ *  - Records land in a ring PER EXECUTION DOMAIN (sim/domain.hh):
+ *    the parallel board runner gives each DPU its own domain, so
+ *    concurrent partitions never share a ring, and span ids carry
+ *    the domain in their top byte so id streams are partition-local
+ *    too. Export merges the rings on (timestamp, domain, local
+ *    order) — a total order independent of thread interleaving, so
+ *    a parallel run's trace is byte-identical to the serial one.
+ *    Domain 0 is the default and replays the pre-domain tracer
+ *    exactly (same ids, same order) for single-chip runs.
  *  - Spans use Chrome "async" begin/end pairs ('b'/'e') keyed by a
  *    tracer-issued id, so overlapping operations on one track (e.g.
  *    4 outstanding DMS descriptors) pair up unambiguously.
@@ -35,10 +44,12 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "sim/domain.hh"
 #include "sim/types.hh"
 
 #ifndef DPU_TRACING
@@ -85,32 +96,55 @@ struct TraceRecord
     std::uint8_t pid = 0;      ///< TraceCat
 };
 
-/** The global ring-buffered tracer (the simulator is one thread). */
+/**
+ * The global tracer: one record ring per execution domain. Arming,
+ * clearing and export are host-phase operations; record() and
+ * nextId() are safe from parallel partitions because each only
+ * touches its current domain's state.
+ */
 class Tracer
 {
   public:
-    /** Default ring capacity (records). ~72 B each. */
+    /** Default per-domain ring capacity (records). ~72 B each. */
     static constexpr std::size_t defaultCapacity = 1u << 20;
+
+    Tracer() { doms.push_back(std::make_unique<Domain>()); }
 
     bool armed() const { return isArmed; }
 
-    /** Enable recording into a fresh ring of @p capacity records. */
+    /** Enable recording into fresh per-domain rings of @p capacity
+     *  records each. */
     void arm(std::size_t capacity = defaultCapacity);
 
-    /** Stop recording (the ring's contents stay exportable). */
+    /** Stop recording (the rings' contents stay exportable). */
     void disarm() { isArmed = false; }
 
     /** Drop every record (and any pending drop count). */
     void clear();
 
-    /** Records currently held (<= capacity). */
+    /**
+     * Make rings/id streams ready for domains [0, @p n) (the Board
+     * calls this for its DPU count). Host-phase only; cheap while
+     * disarmed. Records from a domain the tracer was never sized for
+     * fall back to domain 0.
+     */
+    void ensureDomains(unsigned n);
+
+    /** Records currently held, all domains (<= capacity * doms). */
     std::size_t size() const;
 
-    /** Records overwritten because the ring was full. */
+    /** Records overwritten because a ring was full, all domains. */
     std::uint64_t dropped() const;
 
-    /** Fresh id for pairing an async begin with its end. */
-    std::uint32_t nextId() { return ++idGen; }
+    /** Fresh id for pairing an async begin with its end. Ids are
+     *  per-domain streams, domain in the top byte, so they never
+     *  depend on cross-partition interleaving. */
+    std::uint32_t
+    nextId()
+    {
+        const unsigned d = domIndex();
+        return (std::uint32_t(d) << 24) | ++idGens[d];
+    }
 
     /** Append one record (call sites go through the macros). */
     void
@@ -121,8 +155,9 @@ class Tracer
     {
         if (!isArmed)
             return;
-        TraceRecord &r = ring[total % ring.size()];
-        ++total;
+        Domain &dom = *doms[domIndex()];
+        TraceRecord &r = dom.ring[dom.total % dom.ring.size()];
+        ++dom.total;
         r.ts = ts;
         r.dur = dur;
         r.a0 = a0;
@@ -161,10 +196,27 @@ class Tracer
     void flushToFileIfArmed();
 
   private:
+    /** One domain's ring + bookkeeping (never moved once built, so
+     *  parallel recorders hold stable references). */
+    struct Domain
+    {
+        std::vector<TraceRecord> ring;
+        std::uint64_t total = 0; ///< records ever written
+    };
+
+    /** The calling thread's domain, clamped to the sized range. */
+    unsigned
+    domIndex() const
+    {
+        const unsigned d = currentDomain();
+        return d < doms.size() ? d : 0;
+    }
+
     bool isArmed = false;
-    std::vector<TraceRecord> ring;
-    std::uint64_t total = 0;   ///< records ever written
-    std::uint32_t idGen = 0;
+    std::size_t cap = defaultCapacity;
+    unsigned nDoms = 1;
+    std::vector<std::unique_ptr<Domain>> doms;
+    std::vector<std::uint32_t> idGens = std::vector<std::uint32_t>(1);
     std::string outPath;
     bool envChecked = false;
     std::map<std::pair<std::uint8_t, std::uint32_t>, std::string>

@@ -40,11 +40,14 @@ class Soc
 
     /**
      * Build the chip on an externally owned event queue. This is
-     * how a multi-DPU Board (board/board.hh) places N chips in ONE
-     * event kernel: every DPU's events interleave on the shared
-     * clock, so cross-DPU interactions stay deterministic. run() /
-     * runFor() drive the shared queue — with several chips on it,
-     * only the owner (the Board) should drive.
+     * how a multi-DPU Board (board/board.hh) composes chips: every
+     * Soc gets its OWN queue partition, owned and driven by the
+     * Board's epoch runner (sim/parallel.hh), which advances the
+     * partitions in conservative epochs bounded by the link
+     * latency. All of this chip's events — cores, DMS, ATE, MBC,
+     * DDR — stay on its one partition, so inside the chip the
+     * single-kernel execution model is unchanged; only the Board
+     * (never the Soc) should drive the queue it handed in.
      */
     Soc(sim::EventQueue &shared, const SocParams &params = dpu40nm());
 

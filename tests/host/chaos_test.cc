@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "board/board.hh"
+#include "host/board_offload.hh"
 #include "host/offload.hh"
 #include "rt/dms_ctl.hh"
 #include "rt/sync.hh"
@@ -201,4 +203,94 @@ TEST(Chaos, CleanRunUnderChaosHarnessShape)
               std::uint64_t(chaosJobs));
     EXPECT_EQ(sched.summary().timedOut, 0u);
     EXPECT_TRUE(s.allFinished());
+}
+
+// ----------------------------------------------------------------
+// Parallel-mode slice: chaos schedules on a multi-DPU board
+// ----------------------------------------------------------------
+
+namespace {
+
+/** One chaos schedule on a 2-DPU board at a given thread count. */
+ChaosOutcome
+runBoardChaos(std::uint64_t seed, unsigned threads)
+{
+    sim::faultPlane().reset();
+    sim::faultPlane().configure(sim::FaultPlane::randomSpec(seed),
+                                seed);
+
+    ChaosOutcome out;
+    {
+        board::BoardParams bp;
+        bp.nDpus = 2;
+        bp.threads = threads;
+        board::Board b(bp);
+        OffloadParams p;
+        p.nCores = 16;
+        p.groupSize = 4;
+        p.maxAttempts = 2;
+        p.defaultTimeout = sim::Tick(2e9);
+        BoardScheduler sched(b, p, ShardRouting::RoundRobin);
+
+        sim::Rng rng(seed ^ 0xc0ffee);
+        sim::Tick t = 0;
+        for (unsigned i = 0; i < chaosJobs; ++i) {
+            t += 50'000'000 + rng.below(200'000'000);
+            sched.enqueueAt(t, chaosJob(unsigned(rng.below(3)),
+                                        seed + i));
+        }
+
+        sched.start();
+        b.runFor(sim::Tick(1e12));
+
+        out.hostFinished = true;
+        for (unsigned d = 0; d < b.nDpus(); ++d)
+            out.hostFinished &= b.host(d).finished();
+        out.sum = sched.summary();
+        for (unsigned d = 0; d < sched.nShards(); ++d)
+            for (const JobRecord &rec : sched.shard(d).jobs()) {
+                out.states.push_back(rec.state);
+                out.causes.push_back(rec.cause);
+            }
+        out.snap = sim::StatsRegistry::instance().snapshot();
+        out.snap.counters["sim.finalTick"] = b.now();
+    }
+    sim::faultPlane().reset();
+    return out;
+}
+
+} // namespace
+
+TEST(Chaos, BoardSchedulesReplayIdenticallyAcrossThreadCounts)
+{
+    // A slice of the seed space (the full sweep lives in the
+    // single-chip wall above): each schedule must resolve cleanly
+    // on a 2-DPU board and replay bit-identically with the epoch
+    // runner on one and on two worker threads.
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        const std::string spec = sim::FaultPlane::randomSpec(seed);
+        SCOPED_TRACE("seed " + std::to_string(seed) + " spec " +
+                     spec);
+
+        const ChaosOutcome serial = runBoardChaos(seed, 1);
+        ASSERT_TRUE(serial.hostFinished);
+        EXPECT_EQ(serial.sum.completed + serial.sum.timedOut +
+                      serial.sum.rejected,
+                  serial.sum.submitted);
+        EXPECT_EQ(serial.sum.submitted, std::uint64_t(chaosJobs));
+        for (std::size_t i = 0; i < serial.states.size(); ++i) {
+            EXPECT_NE(serial.states[i], JobState::Queued)
+                << "job " << i;
+            EXPECT_NE(serial.states[i], JobState::Running)
+                << "job " << i;
+        }
+
+        const ChaosOutcome par = runBoardChaos(seed, 2);
+        EXPECT_EQ(serial.snap, par.snap)
+            << "threads=2 diverged:\n"
+            << sim::formatDiffs(
+                   sim::diffSnapshots(serial.snap, par.snap));
+        EXPECT_EQ(serial.states, par.states);
+        EXPECT_EQ(serial.causes, par.causes);
+    }
 }

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/domain.hh"
 #include "sim/fault.hh"
 
 using namespace dpu::sim;
@@ -163,4 +164,117 @@ TEST(FaultPlane, RandomSpecIsStableAndParses)
         faultPlane().reset();
     }
     EXPECT_NE(FaultPlane::randomSpec(1), FaultPlane::randomSpec(2));
+}
+
+// ----------------------------------------------------------------
+// Per-domain streams (the parallel board's determinism contract)
+// ----------------------------------------------------------------
+
+TEST(FaultPlane, DomainZeroReplaysThePreDomainStream)
+{
+    PlaneGuard g;
+    FaultPlane &fp = faultPlane();
+
+    auto pattern = [&](unsigned domains) {
+        fp.configure("ate.drop@p=0.3", 7);
+        if (domains > 1)
+            fp.ensureDomains(domains);
+        std::string bits;
+        for (unsigned i = 0; i < 200; ++i)
+            bits += fp.fires(FaultSite::AteDrop, Tick(i)) ? '1'
+                                                          : '0';
+        fp.reset();
+        return bits;
+    };
+
+    // Sizing the plane for a 4-DPU board must not perturb what a
+    // single-chip run (domain 0) observes.
+    EXPECT_EQ(pattern(1), pattern(4));
+}
+
+TEST(FaultPlane, DomainStreamsAreIndependent)
+{
+    PlaneGuard g;
+    FaultPlane &fp = faultPlane();
+
+    // Domain 1's decision stream, alone on the plane.
+    auto solo = [&] {
+        fp.configure("link.drop@p=0.3", 9);
+        fp.ensureDomains(4);
+        std::string bits;
+        DomainScope ds(1);
+        for (unsigned i = 0; i < 200; ++i)
+            bits += fp.fires(FaultSite::LinkDrop, Tick(i)) ? '1'
+                                                           : '0';
+        fp.reset();
+        return bits;
+    }();
+
+    // The same stream with domains 0, 2 and 3 drawing heavily in
+    // between: their consumption must not advance domain 1's RNG.
+    fp.configure("link.drop@p=0.3", 9);
+    fp.ensureDomains(4);
+    std::string bits;
+    for (unsigned i = 0; i < 200; ++i) {
+        for (const unsigned other : {0u, 2u, 3u}) {
+            DomainScope ds(other);
+            fp.fires(FaultSite::LinkDrop, Tick(i));
+            fp.fires(FaultSite::LinkDrop, Tick(i));
+        }
+        DomainScope ds(1);
+        bits += fp.fires(FaultSite::LinkDrop, Tick(i)) ? '1' : '0';
+    }
+    fp.reset();
+    EXPECT_EQ(bits, solo)
+        << "other domains' draws leaked into domain 1's stream";
+
+    // Different domains get different streams from one rule seed.
+    fp.configure("link.drop@p=0.3", 9);
+    fp.ensureDomains(2);
+    std::string d0, d1;
+    for (unsigned i = 0; i < 200; ++i) {
+        {
+            DomainScope ds(0);
+            d0 += fp.fires(FaultSite::LinkDrop, Tick(i)) ? '1' : '0';
+        }
+        {
+            DomainScope ds(1);
+            d1 += fp.fires(FaultSite::LinkDrop, Tick(i)) ? '1' : '0';
+        }
+    }
+    fp.reset();
+    EXPECT_NE(d0, d1) << "chips must not fault in lockstep";
+}
+
+TEST(FaultPlane, PerDomainTalliesFoldIntoOneStatGroup)
+{
+    PlaneGuard g;
+    FaultPlane &fp = faultPlane();
+    fp.configure("mbc.drop@nth=1", 1);
+    fp.ensureDomains(3);
+
+    for (unsigned hits = 0; hits < 1; ++hits)
+        fp.fires(FaultSite::MbcDrop, 0);
+    {
+        DomainScope ds(1);
+        fp.fires(FaultSite::MbcDrop, 1);
+        fp.fires(FaultSite::MbcDrop, 2);
+    }
+    {
+        DomainScope ds(2);
+        fp.fires(FaultSite::MbcDrop, 3);
+        fp.fires(FaultSite::MbcDrop, 4);
+        fp.fires(FaultSite::MbcDrop, 5);
+    }
+
+    // Budgets and counts are per (rule, domain)...
+    ASSERT_EQ(fp.ruleSet().size(), 1u);
+    ASSERT_GE(fp.ruleSet()[0].dom.size(), 3u);
+    EXPECT_EQ(fp.ruleSet()[0].dom[0].fired, 1u);
+    EXPECT_EQ(fp.ruleSet()[0].dom[1].fired, 2u);
+    EXPECT_EQ(fp.ruleSet()[0].dom[2].fired, 3u);
+    // ...but the exported stats stay one aggregated group.
+    EXPECT_EQ(fp.statGroup()->get("mbc.drop"), 6u);
+    EXPECT_EQ(fp.injected(FaultSite::MbcDrop), 6u);
+    EXPECT_EQ(fp.injectedTotal(), 6u);
 }

@@ -11,6 +11,7 @@
 #include <sstream>
 #include <utility>
 
+#include "sim/domain.hh"
 #include "sim/json.hh"
 #include "sim/trace.hh"
 
@@ -191,4 +192,108 @@ TEST_F(TraceTest, ExportedJsonIsWellFormed)
     for (const auto &[key, count] : open)
         EXPECT_EQ(count, 0) << "unclosed span id " << key.second;
     EXPECT_TRUE(sawThreadName);
+}
+
+// ----------------------------------------------------------------
+// Per-domain rings (the parallel board's determinism contract)
+// ----------------------------------------------------------------
+
+TEST_F(TraceTest, ExportIsIndependentOfDomainInterleaving)
+{
+    // The same per-domain record streams, written in two different
+    // cross-domain interleavings (as different thread schedules
+    // would produce), must export byte-identical JSON.
+    auto emit = [](unsigned order) {
+        auto d0a = [] {
+            DomainScope ds(0);
+            DPU_TRACE_INSTANT(TraceCat::Core, 0, "a", 10, "n", 1);
+        };
+        auto d0b = [] {
+            DomainScope ds(0);
+            DPU_TRACE_INSTANT(TraceCat::Core, 0, "b", 30, "n", 2);
+        };
+        auto d1a = [] {
+            DomainScope ds(1);
+            DPU_TRACE_INSTANT(TraceCat::Core, 40, "c", 5, "n", 3);
+        };
+        auto d1b = [] {
+            DomainScope ds(1);
+            DPU_TRACE_INSTANT(TraceCat::Core, 40, "d", 10, "n", 4);
+        };
+        if (order == 0) {
+            d0a();
+            d0b();
+            d1a();
+            d1b();
+        } else {
+            d1a();
+            d0a();
+            d1b();
+            d0b();
+        }
+    };
+
+    tracer().ensureDomains(2);
+    std::string out[2];
+    for (unsigned order = 0; order < 2; ++order) {
+        tracer().arm(64);
+        emit(order);
+        std::ostringstream os;
+        tracer().exportJson(os);
+        out[order] = os.str();
+        tracer().disarm();
+        tracer().clear();
+    }
+    EXPECT_EQ(out[0], out[1]);
+
+    // And the merge is (ts, domain)-ordered: d1's ts=5 record leads,
+    // the ts=10 tie breaks domain 0 first.
+    const std::size_t ca = out[0].find("\"name\":\"c\"");
+    const std::size_t aa = out[0].find("\"name\":\"a\"");
+    const std::size_t da = out[0].find("\"name\":\"d\"");
+    ASSERT_NE(ca, std::string::npos);
+    ASSERT_NE(aa, std::string::npos);
+    ASSERT_NE(da, std::string::npos);
+    EXPECT_LT(ca, aa);
+    EXPECT_LT(aa, da);
+}
+
+TEST_F(TraceTest, IdStreamsArePerDomainAndRestartOnArm)
+{
+    tracer().ensureDomains(3);
+    tracer().arm(64);
+    EXPECT_EQ(tracer().nextId(), 1u);
+    {
+        DomainScope ds(2);
+        EXPECT_EQ(tracer().nextId(), (2u << 24) | 1u);
+        EXPECT_EQ(tracer().nextId(), (2u << 24) | 2u);
+    }
+    // Domain 2's ids never perturbed domain 0's stream.
+    EXPECT_EQ(tracer().nextId(), 2u);
+
+    // Re-arming restarts every stream: two runs in one process
+    // export identical ids (the cross-run determinism contract).
+    tracer().disarm();
+    tracer().clear();
+    tracer().arm(64);
+    EXPECT_EQ(tracer().nextId(), 1u);
+    DomainScope ds(2);
+    EXPECT_EQ(tracer().nextId(), (2u << 24) | 1u);
+}
+
+TEST_F(TraceTest, DropAccountingIsPerDomain)
+{
+    tracer().ensureDomains(2);
+    tracer().arm(4);
+    for (unsigned i = 0; i < 6; ++i)
+        DPU_TRACE_INSTANT(TraceCat::Core, 0, "d0", Tick(i), "n", i);
+    {
+        DomainScope ds(1);
+        for (unsigned i = 0; i < 3; ++i)
+            DPU_TRACE_INSTANT(TraceCat::Core, 1, "d1", Tick(i), "n",
+                              i);
+    }
+    // Domain 0 overflowed (6 > 4) and dropped 2; domain 1 did not.
+    EXPECT_EQ(tracer().size(), 4u + 3u);
+    EXPECT_EQ(tracer().dropped(), 2u);
 }
