@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Rack-scale serving bench: the paper's deployment posture (500+
+ * DPUs behind a fabric, Section 6) compressed onto the simulated
+ * rack tier.
+ *
+ *  1. Board scaling curve — an open-loop arrival trace (diurnal
+ *     curve + bursts + Zipfian hot keys, rack/trace.hh) drives the
+ *     RackScheduler at 1, 2, 4 and 8 boards. Offered load scales
+ *     with the board count (weak scaling: fixed requests/sec per
+ *     board), so ideal "users served per simulated second" grows
+ *     linearly and every deviation is placement skew, ingress
+ *     serialization or admission shedding. The run fails (non-zero
+ *     exit) when the 2-board rack does not beat 1.6x the 1-board
+ *     headline.
+ *  2. Fault overlay (--faults "spec") — the 2-board trace replayed
+ *     under a seeded fault schedule; reports availability, p99 and
+ *     where the lost requests went (board outages vs network drops
+ *     vs admission).
+ *
+ * Racks are built through topo::ClusterTopology — this bench is
+ * also the builder's largest consumer. Output: human tables plus
+ * one JSON line (last line of stdout) for CI artifact collection
+ * (BENCH_rack.json).
+ */
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/report.hh"
+#include "host/offload.hh"
+#include "rack/rack.hh"
+#include "rack/scheduler.hh"
+#include "rack/trace.hh"
+#include "rack/workload.hh"
+#include "sim/fault.hh"
+#include "sim/logging.hh"
+#include "topo/topology.hh"
+
+using namespace dpu;
+
+namespace {
+
+struct RackPoint
+{
+    unsigned nBoards = 0;
+    rack::RackSummary sum;
+    std::uint64_t traceEvents = 0;
+    double speedup = 0; ///< users/simsec vs 1 board
+};
+
+/**
+ * One trace-driven run on a fresh rack (clean fault plane unless
+ * @p faults is non-empty). The master trace is generated once at
+ * the max-scale rate; an n-board rack takes every
+ * (maxBoards/n)-th event, so offered load is exactly proportional
+ * to the board count (weak scaling without realization noise).
+ */
+RackPoint
+traceRun(unsigned n_boards, unsigned max_boards,
+         const std::vector<rack::TraceEvent> &master,
+         const host::OffloadParams &op,
+         const rack::PlacementParams &place, unsigned threads,
+         const char *faults, std::uint64_t fault_seed)
+{
+    sim::faultPlane().reset();
+    if (faults && *faults)
+        sim::faultPlane().configure(faults, fault_seed);
+
+    rack::PlacementParams pl = place;
+    pl.replication = std::min(pl.replication, n_boards);
+    // The serving mix's working sets are a few MB; the default
+    // 256 MB DDR per chip is pure page-fault overhead times 30
+    // chips across the curve.
+    soc::SocParams sp = soc::dpu40nm();
+    sp.ddrBytes = std::size_t(32) << 20;
+    topo::ClusterTopology topo =
+        topo::ClusterTopology::rack(n_boards, 2)
+            .chip(sp)
+            .placement(pl)
+            .threads(threads);
+    const std::string err = topo.validate();
+    sim_assert(err.empty(), "bench topology invalid: %s",
+               err.c_str());
+    auto r = topo.buildRack();
+    rack::RackScheduler sched(*r, op, pl);
+
+    const unsigned stride = max_boards / n_boards;
+    const std::vector<rack::MixApp> mix = rack::servingMix();
+    std::uint64_t fed = 0;
+    for (std::size_t i = 0; i < master.size(); i += stride) {
+        sched.enqueueAt(master[i].at,
+                        rack::makeRequest(master[i], mix));
+        ++fed;
+    }
+    sched.start();
+    r->run();
+    bench::flushTrace();
+
+    RackPoint pt;
+    pt.nBoards = n_boards;
+    pt.traceEvents = fed;
+    pt.sum = sched.summary();
+    sim::faultPlane().reset();
+    return pt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool smoke = bench::smokeRun(argc, argv);
+    const char *faults =
+        bench::argValue(argc, argv, "--faults", "");
+    const std::uint64_t fault_seed = std::strtoull(
+        bench::argValue(argc, argv, "--fault-seed", "1"), nullptr,
+        0);
+    // Boards run sequentially, so per-board worker threads only
+    // help on long boards; serial epochs are the cheap default.
+    const unsigned threads = unsigned(std::strtoul(
+        bench::argValue(argc, argv, "--threads", "1"), nullptr, 0));
+
+    // The arrival shape: one simulated "day" of 10 ms with a 50%
+    // diurnal swing, 3x bursts and web-like key skew, generated
+    // once at the 8-board rate and subsampled per point.
+    const unsigned max_boards = 8;
+    rack::TraceConfig tc;
+    tc.ratePerSec = (smoke ? 800 : 2400) * max_boards;
+    tc.durationSec = 0.01;
+    tc.diurnalPeriodSec = 0.01;
+    tc.seed = 7;
+    tc.nApps = unsigned(rack::servingMix().size());
+    const std::vector<rack::TraceEvent> master =
+        rack::generateTrace(tc);
+
+    host::OffloadParams op; // default queue/deadline policy
+    rack::PlacementParams place;
+    place.replication = 2;
+
+    // ------------------------------------------------------------
+    // 1. Board scaling curve
+    // ------------------------------------------------------------
+    bench::header("rack scaling",
+                  "trace-driven serving at 1/2/4/8 boards "
+                  "(2 DPUs each, replication 2)");
+    bench::row("  %6s %8s %9s %10s %8s %8s %9s %8s", "boards",
+               "offered", "admitted", "users/s", "p99 us",
+               "avail", "netPeak", "speedup");
+
+    std::vector<RackPoint> curve;
+    bool ok = true;
+    for (unsigned n : {1u, 2u, 4u, 8u}) {
+        RackPoint pt = traceRun(n, max_boards, master, op, place,
+                                threads, "", 0);
+        const host::ServingSummary &s = pt.sum.serving;
+        ok = ok && s.completed > 0 && s.validationFailed == 0;
+        curve.push_back(pt);
+    }
+    const double base = curve.front().sum.usersPerSimSec;
+    for (RackPoint &pt : curve) {
+        pt.speedup =
+            base > 0 ? pt.sum.usersPerSimSec / base : 0;
+        bench::row(
+            "  %6u %8llu %9llu %10.3g %8.1f %7.3f %8.1f%% %7.2fx",
+            pt.nBoards, (unsigned long long)pt.sum.offered,
+            (unsigned long long)pt.sum.admitted,
+            pt.sum.usersPerSimSec, pt.sum.serving.p99Us,
+            pt.sum.serving.availability,
+            pt.sum.netPeakUtilization * 100, pt.speedup);
+    }
+    // Regression gate, not a flaky threshold: simulated time is
+    // deterministic.
+    const double gate2 = 1.6;
+    if (curve[1].speedup <= gate2) {
+        bench::row("  FAIL: 2-board speedup %.2fx <= %.2fx gate",
+                   curve[1].speedup, gate2);
+        ok = false;
+    }
+    bench::row("  headline: %.3g users served per simulated "
+               "second on %u boards (%llu of %llu offered)",
+               curve.back().sum.usersPerSimSec,
+               curve.back().nBoards,
+               (unsigned long long)curve.back().sum.serving.completed,
+               (unsigned long long)curve.back().sum.offered);
+
+    // ------------------------------------------------------------
+    // 2. Fault overlay (optional)
+    // ------------------------------------------------------------
+    RackPoint faulted;
+    bool ran_faulted = false;
+    if (*faults) {
+        bench::header("rack under faults", faults);
+        faulted = traceRun(2, max_boards, master, op, place,
+                           threads, faults, fault_seed);
+        ran_faulted = true;
+        const rack::RackSummary &fs = faulted.sum;
+        ok = ok && fs.serving.completed > 0;
+        bench::row("  served %.1f%% of %llu offered "
+                   "(boardsDown %llu, netLost %llu, rejected %llu, "
+                   "failovers %llu)",
+                   fs.servedFraction * 100,
+                   (unsigned long long)fs.offered,
+                   (unsigned long long)fs.boardsDown,
+                   (unsigned long long)fs.netLost,
+                   (unsigned long long)fs.rejected,
+                   (unsigned long long)fs.failovers);
+        bench::row("  p99 %.1f us  availability %.3f  "
+                   "%.3g users/s",
+                   fs.serving.p99Us, fs.serving.availability,
+                   fs.usersPerSimSec);
+    }
+
+    // ------------------------------------------------------------
+    // JSON (last line of stdout)
+    // ------------------------------------------------------------
+    {
+        bench::Json j;
+        j.field("bench", "rack");
+        j.field("smoke", std::uint64_t(smoke));
+        j.field("dpusPerBoard", std::uint64_t(2));
+        j.field("replication",
+                std::uint64_t(place.replication));
+        j.arr("scaling");
+        for (const RackPoint &pt : curve) {
+            j.elem();
+            j.field("nBoards", std::uint64_t(pt.nBoards));
+            j.field("offered", pt.sum.offered);
+            j.field("admitted", pt.sum.admitted);
+            j.field("completed", pt.sum.serving.completed);
+            j.field("usersPerSimSec", pt.sum.usersPerSimSec);
+            j.field("servedFraction", pt.sum.servedFraction);
+            j.field("p50Us", pt.sum.serving.p50Us);
+            j.field("p99Us", pt.sum.serving.p99Us);
+            j.field("availability", pt.sum.serving.availability);
+            j.field("netPeakUtilization",
+                    pt.sum.netPeakUtilization);
+            j.field("speedup", pt.speedup);
+            j.end();
+        }
+        j.end();
+        j.field("gate2", gate2);
+        j.field("usersPerSimSec",
+                curve.back().sum.usersPerSimSec);
+        if (ran_faulted) {
+            j.obj("faulted");
+            j.field("spec", faults);
+            j.field("offered", faulted.sum.offered);
+            j.field("servedFraction", faulted.sum.servedFraction);
+            j.field("boardsDown", faulted.sum.boardsDown);
+            j.field("netLost", faulted.sum.netLost);
+            j.field("rejected", faulted.sum.rejected);
+            j.field("failovers", faulted.sum.failovers);
+            j.field("p99Us", faulted.sum.serving.p99Us);
+            j.field("availability",
+                    faulted.sum.serving.availability);
+            j.field("usersPerSimSec", faulted.sum.usersPerSimSec);
+            j.end();
+        }
+        j.field("pass", std::uint64_t(ok));
+    }
+
+    if (!ok) {
+        std::fprintf(stderr, "bench_rack: FAILED gates\n");
+        return 1;
+    }
+    return 0;
+}

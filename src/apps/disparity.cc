@@ -1,5 +1,7 @@
 #include "apps/disparity.hh"
 
+#include "apps/entry.hh"
+
 #include <algorithm>
 #include <cmath>
 

@@ -45,11 +45,6 @@ DisparityResult dpuDisparity(const soc::SocParams &params,
                              const DisparityConfig &cfg);
 DisparityResult xeonDisparity(const DisparityConfig &cfg);
 
-/** Figure 14 entry. */
-/** @deprecated Thin wrapper kept for one release; new code should
- *  use apps::findApp("disparity") from registry.hh. */
-AppResult disparityApp(const DisparityConfig &cfg);
-
 } // namespace dpu::apps
 
 #endif // DPU_APPS_DISPARITY_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Internal head-to-head entry points, one per Section 5 app.
+ *
+ * These are the typed run functions the registry's AppSpec adapters
+ * call: DPU run + Xeon baseline + validation, folded into one
+ * AppResult. They used to be declared in each app's public header
+ * as deprecated free-function entry points; the registry
+ * (apps/registry.hh) is now the sole public entry path, and this
+ * header exists only so the definitions in the app .cc files and
+ * the adapters in registry.cc agree on a signature. Do not include
+ * it outside src/apps/.
+ */
+
+#ifndef DPU_APPS_ENTRY_HH
+#define DPU_APPS_ENTRY_HH
+
+#include "apps/common.hh"
+#include "apps/disparity.hh"
+#include "apps/hll.hh"
+#include "apps/json.hh"
+#include "apps/simsearch.hh"
+#include "apps/sql/filter.hh"
+#include "apps/sql/groupby.hh"
+#include "apps/svm.hh"
+
+namespace dpu::apps {
+
+AppResult svmApp(const SvmConfig &cfg);
+AppResult simSearchApp(const SimSearchConfig &cfg);
+AppResult hllApp(const HllConfig &cfg);
+AppResult jsonApp(const JsonConfig &cfg);
+AppResult disparityApp(const DisparityConfig &cfg);
+
+namespace sql {
+AppResult filterApp(const FilterConfig &cfg);
+AppResult groupByLowApp(const GroupByConfig &cfg);
+AppResult groupByHighApp(const GroupByConfig &cfg);
+} // namespace sql
+
+} // namespace dpu::apps
+
+#endif // DPU_APPS_ENTRY_HH

@@ -1,5 +1,7 @@
 #include "apps/hll.hh"
 
+#include "apps/entry.hh"
+
 #include <cmath>
 #include <vector>
 

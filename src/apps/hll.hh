@@ -70,11 +70,6 @@ HllResult dpuHll(const soc::SocParams &params, const HllConfig &cfg);
 /** Functional baseline through the Xeon model. */
 HllResult xeonHll(const HllConfig &cfg);
 
-/** Figure 14 entry ("HLL-CRC" / "HLL-Murmur").
- *  @deprecated Thin wrapper kept for one release; new code should
- *  use apps::findApp("hll-crc" / "hll-murmur") from registry.hh. */
-AppResult hllApp(const HllConfig &cfg);
-
 } // namespace dpu::apps
 
 #endif // DPU_APPS_HLL_HH

@@ -69,11 +69,6 @@ JsonResult dpuJson(const soc::SocParams &params,
                    const JsonConfig &cfg);
 JsonResult xeonJson(const JsonConfig &cfg);
 
-/** Figure 14 entry.
- *  @deprecated Thin wrapper kept for one release; new code should
- *  use apps::findApp("json") from registry.hh. */
-AppResult jsonApp(const JsonConfig &cfg);
-
 } // namespace dpu::apps
 
 #endif // DPU_APPS_JSON_HH

@@ -1,5 +1,7 @@
 #include "apps/registry.hh"
 
+#include "apps/entry.hh"
+
 #include <charconv>
 
 #include "apps/serving.hh"

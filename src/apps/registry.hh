@@ -9,9 +9,10 @@
  * scheduler — a serving-job factory that instantiates the app's
  * kernel on an arbitrary dpCore group instead of a whole chip.
  *
- * The old free-function entry points (hllApp, svmApp, ...) remain
- * as thin deprecated wrappers for one release; new code should
- * enumerate registry() or look up findApp(name).
+ * This registry is the sole entry path: the old per-app
+ * free-function wrappers (hllApp, svmApp, ...) are gone from the
+ * public headers. Enumerate registry() or look up findApp(name);
+ * the typed head-to-head runners live in the internal apps/entry.hh.
  */
 
 #ifndef DPU_APPS_REGISTRY_HH

@@ -1,5 +1,7 @@
 #include "apps/simsearch.hh"
 
+#include "apps/entry.hh"
+
 #include <algorithm>
 #include <map>
 

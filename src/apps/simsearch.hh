@@ -66,11 +66,6 @@ SimSearchResult dpuSimSearch(const soc::SocParams &params,
                              const SimSearchConfig &cfg);
 SimSearchResult xeonSimSearch(const SimSearchConfig &cfg);
 
-/** Figure 14 entry. */
-/** @deprecated Thin wrapper kept for one release; new code should
- *  use apps::findApp("simsearch") from registry.hh. */
-AppResult simSearchApp(const SimSearchConfig &cfg);
-
 } // namespace dpu::apps
 
 #endif // DPU_APPS_SIMSEARCH_HH

@@ -1,5 +1,7 @@
 #include "apps/sql/filter.hh"
 
+#include "apps/entry.hh"
+
 #include <vector>
 
 #include "rt/dms_ctl.hh"

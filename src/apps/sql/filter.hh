@@ -55,11 +55,6 @@ FilterResult dpuFilter(const soc::SocParams &params,
 /** Run the functional AVX2 baseline through the Xeon model. */
 FilterResult xeonFilter(const FilterConfig &cfg);
 
-/** Head-to-head AppResult for Figure 14-style reporting. */
-/** @deprecated Thin wrapper kept for one release; new code should
- *  use apps::findApp("filter") from registry.hh. */
-AppResult filterApp(const FilterConfig &cfg);
-
 } // namespace dpu::apps::sql
 
 #endif // DPU_APPS_SQL_FILTER_HH

@@ -65,12 +65,6 @@ GroupByResult xeonGroupByLowNdv(const GroupByConfig &cfg);
 /** Xeon baseline, high NDV (two software partition rounds). */
 GroupByResult xeonGroupByHighNdv(const GroupByConfig &cfg);
 
-/** Figure 14 entries. */
-/** @deprecated Thin wrappers kept for one release; new code should
- *  use apps::findApp("groupby-low" / "groupby-high"). */
-AppResult groupByLowApp(const GroupByConfig &cfg);
-AppResult groupByHighApp(const GroupByConfig &cfg);
-
 } // namespace dpu::apps::sql
 
 #endif // DPU_APPS_SQL_GROUPBY_HH

@@ -47,11 +47,6 @@ struct SvmResult
 SvmResult dpuSvm(const soc::SocParams &params, const SvmConfig &cfg);
 SvmResult xeonSvm(const SvmConfig &cfg);
 
-/** Figure 14 entry.
- *  @deprecated Thin wrapper kept for one release; new code should
- *  use apps::findApp("svm") from registry.hh. */
-AppResult svmApp(const SvmConfig &cfg);
-
 } // namespace dpu::apps
 
 #endif // DPU_APPS_SVM_HH

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <limits>
 
-#include "util/crc32.hh"
+#include "sim/logging.hh"
 
 namespace dpu::host {
 
@@ -25,36 +25,33 @@ percentile(const std::vector<double> &sorted, double q)
 
 } // namespace
 
-BoardScheduler::BoardScheduler(board::Board &b, OffloadParams per_dpu,
-                               ShardRouting routing_)
-    : brd(b), routing(routing_)
+BoardScheduler::BoardScheduler(board::Board &b,
+                               OffloadParams per_dpu,
+                               std::unique_ptr<Router> router_)
+    : brd(b), policy(std::move(router_))
 {
+    sim_assert(policy, "BoardScheduler needs a routing policy");
+    const std::string prefix = per_dpu.statName;
     shards.reserve(b.nDpus());
     for (unsigned d = 0; d < b.nDpus(); ++d) {
         OffloadParams p = per_dpu;
-        p.statName = "sched.dpu" + std::to_string(d);
+        p.statName = prefix + ".dpu" + std::to_string(d);
         shards.push_back(std::make_unique<OffloadScheduler>(
             b.dpu(d), b.host(d), std::move(p)));
     }
 }
 
+BoardScheduler::BoardScheduler(board::Board &b,
+                               OffloadParams per_dpu,
+                               ShardRouting routing)
+    : BoardScheduler(b, std::move(per_dpu), makeRouter(routing))
+{
+}
+
 unsigned
 BoardScheduler::route(const JobRequest &req)
 {
-    if (routing == ShardRouting::RoundRobin) {
-        const unsigned d = rrNext;
-        rrNext = (rrNext + 1) % nShards();
-        return d;
-    }
-    // Hash policy: CRC-fold the seed over an FNV hash of the app
-    // name so requests of one app with distinct seeds spread while
-    // identical requests always land on the same chip.
-    std::uint32_t h = 2166136261u;
-    for (char ch : req.app)
-        h = (h ^ std::uint8_t(ch)) * 16777619u;
-    h = util::crc32Key(h ^ std::uint32_t(req.seed));
-    h = util::crc32Key(h ^ std::uint32_t(req.seed >> 32));
-    return h % nShards();
+    return policy->route(routeInfoOf(req), nShards());
 }
 
 void

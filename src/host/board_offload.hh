@@ -4,13 +4,15 @@
  *
  * One OffloadScheduler per DPU (each with its own HostA9 endpoint,
  * admission queue, quarantine and availability accounting), plus a
- * routing layer that assigns every request to a shard before the
- * run starts:
+ * pluggable routing policy (host/router.hh) that assigns every
+ * request to a shard before the run starts:
  *
- *  - Hash routing: a deterministic CRC mix of the request's app
+ *  - hash routing: a deterministic CRC mix of the request's app
  *    name and seed — the serving-tier "partition by key" path, so
  *    a request's home DPU is a pure function of the request;
- *  - RoundRobin: arrival-order striping, the load-balancing path.
+ *  - round-robin: arrival-order striping, the load-balancing path;
+ *  - weighted / replica-group: the rack-tier policies, usable here
+ *    too for heterogeneous or replicated boards.
  *
  * Routing is static (decided at enqueue time, before any chip
  * runs): a request never migrates between DPUs mid-flight, which
@@ -29,20 +31,23 @@
 
 #include "board/board.hh"
 #include "host/offload.hh"
+#include "host/router.hh"
 
 namespace dpu::host {
 
-/** How requests pick their home DPU. */
-enum class ShardRouting
-{
-    Hash,       ///< pure function of (app, seed)
-    RoundRobin, ///< arrival-order striping
-};
-
-/** N per-DPU offload schedulers behind one routing layer. */
+/** N per-DPU offload schedulers behind one routing policy. */
 class BoardScheduler
 {
   public:
+    /**
+     * @p per_dpu.statName becomes the per-shard stat prefix: shard
+     * d's scheduler group is "<statName>.dpu<d>" (the default
+     * "sched" keeps the PR-5 names; a rack passes "sched.b<b>").
+     */
+    BoardScheduler(board::Board &b, OffloadParams per_dpu,
+                   std::unique_ptr<Router> router);
+
+    /** Legacy-enum convenience (PR-5 source compatibility). */
     BoardScheduler(board::Board &b, OffloadParams per_dpu,
                    ShardRouting routing = ShardRouting::Hash);
 
@@ -53,8 +58,11 @@ class BoardScheduler
         return *shards[d];
     }
 
-    /** The shard @p req routes to (advances the RoundRobin
-     *  cursor when that policy is active). */
+    /** The active routing policy. */
+    Router &router() { return *policy; }
+
+    /** The shard @p req routes to (advances stateful policies such
+     *  as round-robin). */
     unsigned route(const JobRequest &req);
 
     /** Open-loop arrival routed by policy. */
@@ -77,9 +85,8 @@ class BoardScheduler
 
   private:
     board::Board &brd;
-    ShardRouting routing;
+    std::unique_ptr<Router> policy;
     std::vector<std::unique_ptr<OffloadScheduler>> shards;
-    unsigned rrNext = 0;
 };
 
 } // namespace dpu::host

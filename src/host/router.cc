@@ -1,0 +1,189 @@
+#include "host/router.hh"
+
+#include "host/offload.hh"
+#include "sim/logging.hh"
+#include "util/crc32.hh"
+
+namespace dpu::host {
+
+void
+Router::candidates(const RouteInfo &req, unsigned nShards,
+                   std::vector<unsigned> &out)
+{
+    out.push_back(route(req, nShards));
+}
+
+std::uint32_t
+routeHash(const RouteInfo &req)
+{
+    // FNV over the app name, CRC-folded with the 64-bit key (the
+    // explicit placement key when present, the request seed
+    // otherwise). Bit-identical to the PR-5 BoardScheduler mix for
+    // keyless requests, which the board goldens pin.
+    const std::uint64_t k = req.hasKey ? req.key : req.seed;
+    std::uint32_t h = 2166136261u;
+    for (char ch : req.app)
+        h = (h ^ std::uint8_t(ch)) * 16777619u;
+    h = util::crc32Key(h ^ std::uint32_t(k));
+    h = util::crc32Key(h ^ std::uint32_t(k >> 32));
+    return h;
+}
+
+RouteInfo
+routeInfoOf(const JobRequest &req)
+{
+    RouteInfo info;
+    info.app = req.app;
+    info.seed = req.seed;
+    return info;
+}
+
+namespace {
+
+class HashRouter final : public Router
+{
+  public:
+    const char *name() const override { return "hash"; }
+
+    unsigned
+    route(const RouteInfo &req, unsigned nShards) override
+    {
+        return routeHash(req) % nShards;
+    }
+};
+
+class RoundRobinRouter final : public Router
+{
+  public:
+    const char *name() const override { return "rr"; }
+
+    unsigned
+    route(const RouteInfo &, unsigned nShards) override
+    {
+        const unsigned d = next % nShards;
+        next = (next + 1) % nShards;
+        return d;
+    }
+
+  private:
+    unsigned next = 0;
+};
+
+class WeightedRouter final : public Router
+{
+  public:
+    explicit WeightedRouter(std::vector<double> w)
+        : weights(std::move(w))
+    {
+        for (double v : weights)
+            sim_assert(v >= 0.0,
+                       "weighted router: negative weight %g", v);
+    }
+
+    const char *name() const override { return "weighted"; }
+
+    unsigned
+    route(const RouteInfo &req, unsigned nShards) override
+    {
+        double total = 0;
+        for (unsigned i = 0; i < nShards; ++i)
+            total += weightOf(i);
+        sim_assert(total > 0.0,
+                   "weighted router: all %u shards weigh zero",
+                   nShards);
+        // 32-bit hash mapped onto the cumulative weight line; the
+        // division is exact enough that a shard's share converges
+        // to weight/total, and the pick stays a pure function of
+        // the request.
+        const double u =
+            double(routeHash(req)) / 4294967296.0 * total;
+        double acc = 0;
+        for (unsigned i = 0; i < nShards; ++i) {
+            acc += weightOf(i);
+            if (u < acc)
+                return i;
+        }
+        return nShards - 1;
+    }
+
+  private:
+    double
+    weightOf(unsigned i) const
+    {
+        return i < weights.size() ? weights[i] : 1.0;
+    }
+
+    std::vector<double> weights;
+};
+
+class ReplicaGroupRouter final : public Router
+{
+  public:
+    explicit ReplicaGroupRouter(unsigned r) : replication(r)
+    {
+        sim_assert(r >= 1,
+                   "replica-group router: replication must be >= 1");
+    }
+
+    const char *name() const override { return "replica"; }
+
+    unsigned
+    route(const RouteInfo &req, unsigned nShards) override
+    {
+        return routeHash(req) % nShards;
+    }
+
+    void
+    candidates(const RouteInfo &req, unsigned nShards,
+               std::vector<unsigned> &out) override
+    {
+        const unsigned g = routeHash(req) % nShards;
+        const unsigned r =
+            replication < nShards ? replication : nShards;
+        for (unsigned i = 0; i < r; ++i)
+            out.push_back((g + i) % nShards);
+    }
+
+  private:
+    unsigned replication;
+};
+
+} // namespace
+
+std::unique_ptr<Router>
+makeHashRouter()
+{
+    return std::make_unique<HashRouter>();
+}
+
+std::unique_ptr<Router>
+makeRoundRobinRouter()
+{
+    return std::make_unique<RoundRobinRouter>();
+}
+
+std::unique_ptr<Router>
+makeWeightedRouter(std::vector<double> weights)
+{
+    return std::make_unique<WeightedRouter>(std::move(weights));
+}
+
+std::unique_ptr<Router>
+makeReplicaGroupRouter(unsigned replication)
+{
+    return std::make_unique<ReplicaGroupRouter>(replication);
+}
+
+std::unique_ptr<Router>
+makeRouter(ShardRouting policy)
+{
+    switch (policy) {
+    case ShardRouting::RoundRobin:
+        return makeRoundRobinRouter();
+    case ShardRouting::Hash:
+        break;
+    }
+    return makeHashRouter();
+}
+
+} // namespace dpu::host

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Pluggable request-routing policies shared by the board and rack
+ * schedulers.
+ *
+ * PR 5 baked a two-value ShardRouting enum into BoardScheduler; the
+ * rack tier needs more shapes (replica groups with ordered failover
+ * candidates, weighted spreading over heterogeneous shards), so the
+ * policy is now an interface. A Router maps a request onto one of
+ * nShards targets — DPUs under BoardScheduler, boards under
+ * rack::RackScheduler — and can enumerate an ordered candidate list
+ * for policies that support failover.
+ *
+ * Determinism contract: route() must be a pure function of
+ * (request, nShards, prior route() calls on the same instance).
+ * Stateful policies (round-robin) advance only on route(), so a
+ * fixed enqueue order yields a fixed assignment whatever thread
+ * count the simulation later runs at. Policies never consult wall
+ * clock, global RNGs, or the fault plane.
+ *
+ * The legacy ShardRouting enum survives as a factory shorthand
+ * (makeRouter) so PR-5 call sites keep compiling.
+ */
+
+#ifndef DPU_HOST_ROUTER_HH
+#define DPU_HOST_ROUTER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace dpu::host {
+
+struct JobRequest;
+
+/** The routing-relevant slice of a request. */
+struct RouteInfo
+{
+    /** Registered app name. */
+    std::string_view app;
+    /** Per-request seed (dataset variation). */
+    std::uint64_t seed = 0;
+    /**
+     * Explicit placement key (rack tier: the user/row key). When
+     * absent (hasKey = false), key-hash policies fall back to the
+     * (app, seed) mix the board tier has always used.
+     */
+    std::uint64_t key = 0;
+    bool hasKey = false;
+};
+
+/** How requests pick their home shard (legacy factory tokens). */
+enum class ShardRouting
+{
+    Hash,       ///< pure function of (app, seed)
+    RoundRobin, ///< arrival-order striping
+};
+
+/** One routing policy instance. */
+class Router
+{
+  public:
+    virtual ~Router() = default;
+
+    /** Policy name for reports ("hash", "rr", ...). */
+    virtual const char *name() const = 0;
+
+    /** The shard @p req lands on, in [0, nShards). May advance
+     *  internal state (round-robin's cursor). */
+    virtual unsigned route(const RouteInfo &req,
+                           unsigned nShards) = 0;
+
+    /**
+     * Ordered failover candidates for @p req, primary first.
+     * Policies without replica structure append route() alone.
+     * Must NOT advance internal state beyond one route() step.
+     */
+    virtual void candidates(const RouteInfo &req, unsigned nShards,
+                            std::vector<unsigned> &out);
+};
+
+/**
+ * The deterministic (app, seed) mix the board tier shipped with:
+ * FNV over the app name, CRC-folded with the seed halves. An
+ * explicit key replaces the seed in the mix.
+ */
+std::unique_ptr<Router> makeHashRouter();
+
+/** Arrival-order striping; fair by construction. */
+std::unique_ptr<Router> makeRoundRobinRouter();
+
+/**
+ * Key-hash onto weighted buckets: shard i receives a share
+ * proportional to weights[i] (shards beyond the vector weigh 1.0).
+ * Pure function of the request.
+ */
+std::unique_ptr<Router>
+makeWeightedRouter(std::vector<double> weights);
+
+/**
+ * Replica-group routing (the rack placement policy): the key hash
+ * selects a group of @p replication consecutive shards
+ * {g, g+1, ... mod nShards}; route() returns the group leader and
+ * candidates() the whole group in failover order. Group membership
+ * is a pure function of the key and nShards — independent of
+ * replication, which only widens the candidate list.
+ */
+std::unique_ptr<Router>
+makeReplicaGroupRouter(unsigned replication);
+
+/** Legacy-enum factory (source compatibility with PR 5). */
+std::unique_ptr<Router> makeRouter(ShardRouting policy);
+
+/** The stable placement hash every key policy shares: a pure
+ *  function of (app, seed/key), identical to the PR-5 board mix. */
+std::uint32_t routeHash(const RouteInfo &req);
+
+/** Routing slice of a full request (board tier: no explicit key). */
+RouteInfo routeInfoOf(const JobRequest &req);
+
+} // namespace dpu::host
+
+#endif // DPU_HOST_ROUTER_HH

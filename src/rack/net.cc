@@ -1,0 +1,133 @@
+#include "rack/net.hh"
+
+#include <algorithm>
+
+#include "sim/fault.hh"
+#include "sim/logging.hh"
+
+namespace dpu::rack {
+
+RackNet::RackNet(unsigned n_boards, const NetParams &params)
+    : n(n_boards), p(params), chans(n), stats("racknet")
+{
+    sim_assert(n >= 1, "a rack network needs at least one board");
+    sim_assert(p.gbPerSec > 0,
+               "rack network bandwidth must be positive");
+    stats.addFlushHook([this] { foldStats(); });
+}
+
+sim::Tick
+RackNet::serTicks(std::uint64_t bytes) const
+{
+    const double wire =
+        double(std::max<std::uint64_t>(bytes, p.flitBytes));
+    // ps per byte = 1000 / (GB/s), same shape as the board links.
+    return sim::Tick(wire * (1000.0 / p.gbPerSec) + 0.5);
+}
+
+sim::Tick
+RackNet::deliver(unsigned dst, std::uint64_t bytes, sim::Tick now,
+                 bool &dropped)
+{
+    sim_assert(dst < n, "request aimed off the rack (board %u)",
+               dst);
+    Channel &c = chans[dst];
+    const sim::Tick ser = serTicks(bytes);
+    const sim::Tick tx_start = std::max(now, c.nextFree);
+    const sim::Tick tx_done = tx_start + ser;
+    c.nextFree = tx_done;
+    c.busyTicks += ser;
+    c.bytes += bytes;
+    ++c.msgs;
+
+    // Admission runs in the host phase (domain 0) in a fixed order,
+    // so these draws replay exactly under the same spec + seed.
+    sim::Tick extra = 0;
+    std::uint64_t mag = 0;
+    sim::FaultPlane &fp = sim::faultPlane();
+    if (fp.active() &&
+        fp.fires(sim::FaultSite::RackNetDelay, now, int(dst),
+                 &mag)) {
+        extra = mag ? sim::Tick(mag) : p.hopLatency;
+        ++c.delays;
+    }
+    dropped = fp.active() &&
+              fp.fires(sim::FaultSite::RackNetDrop, now, int(dst),
+                       &mag);
+    if (dropped)
+        ++c.drops;
+    return tx_done + p.hopLatency + extra;
+}
+
+void
+RackNet::foldStats()
+{
+    std::uint64_t msgs = 0, bytes = 0, drops = 0, delays = 0;
+    for (unsigned b = 0; b < n; ++b) {
+        const Channel &c = chans[b];
+        msgs += c.msgs;
+        bytes += c.bytes;
+        drops += c.drops;
+        delays += c.delays;
+        if (c.msgs) {
+            const std::string ch = "board" + std::to_string(b);
+            stats.counter(ch + ".bytes") = c.bytes;
+            stats.counter(ch + ".busyTicks") = c.busyTicks;
+        }
+    }
+    if (msgs) {
+        stats.counter("msgs") = msgs;
+        stats.counter("bytes") = bytes;
+    }
+    if (drops)
+        stats.counter("drops") = drops;
+    if (delays)
+        stats.counter("delayed") = delays;
+}
+
+std::uint64_t
+RackNet::bytesCarried() const
+{
+    std::uint64_t total = 0;
+    for (const Channel &c : chans)
+        total += c.bytes;
+    return total;
+}
+
+std::uint64_t
+RackNet::messages() const
+{
+    std::uint64_t total = 0;
+    for (const Channel &c : chans)
+        total += c.msgs;
+    return total;
+}
+
+std::uint64_t
+RackNet::drops() const
+{
+    std::uint64_t total = 0;
+    for (const Channel &c : chans)
+        total += c.drops;
+    return total;
+}
+
+double
+RackNet::utilization(unsigned dst, sim::Tick end) const
+{
+    sim_assert(dst < n, "bad rack endpoint %u", dst);
+    if (end == 0)
+        return 0;
+    return double(chans[dst].busyTicks) / double(end);
+}
+
+double
+RackNet::peakUtilization(sim::Tick end) const
+{
+    double peak = 0;
+    for (unsigned b = 0; b < n; ++b)
+        peak = std::max(peak, utilization(b, end));
+    return peak;
+}
+
+} // namespace dpu::rack

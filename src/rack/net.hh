@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Inter-board rack network timing model.
+ *
+ * The paper's deployment put 500+ DPUs behind an Infiniband fabric
+ * (Section 6); a rack here is N boards fed by one front-end over a
+ * network that is slower and fatter-grained than the intra-board
+ * LinkFabric: a few microseconds of stack+switch latency per
+ * message instead of 600 ns, and a per-board ingress pipe instead
+ * of an all-pairs channel matrix.
+ *
+ * The model is intentionally host-phase only. Rack routing is
+ * static — every request's destination board and delivery tick are
+ * decided at enqueue time, before any board simulates a single
+ * event — so the network never needs to schedule into a board's
+ * event-queue partitions. Each board has one ingress channel with
+ * the same store-and-forward shape as the board links:
+ *
+ *   txStart  = max(arrival, channel.nextFree)
+ *   txDone   = txStart + serialization(bytes)
+ *   delivery = txDone + hopLatency [+ rack.netDelay magnitude]
+ *
+ * so a burst aimed at one board queues behind itself while other
+ * boards' ingress pipes stay clear. Because delivery ticks are
+ * computed in admission order in the host phase, the whole rack
+ * schedule stays a pure function of the trace: bit-identical at
+ * any --threads count.
+ *
+ * Faults ride the process-wide plane (sim/fault.hh), domain 0 —
+ * admission runs in the host phase, in a fixed order, so the
+ * decisions replay exactly: `rack.netDrop` loses a request after
+ * it burned its wire time (the scheduler fails over to the next
+ * replica), `rack.netDelay` adds `mag` ticks to one delivery. The
+ * fault `unit` is the destination board.
+ *
+ * Everything lands in the "racknet" StatGroup: aggregate msgs /
+ * bytes / drops / delays plus per-board ingress bytes and busy
+ * ticks, from which utilization() derives occupancy.
+ */
+
+#ifndef DPU_RACK_NET_HH
+#define DPU_RACK_NET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace dpu::rack {
+
+/** Rack network knobs (defaults: a 4 GB/s ingress pipe per board
+ *  behind ~5 us of fabric+stack latency). */
+struct NetParams
+{
+    /** Switch traversal + NIC + driver stack per message. */
+    sim::Tick hopLatency = sim::Tick(5'000'000); // 5 us
+    /** Per-board ingress serialization bandwidth. */
+    double gbPerSec = 4.0;
+    /** Minimum wire occupancy per message (header + RDMA setup). */
+    std::uint32_t flitBytes = 256;
+};
+
+/** N per-board ingress channels behind one front-end. */
+class RackNet
+{
+  public:
+    RackNet(unsigned n_boards, const NetParams &params);
+
+    unsigned size() const { return n; }
+    const NetParams &params() const { return p; }
+
+    /**
+     * Carry @p bytes to board @p dst, arriving at the front-end at
+     * tick @p now. @return the delivery tick at the board's host;
+     * @p dropped reports a rack.netDrop firing (wire time spent,
+     * request lost — the caller owns failover). Host-phase only,
+     * and calls must come in nondecreasing @p now order per run.
+     */
+    sim::Tick deliver(unsigned dst, std::uint64_t bytes,
+                      sim::Tick now, bool &dropped);
+
+    /** Fraction of [0, end] the board @p dst ingress pipe spent
+     *  serializing. */
+    double utilization(unsigned dst, sim::Tick end) const;
+
+    /** Busiest ingress pipe's utilization over [0, end]. */
+    double peakUtilization(sim::Tick end) const;
+
+    std::uint64_t bytesCarried() const;
+    std::uint64_t messages() const;
+    std::uint64_t drops() const;
+
+    sim::StatGroup &statGroup() { return stats; }
+
+  private:
+    /** One board's ingress channel. */
+    struct Channel
+    {
+        sim::Tick nextFree = 0;
+        sim::Tick busyTicks = 0;
+        std::uint64_t bytes = 0;
+        std::uint64_t msgs = 0;
+        std::uint64_t drops = 0;
+        std::uint64_t delays = 0;
+    };
+
+    /** Wire ticks for @p bytes at the configured bandwidth. */
+    sim::Tick serTicks(std::uint64_t bytes) const;
+
+    /** Fold the channel tallies into the StatGroup cells. */
+    void foldStats();
+
+    unsigned n;
+    NetParams p;
+    std::vector<Channel> chans;
+    sim::StatGroup stats;
+};
+
+} // namespace dpu::rack
+
+#endif // DPU_RACK_NET_HH

@@ -1,0 +1,235 @@
+#include "rack/scheduler.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/fault.hh"
+#include "sim/logging.hh"
+#include "util/crc32.hh"
+
+namespace dpu::rack {
+
+RackScheduler::RackScheduler(Rack &r, host::OffloadParams per_dpu,
+                             PlacementParams place_)
+    : rack(r), place(place_),
+      groupRouter(host::makeReplicaGroupRouter(
+          std::min(std::max(place_.replication, 1u), r.nBoards()))),
+      windows(r.nBoards()), stats("rack")
+{
+    sim_assert(place.keyPartitions >= 1,
+               "placement needs at least one key partition");
+    const std::string prefix = per_dpu.statName;
+    boardScheds.reserve(rack.nBoards());
+    for (unsigned b = 0; b < rack.nBoards(); ++b) {
+        host::OffloadParams p = per_dpu;
+        p.statName = prefix + ".b" + std::to_string(b);
+        boardScheds.push_back(
+            std::make_unique<host::BoardScheduler>(
+                rack.board(b), std::move(p),
+                host::makeHashRouter()));
+    }
+    stats.addFlushHook([this] {
+        if (offered)
+            stats.counter("offered") = offered;
+        if (admitted)
+            stats.counter("admitted") = admitted;
+        if (rejectedCnt)
+            stats.counter("rejected") = rejectedCnt;
+        if (boardsDownCnt)
+            stats.counter("boardsDown") = boardsDownCnt;
+        if (netLostCnt)
+            stats.counter("netLost") = netLostCnt;
+        if (failoverCnt)
+            stats.counter("failovers") = failoverCnt;
+    });
+}
+
+unsigned
+RackScheduler::partitionOf(std::uint64_t key) const
+{
+    // Pure function of the key alone: the partition is the stable
+    // placement unit that survives cluster reshapes.
+    std::uint32_t h = util::crc32Key(std::uint32_t(key));
+    h = util::crc32Key(h ^ std::uint32_t(key >> 32));
+    return h % place.keyPartitions;
+}
+
+unsigned
+RackScheduler::primaryOf(std::uint64_t key) const
+{
+    host::RouteInfo info;
+    info.key = partitionOf(key);
+    info.hasKey = true;
+    return groupRouter->route(info, rack.nBoards());
+}
+
+std::vector<unsigned>
+RackScheduler::replicasOf(std::uint64_t key) const
+{
+    host::RouteInfo info;
+    info.key = partitionOf(key);
+    info.hasKey = true;
+    std::vector<unsigned> out;
+    groupRouter->candidates(info, rack.nBoards(), out);
+    return out;
+}
+
+bool
+RackScheduler::boardDown(unsigned b, sim::Tick now)
+{
+    sim::FaultPlane &fp = sim::faultPlane();
+    return fp.active() &&
+           fp.fires(sim::FaultSite::RackBoardDown, now, int(b));
+}
+
+bool
+RackScheduler::admissionFull(unsigned b, sim::Tick now)
+{
+    if (!place.admitWindow || !place.admitPerWindow)
+        return false;
+    std::deque<sim::Tick> &w = windows[b];
+    const sim::Tick horizon =
+        now > place.admitWindow ? now - place.admitWindow : 0;
+    while (!w.empty() && w.front() < horizon)
+        w.pop_front();
+    return w.size() >= place.admitPerWindow;
+}
+
+AdmitResult
+RackScheduler::enqueueAt(sim::Tick when, RackRequest req,
+                         unsigned *board_out)
+{
+    sim_assert(when >= lastOffer,
+               "rack arrivals must be offered in trace order");
+    lastOffer = when;
+    ++offered;
+
+    const std::vector<unsigned> group = replicasOf(req.key);
+    bool sawFull = false, sawDrop = false;
+    for (std::size_t i = 0; i < group.size(); ++i) {
+        const unsigned b = group[i];
+        if (boardDown(b, when))
+            continue;
+        if (admissionFull(b, when)) {
+            sawFull = true;
+            continue;
+        }
+        bool dropped = false;
+        const sim::Tick delivered =
+            rack.net().deliver(b, req.bytes, when, dropped);
+        if (dropped) {
+            sawDrop = true;
+            continue;
+        }
+        windows[b].push_back(when);
+        ++admitted;
+        if (i > 0)
+            ++failoverCnt;
+        if (board_out)
+            *board_out = b;
+        boardScheds[b]->enqueueAt(delivered, std::move(req.job));
+        return AdmitResult::Admitted;
+    }
+    // Attribution order mirrors severity: a drop means the request
+    // physically reached the fabric; a full window means the
+    // front-end shed it; otherwise every replica was down.
+    if (sawDrop) {
+        ++netLostCnt;
+        return AdmitResult::NetLost;
+    }
+    if (sawFull) {
+        ++rejectedCnt;
+        return AdmitResult::Rejected;
+    }
+    ++boardsDownCnt;
+    return AdmitResult::BoardsDown;
+}
+
+void
+RackScheduler::start()
+{
+    for (auto &s : boardScheds)
+        s->start();
+}
+
+RackSummary
+RackScheduler::summary() const
+{
+    RackSummary sum;
+    sum.offered = offered;
+    sum.admitted = admitted;
+    sum.rejected = rejectedCnt;
+    sum.boardsDown = boardsDownCnt;
+    sum.netLost = netLostCnt;
+    sum.failovers = failoverCnt;
+
+    // Fold the per-board serving summaries the way BoardScheduler
+    // folds its shards: counts summed, availability averaged,
+    // percentiles recomputed over every completed job.
+    std::vector<double> lat;
+    constexpr sim::Tick noTick =
+        std::numeric_limits<sim::Tick>::max();
+    sim::Tick first = noTick, last = 0;
+    double avail = 0;
+    for (const auto &bs : boardScheds) {
+        const host::ServingSummary part = bs->summary();
+        sum.serving.submitted += part.submitted;
+        sum.serving.accepted += part.accepted;
+        sum.serving.rejected += part.rejected;
+        sum.serving.dispatched += part.dispatched;
+        sum.serving.completed += part.completed;
+        sum.serving.timedOut += part.timedOut;
+        sum.serving.validationFailed += part.validationFailed;
+        sum.serving.lateJobs += part.lateJobs;
+        sum.serving.wedgedGroups += part.wedgedGroups;
+        sum.serving.requeued += part.requeued;
+        sum.serving.quarantines += part.quarantines;
+        sum.serving.wedgeTimeouts += part.wedgeTimeouts;
+        avail += part.availability;
+        for (unsigned d = 0; d < bs->nShards(); ++d) {
+            for (const host::JobRecord &rec : bs->shard(d).jobs()) {
+                first = std::min(first, rec.enqueuedAt);
+                last = std::max(last, rec.finishedAt);
+                if (rec.state == host::JobState::Completed)
+                    lat.push_back(rec.latencyUs());
+            }
+        }
+    }
+    if (!boardScheds.empty())
+        sum.serving.availability =
+            avail / double(boardScheds.size());
+
+    std::sort(lat.begin(), lat.end());
+    auto pct = [&](double q) {
+        if (lat.empty())
+            return 0.0;
+        std::size_t rank =
+            std::size_t(q * double(lat.size()) + 0.5);
+        if (rank > 0)
+            --rank;
+        return lat[std::min(rank, lat.size() - 1)];
+    };
+    sum.serving.p50Us = pct(0.50);
+    sum.serving.p95Us = pct(0.95);
+    sum.serving.p99Us = pct(0.99);
+    if (!lat.empty()) {
+        double s = 0;
+        for (double l : lat)
+            s += l;
+        sum.serving.meanUs = s / double(lat.size());
+        sum.serving.maxUs = lat.back();
+    }
+    if (sum.serving.completed > 0 && last > first) {
+        const double windowSec = double(last - first) * 1e-12;
+        sum.serving.throughputJobsPerSec =
+            double(sum.serving.completed) / windowSec;
+        sum.usersPerSimSec = sum.serving.throughputJobsPerSec;
+    }
+    if (offered)
+        sum.servedFraction =
+            double(sum.serving.completed) / double(offered);
+    sum.netPeakUtilization = rack.net().peakUtilization(rack.now());
+    return sum;
+}
+
+} // namespace dpu::rack

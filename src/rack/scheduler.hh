@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Rack-level request scheduling: placement, replica routing with
+ * failover, and bounded cluster admission.
+ *
+ * The front-end owns three decisions per request, all made at
+ * admission time (host phase), which keeps the whole rack
+ * bit-deterministic (see rack/rack.hh):
+ *
+ *  1. Placement — the request's key hashes onto one of
+ *     `keyPartitions` key-range partitions; the partition selects a
+ *     replica group through the shared host::Router replica-group
+ *     policy (host/router.hh), so group membership is a pure
+ *     function of the key and the board count — independent of the
+ *     per-board DPU count and of the replication factor, which
+ *     only widens the failover list.
+ *
+ *  2. Routing with failover — the group's boards are tried in
+ *     candidate order: a board inside a `rack.boardDown` fault
+ *     window is skipped, a board whose admission window is full is
+ *     skipped, and a request the network drops (`rack.netDrop`)
+ *     fails over to the next replica, paying a fresh network
+ *     transit. A request that exhausts its replicas is rejected at
+ *     the front-end.
+ *
+ *  3. Bounded admission — per-board sliding-window rate cap
+ *     (admitPerWindow requests per admitWindow ticks). The
+ *     per-DPU OffloadScheduler queue bound still applies underneath
+ *     once the board simulates.
+ *
+ * Inside a board the request is routed to a DPU by the board's own
+ * BoardScheduler policy (hash), and everything from PR 2-6 applies:
+ * deadlines, reaping, quarantine, availability accounting.
+ *
+ * summary() folds the per-board serving summaries into one rack
+ * view and adds the front-end counters plus the headline
+ * "users served per simulated second".
+ */
+
+#ifndef DPU_RACK_SCHEDULER_HH
+#define DPU_RACK_SCHEDULER_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "host/board_offload.hh"
+#include "rack/rack.hh"
+
+namespace dpu::rack {
+
+/** Placement / admission knobs. */
+struct PlacementParams
+{
+    /** Key-range partitions the key space hashes onto. */
+    unsigned keyPartitions = 64;
+    /** Boards per replica group (clamped to the board count). */
+    unsigned replication = 2;
+    /** Admission window length; 0 disables the front-end cap. */
+    sim::Tick admitWindow = 0;
+    /** Requests admitted per board per window (with admitWindow). */
+    unsigned admitPerWindow = 0;
+};
+
+/** One front-end request: a serving job plus its placement key. */
+struct RackRequest
+{
+    host::JobRequest job;
+    /** Placement key (user / row id); drives the replica group. */
+    std::uint64_t key = 0;
+    /** Request payload carried over the rack network. */
+    std::uint64_t bytes = 2048;
+};
+
+/** Front-end verdict for one request. */
+enum class AdmitResult : std::uint8_t
+{
+    Admitted,   ///< delivered to a board scheduler
+    Rejected,   ///< every replica's admission window was full
+    BoardsDown, ///< every replica inside a boardDown window
+    NetLost,    ///< dropped by the network on every replica
+};
+
+/** Rack-wide aggregate (valid after the rack has run). */
+struct RackSummary
+{
+    host::ServingSummary serving; ///< folded over all boards
+    std::uint64_t offered = 0;    ///< enqueueAt calls
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;   ///< admission-window rejects
+    std::uint64_t boardsDown = 0; ///< lost to board outages
+    std::uint64_t netLost = 0;    ///< lost to network drops
+    std::uint64_t failovers = 0;  ///< non-primary deliveries
+    /** The headline: completed requests per simulated second over
+     *  the first-enqueue..last-finish window. */
+    double usersPerSimSec = 0;
+    /** Offered requests actually served (admission + serving). */
+    double servedFraction = 0;
+    double netPeakUtilization = 0;
+};
+
+/** The rack front-end: placement, failover, admission. */
+class RackScheduler
+{
+  public:
+    /**
+     * @p per_dpu parameterizes every per-DPU scheduler; its
+     * statName is extended to "<statName>.b<board>.dpu<d>".
+     * Board-internal routing is the hash policy.
+     */
+    RackScheduler(Rack &r, host::OffloadParams per_dpu,
+                  PlacementParams place = {});
+
+    unsigned nBoards() const { return rack.nBoards(); }
+    host::BoardScheduler &boardScheduler(unsigned b)
+    {
+        return *boardScheds[b];
+    }
+    const PlacementParams &placement() const { return place; }
+
+    /** The key-range partition @p key hashes onto. */
+    unsigned partitionOf(std::uint64_t key) const;
+
+    /** Primary board of @p key's replica group. */
+    unsigned primaryOf(std::uint64_t key) const;
+
+    /** @p key's replica group, failover order (primary first). */
+    std::vector<unsigned> replicasOf(std::uint64_t key) const;
+
+    /**
+     * Open-loop arrival: @p req reaches the front-end at tick
+     * @p when. Calls must come in nondecreasing @p when order (a
+     * trace). @return the front-end verdict; on Admitted,
+     * @p board_out (when non-null) reports the serving board.
+     */
+    AdmitResult enqueueAt(sim::Tick when, RackRequest req,
+                          unsigned *board_out = nullptr);
+
+    /** Start every board's shard schedulers (then run the rack). */
+    void start();
+
+    /** Rack-wide aggregate; valid after rack.run(). */
+    RackSummary summary() const;
+
+  private:
+    /** True when board @p b sits in a rack.boardDown window. */
+    bool boardDown(unsigned b, sim::Tick now);
+
+    /** True when board @p b's admission window is full at @p now
+     *  (advances the window). */
+    bool admissionFull(unsigned b, sim::Tick now);
+
+    Rack &rack;
+    PlacementParams place;
+    std::unique_ptr<host::Router> groupRouter;
+    std::vector<std::unique_ptr<host::BoardScheduler>> boardScheds;
+    /** Per-board admitted-request times inside the current window. */
+    std::vector<std::deque<sim::Tick>> windows;
+    sim::Tick lastOffer = 0;
+
+    // Front-end tallies (host phase only), folded into the "rack"
+    // stat group by a flush hook.
+    std::uint64_t offered = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejectedCnt = 0;
+    std::uint64_t boardsDownCnt = 0;
+    std::uint64_t netLostCnt = 0;
+    std::uint64_t failoverCnt = 0;
+    sim::StatGroup stats;
+};
+
+} // namespace dpu::rack
+
+#endif // DPU_RACK_SCHEDULER_HH

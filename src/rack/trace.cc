@@ -1,0 +1,119 @@
+#include "rack/trace.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace dpu::rack {
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s)
+{
+    sim_assert(n >= 1, "zipf sampler needs a non-empty key space");
+    sim_assert(s >= 0, "zipf exponent must be non-negative");
+    cdf.resize(n);
+    double acc = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        acc += 1.0 / std::pow(double(i + 1), s);
+        cdf[i] = acc;
+    }
+    for (double &v : cdf)
+        v /= acc;
+}
+
+std::uint64_t
+ZipfSampler::sample(double u01) const
+{
+    const auto it =
+        std::lower_bound(cdf.begin(), cdf.end(), u01);
+    return std::uint64_t(it == cdf.end() ? cdf.size() - 1
+                                         : it - cdf.begin());
+}
+
+double
+ZipfSampler::headMass(std::uint64_t k) const
+{
+    if (k == 0)
+        return 0;
+    return cdf[std::min<std::uint64_t>(k, cdf.size()) - 1];
+}
+
+std::vector<TraceEvent>
+generateTrace(const TraceConfig &cfg)
+{
+    sim_assert(cfg.ratePerSec > 0 && cfg.durationSec > 0,
+               "trace needs a positive rate and duration");
+    sim_assert(cfg.diurnalAmp >= 0 && cfg.diurnalAmp < 1,
+               "diurnal amplitude must sit in [0, 1)");
+    sim_assert(cfg.burstMultiplier >= 1,
+               "a burst cannot slow traffic down");
+    sim_assert(cfg.nApps >= 1, "trace needs at least one app");
+
+    sim::Rng rng(cfg.seed * 0x9e3779b97f4a7c15ull + 0x7ac3ull);
+
+    // Seed-placed burst windows over the trace, sorted.
+    std::vector<std::pair<double, double>> bursts;
+    const double expected = cfg.burstsPerSec * cfg.durationSec;
+    const std::uint64_t nBursts = std::uint64_t(expected + 0.5);
+    for (std::uint64_t i = 0; i < nBursts; ++i) {
+        const double start = rng.uniform() * cfg.durationSec;
+        bursts.emplace_back(start, start + cfg.burstLenSec);
+    }
+    std::sort(bursts.begin(), bursts.end());
+    auto inBurst = [&](double t) {
+        // Bursts are few; linear probe from a binary-search start.
+        auto it = std::upper_bound(
+            bursts.begin(), bursts.end(),
+            std::make_pair(t, std::numeric_limits<double>::max()));
+        while (it != bursts.begin()) {
+            --it;
+            if (t < it->second)
+                return true;
+            if (it->first + cfg.burstLenSec < t)
+                break;
+        }
+        return false;
+    };
+
+    // Instantaneous rate and its peak, for Poisson thinning.
+    auto rateAt = [&](double t) {
+        double r = cfg.ratePerSec *
+                   (1.0 + cfg.diurnalAmp *
+                              std::sin(2.0 * M_PI * t /
+                                       cfg.diurnalPeriodSec));
+        if (inBurst(t))
+            r *= cfg.burstMultiplier;
+        return r;
+    };
+    const double peak = cfg.ratePerSec * (1.0 + cfg.diurnalAmp) *
+                        cfg.burstMultiplier;
+
+    ZipfSampler keys(cfg.nKeys, cfg.zipf);
+
+    std::vector<TraceEvent> out;
+    out.reserve(std::size_t(cfg.ratePerSec * cfg.durationSec));
+    double t = 0;
+    while (true) {
+        // Exponential gap at the peak rate...
+        double u = rng.uniform();
+        if (u <= 0)
+            u = 1e-18;
+        t += -std::log(u) / peak;
+        if (t >= cfg.durationSec)
+            break;
+        // ...thinned down to the instantaneous rate.
+        if (rng.uniform() * peak > rateAt(t))
+            continue;
+        TraceEvent ev;
+        ev.at = sim::Tick(t * 1e12);
+        ev.key = keys.sample(rng.uniform());
+        ev.appIdx = unsigned(rng.below(cfg.nApps));
+        ev.seed = rng.next();
+        out.push_back(ev);
+    }
+    return out;
+}
+
+} // namespace dpu::rack

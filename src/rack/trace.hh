@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Open-loop arrival-trace generation: traffic shaped like millions
+ * of users hitting a serving cluster.
+ *
+ * The generator produces a time-sorted event stream from three
+ * superimposed effects, all seed-deterministic (sim::Rng, never
+ * wall clock):
+ *
+ *  - a diurnal load curve: the base Poisson rate is modulated by
+ *    1 + amp * sin(2*pi * t / period), the classic day/night swing
+ *    compressed into simulated time;
+ *  - bursts: seed-placed windows during which the instantaneous
+ *    rate is multiplied (flash crowds, upstream retries);
+ *  - Zipfian keys: request keys are drawn from a Zipf(s)
+ *    distribution over the key space, so a handful of hot keys —
+ *    and through placement, hot replica groups — carry a large
+ *    share of the traffic.
+ *
+ * Arrivals are drawn by thinning a homogeneous Poisson process at
+ * the peak rate, which keeps the stream exact for any rate curve
+ * and trivially deterministic. Each event also carries an app
+ * index (uniform over the configured mix) and a per-request seed.
+ */
+
+#ifndef DPU_RACK_TRACE_HH
+#define DPU_RACK_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace dpu::rack {
+
+/** Arrival-trace shape. */
+struct TraceConfig
+{
+    /** Mean arrival rate at the diurnal midline (requests/sec of
+     *  simulated time, cluster-wide). */
+    double ratePerSec = 20000;
+    /** Trace length in simulated seconds. */
+    double durationSec = 0.01;
+    /** Diurnal modulation amplitude in [0, 1). */
+    double diurnalAmp = 0.5;
+    /** Diurnal period in simulated seconds (a "day"). */
+    double diurnalPeriodSec = 0.01;
+    /** Expected bursts per simulated second. */
+    double burstsPerSec = 200;
+    /** Burst length in simulated seconds. */
+    double burstLenSec = 0.0005;
+    /** Rate multiplier inside a burst. */
+    double burstMultiplier = 3.0;
+    /** Key-space size. */
+    std::uint64_t nKeys = 1 << 16;
+    /** Zipf exponent (0 = uniform; ~0.99 = web-like skew). */
+    double zipf = 0.99;
+    /** Apps in the mix (events carry an index into it). */
+    unsigned nApps = 1;
+    std::uint64_t seed = 1;
+};
+
+/** One arrival. */
+struct TraceEvent
+{
+    sim::Tick at = 0;
+    std::uint64_t key = 0;
+    unsigned appIdx = 0;
+    /** Per-request dataset seed. */
+    std::uint64_t seed = 0;
+};
+
+/** Deterministic trace for @p cfg, sorted by arrival tick. */
+std::vector<TraceEvent> generateTrace(const TraceConfig &cfg);
+
+/**
+ * Seed-deterministic Zipf(s) sampler over [0, n): a cumulative
+ * table built once, binary-searched per draw. Exposed for tests
+ * (hot-key mass assertions) and reuse by future skew workloads.
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::uint64_t n, double s);
+
+    /** Draw a rank in [0, n); rank 0 is the hottest key. */
+    std::uint64_t sample(double u01) const;
+
+    /** Probability mass of the @p k hottest keys. */
+    double headMass(std::uint64_t k) const;
+
+  private:
+    std::vector<double> cdf;
+};
+
+} // namespace dpu::rack
+
+#endif // DPU_RACK_TRACE_HH

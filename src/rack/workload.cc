@@ -1,0 +1,43 @@
+#include "rack/workload.hh"
+
+#include "apps/registry.hh"
+#include "sim/logging.hh"
+
+namespace dpu::rack {
+
+std::vector<MixApp>
+servingMix()
+{
+    // The bench_board serving mix, shrunk so a single request is a
+    // few hundred microseconds of chip time: cluster runs are about
+    // placement and tails, not per-request depth.
+    return {
+        {"filter", {{"rowsPerCore", "4096"}}},
+        {"groupby-low", {{"nRows", "16384"}}},
+        {"hll-crc",
+         {{"nElements", "8192"}, {"cardinality", "2048"}}},
+        {"json", {{"nRecords", "512"}}},
+    };
+}
+
+RackRequest
+makeRequest(const TraceEvent &ev, const std::vector<MixApp> &mix)
+{
+    sim_assert(!mix.empty(), "request mix is empty");
+    const MixApp &m = mix[ev.appIdx % mix.size()];
+    const apps::AppSpec *spec = apps::findApp(m.name);
+    sim_assert(spec, "mix app \"%s\" missing from registry",
+               m.name.c_str());
+    RackRequest req;
+    req.job.app = spec->name;
+    req.job.cfg = spec->makeConfig();
+    for (const auto &[k, v] : m.opts)
+        sim_assert(spec->set(req.job.cfg, k, v),
+                   "app %s rejected option %s=%s",
+                   spec->name.c_str(), k.c_str(), v.c_str());
+    req.job.seed = ev.seed;
+    req.key = ev.key;
+    return req;
+}
+
+} // namespace dpu::rack

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Trace-to-request materialization: the glue between the arrival
+ * generator (rack/trace.hh) and the serving stack.
+ *
+ * A RequestMix is an ordered list of registry apps with per-app
+ * option overrides (small working sets for cluster-scale runs). A
+ * TraceEvent's appIdx picks the mix entry, its key becomes the
+ * placement key, and its seed the per-request dataset seed — so
+ * bench_rack and the rack tests materialize identical request
+ * streams from identical traces.
+ */
+
+#ifndef DPU_RACK_WORKLOAD_HH
+#define DPU_RACK_WORKLOAD_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rack/scheduler.hh"
+#include "rack/trace.hh"
+
+namespace dpu::rack {
+
+/** One mix entry: a registry app plus option overrides. */
+struct MixApp
+{
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> opts;
+};
+
+/** The standard serving mix at cluster-scale (small) sizes. */
+std::vector<MixApp> servingMix();
+
+/** Materialize @p ev against @p mix (asserts the app resolves). */
+RackRequest makeRequest(const TraceEvent &ev,
+                        const std::vector<MixApp> &mix);
+
+} // namespace dpu::rack
+
+#endif // DPU_RACK_WORKLOAD_HH

@@ -20,6 +20,9 @@
  *   mem.degrade    DDR burst time multiplied by `mag` in [from,to)
  *   link.drop      inter-DPU link message lost in the board fabric
  *   link.delay     inter-DPU link delivery delayed by `mag` ticks
+ *   rack.netDrop   inter-board network message lost (rack fabric)
+ *   rack.netDelay  inter-board delivery delayed by `mag` ticks
+ *   rack.boardDown board unavailable inside [from,to) (unit = board)
  *
  * Keys (all optional):
  *   p=0.05      per-opportunity firing probability
@@ -78,10 +81,13 @@ enum class FaultSite : std::uint8_t
     MemDegrade,
     LinkDrop,
     LinkDelay,
+    RackNetDrop,
+    RackNetDelay,
+    RackBoardDown,
 };
 
 /** Number of FaultSite values. */
-constexpr unsigned nFaultSites = 9;
+constexpr unsigned nFaultSites = 12;
 
 /** Spec-string name ("dms.wedge", ...) of a site. */
 const char *faultSiteName(FaultSite site);

@@ -11,7 +11,6 @@
 
 #include <set>
 
-#include "apps/hll.hh"
 #include "apps/registry.hh"
 
 using namespace dpu;
@@ -74,17 +73,20 @@ TEST(AppRegistry, RunAppAppliesOverrides)
     EXPECT_EQ(r.name, "SQL filter");
 }
 
-TEST(AppRegistry, DeprecatedWrapperAgreesWithRegistry)
+TEST(AppRegistry, TypedSpecRunAgreesWithStringOverrides)
 {
-    // The legacy entry point must stay a thin wrapper: identical
-    // config in, identical deterministic timings out.
-    HllConfig cfg;
-    cfg.nElements = 1 << 16;
-    cfg.cardinality = 1 << 13;
-    AppResult legacy = hllApp(cfg);
+    // The typed spec->run path and the string-override runApp path
+    // must produce identical deterministic timings for the same
+    // effective config.
+    const AppSpec *spec = findApp("hll-crc");
+    ASSERT_NE(spec, nullptr);
+    ConfigHandle cfg = spec->makeConfig();
+    ASSERT_TRUE(spec->set(cfg, "nElements", "65536"));
+    ASSERT_TRUE(spec->set(cfg, "cardinality", "8192"));
+    AppResult typed = spec->run(cfg);
     AppResult reg = runApp("hll-crc", {{"nElements", "65536"},
                                        {"cardinality", "8192"}});
-    EXPECT_EQ(legacy.dpuSeconds, reg.dpuSeconds);
-    EXPECT_EQ(legacy.xeonSeconds, reg.xeonSeconds);
-    EXPECT_EQ(legacy.matched, reg.matched);
+    EXPECT_EQ(typed.dpuSeconds, reg.dpuSeconds);
+    EXPECT_EQ(typed.xeonSeconds, reg.xeonSeconds);
+    EXPECT_EQ(typed.matched, reg.matched);
 }

@@ -1,0 +1,413 @@
+/**
+ * @file
+ * Rack-tier tests: the trace generator's determinism and shape,
+ * placement/replica purity, admission and failover semantics, and
+ * the cluster determinism + golden contract — a fixed 2-board
+ * trace-driven serving scenario must produce bit-identical stats
+ * across reruns, across --threads counts, and under seeded fault
+ * replay, and match the checked-in snapshot in
+ * tests/golden/rack.json.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "host/offload.hh"
+#include "rack/rack.hh"
+#include "rack/scheduler.hh"
+#include "rack/trace.hh"
+#include "rack/workload.hh"
+#include "sim/fault.hh"
+#include "sim/stats.hh"
+#include "sim/stats_registry.hh"
+#include "topo/topology.hh"
+
+using namespace dpu;
+
+#ifndef DPU_GOLDEN_DIR
+#error "build must define DPU_GOLDEN_DIR"
+#endif
+
+namespace {
+
+rack::TraceConfig
+scenarioTrace()
+{
+    rack::TraceConfig tc;
+    tc.ratePerSec = 4000;
+    tc.durationSec = 0.008;
+    tc.diurnalPeriodSec = 0.008;
+    tc.nApps = unsigned(rack::servingMix().size());
+    tc.seed = 21;
+    return tc;
+}
+
+/**
+ * The canonical rack scenario: 2 boards x 2 DPUs, replication 2,
+ * the serving mix driven by a fixed arrival trace. Returns the
+ * full stats snapshot (plus the rack end tick); empty when serving
+ * failed validation.
+ */
+sim::StatsSnapshot
+runRackScenario(unsigned threads = 1, const char *faults = nullptr,
+                std::uint64_t fault_seed = 42)
+{
+    sim::faultPlane().reset();
+    if (faults)
+        sim::faultPlane().configure(faults, fault_seed);
+
+    soc::SocParams sp = soc::dpu40nm();
+    sp.ddrBytes = std::size_t(32) << 20;
+    auto r = topo::ClusterTopology::rack(2, 2)
+                 .chip(sp)
+                 .threads(threads)
+                 .buildRack();
+    rack::RackScheduler sched(*r, host::OffloadParams{},
+                              rack::PlacementParams{});
+
+    const std::vector<rack::TraceEvent> trace =
+        rack::generateTrace(scenarioTrace());
+    const std::vector<rack::MixApp> mix = rack::servingMix();
+    for (const rack::TraceEvent &ev : trace)
+        sched.enqueueAt(ev.at, rack::makeRequest(ev, mix));
+    sched.start();
+    r->run();
+
+    const rack::RackSummary sum = sched.summary();
+    sim::faultPlane().reset();
+    if (sum.serving.validationFailed != 0)
+        return {};
+    sim::StatsSnapshot snap =
+        sim::StatsRegistry::instance().snapshot();
+    snap.counters["sim.finalTick"] = r->now();
+    return snap;
+}
+
+bool
+regenRequested()
+{
+    const char *v = std::getenv("DPU_REGEN_GOLDEN");
+    return v && *v && std::string(v) != "0";
+}
+
+} // namespace
+
+// ----------------------------------------------------------------
+// Trace generator
+// ----------------------------------------------------------------
+
+TEST(ArrivalTrace, IsSeedDeterministicAndSorted)
+{
+    const rack::TraceConfig tc = scenarioTrace();
+    const auto a = rack::generateTrace(tc);
+    const auto b = rack::generateTrace(tc);
+    ASSERT_FALSE(a.empty());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].at, b[i].at);
+        EXPECT_EQ(a[i].key, b[i].key);
+        EXPECT_EQ(a[i].appIdx, b[i].appIdx);
+        EXPECT_EQ(a[i].seed, b[i].seed);
+        if (i)
+            EXPECT_GE(a[i].at, a[i - 1].at);
+        EXPECT_LT(a[i].appIdx, tc.nApps);
+        EXPECT_LT(a[i].key, tc.nKeys);
+    }
+    rack::TraceConfig other = tc;
+    other.seed = 22;
+    const auto c = rack::generateTrace(other);
+    EXPECT_TRUE(c.size() != a.size() || c[0].seed != a[0].seed);
+}
+
+TEST(ArrivalTrace, RateScalesTheEventCount)
+{
+    rack::TraceConfig lo = scenarioTrace();
+    rack::TraceConfig hi = scenarioTrace();
+    hi.ratePerSec = lo.ratePerSec * 4;
+    const double nLo = double(rack::generateTrace(lo).size());
+    const double nHi = double(rack::generateTrace(hi).size());
+    ASSERT_GT(nLo, 0);
+    EXPECT_NEAR(nHi / nLo, 4.0, 1.0);
+}
+
+TEST(ArrivalTrace, ZipfConcentratesMassOnHotKeys)
+{
+    const rack::ZipfSampler z(1 << 16, 0.99);
+    // Web-like skew: the hottest 1% of keys carry well over a
+    // third of the mass; uniform would give them 1%.
+    EXPECT_GT(z.headMass((1 << 16) / 100), 0.35);
+    EXPECT_LT(z.headMass((1 << 16) / 100), 0.95);
+    EXPECT_DOUBLE_EQ(z.headMass(1 << 16), 1.0);
+    EXPECT_EQ(z.sample(0.0), 0u);
+    // And the zero-exponent sampler degrades to uniform-ish.
+    const rack::ZipfSampler u(100, 0.0);
+    EXPECT_NEAR(u.headMass(50), 0.5, 0.01);
+}
+
+// ----------------------------------------------------------------
+// Placement laws at the scheduler level
+// ----------------------------------------------------------------
+
+TEST(RackPlacement, ReplicaGroupIsPureAndIndependentOfDpuCount)
+{
+    sim::faultPlane().reset();
+    rack::RackParams small;
+    small.nBoards = 4;
+    small.board.nDpus = 1;
+    small.board.soc.ddrBytes = std::size_t(16) << 20;
+    rack::RackParams big;
+    big.nBoards = 4;
+    big.board.nDpus = 2;
+    big.board.soc.ddrBytes = std::size_t(16) << 20;
+    rack::Rack rs(small), rb(big);
+    rack::RackScheduler ss(rs, {}, {});
+    rack::RackScheduler sb(rb, {}, {});
+    for (std::uint64_t k = 0; k < 256; ++k) {
+        EXPECT_EQ(ss.partitionOf(k), sb.partitionOf(k));
+        EXPECT_EQ(ss.primaryOf(k), sb.primaryOf(k));
+        const auto ga = ss.replicasOf(k);
+        const auto gb = sb.replicasOf(k);
+        ASSERT_EQ(ga.size(), 2u);
+        EXPECT_EQ(ga, gb);
+        EXPECT_EQ(ga[0], ss.primaryOf(k));
+        EXPECT_NE(ga[0], ga[1]);
+    }
+}
+
+// ----------------------------------------------------------------
+// Admission, failover, outage attribution
+// ----------------------------------------------------------------
+
+TEST(RackAdmission, WindowCapShedsExcessLoad)
+{
+    sim::faultPlane().reset();
+    rack::RackParams rp;
+    rp.nBoards = 2;
+    rp.board.soc.ddrBytes = std::size_t(16) << 20;
+    rack::Rack r(rp);
+    rack::PlacementParams place;
+    place.replication = 2;
+    place.admitWindow = sim::Tick(1'000'000'000); // 1 ms
+    place.admitPerWindow = 2;
+    rack::RackScheduler sched(r, {}, place);
+
+    // 16 arrivals inside one window, all to the same key: the
+    // replica pair can admit 2 each, the rest are rejected.
+    unsigned admitted = 0, rejected = 0;
+    for (unsigned i = 0; i < 16; ++i) {
+        rack::RackRequest req = rack::makeRequest(
+            {sim::Tick(i * 1000), 7, 0, 1000 + i},
+            rack::servingMix());
+        const rack::AdmitResult res =
+            sched.enqueueAt(sim::Tick(i * 1000), std::move(req));
+        (res == rack::AdmitResult::Admitted ? admitted
+                                            : rejected)++;
+    }
+    EXPECT_EQ(admitted, 4u);
+    EXPECT_EQ(rejected, 12u);
+    const rack::RackSummary sum = sched.summary();
+    EXPECT_EQ(sum.offered, 16u);
+    EXPECT_EQ(sum.admitted, 4u);
+    EXPECT_EQ(sum.rejected, 12u);
+    EXPECT_EQ(sum.boardsDown, 0u);
+}
+
+TEST(RackFailover, BoardOutageRedirectsToTheReplica)
+{
+    sim::faultPlane().reset();
+    // Board 0 is down for the whole run.
+    sim::faultPlane().configure(
+        "rack.boardDown@p=1,unit=0,to=100000000000", 42);
+    rack::RackParams rp;
+    rp.nBoards = 2;
+    rp.board.soc.ddrBytes = std::size_t(16) << 20;
+    rack::Rack r(rp);
+    rack::PlacementParams place;
+    place.replication = 2;
+    rack::RackScheduler sched(r, {}, place);
+
+    unsigned toBoard1 = 0, offered = 0;
+    for (std::uint64_t k = 0; k < 64; ++k) {
+        rack::RackRequest req = rack::makeRequest(
+            {sim::Tick(k * 1000), k, 0, 500 + k},
+            rack::servingMix());
+        unsigned board = 99;
+        const rack::AdmitResult res = sched.enqueueAt(
+            sim::Tick(k * 1000), std::move(req), &board);
+        ++offered;
+        ASSERT_EQ(res, rack::AdmitResult::Admitted);
+        EXPECT_EQ(board, 1u);
+        ++toBoard1;
+    }
+    const rack::RackSummary sum = sched.summary();
+    EXPECT_EQ(sum.admitted, offered);
+    // Keys whose primary was board 0 count as failovers.
+    EXPECT_GT(sum.failovers, 0u);
+    EXPECT_LT(sum.failovers, offered);
+    sim::faultPlane().reset();
+}
+
+TEST(RackFailover, ReplicationOneTurnsOutageIntoLoss)
+{
+    sim::faultPlane().reset();
+    sim::faultPlane().configure(
+        "rack.boardDown@p=1,unit=0,to=100000000000", 42);
+    rack::RackParams rp;
+    rp.nBoards = 2;
+    rp.board.soc.ddrBytes = std::size_t(16) << 20;
+    rack::Rack r(rp);
+    rack::PlacementParams place;
+    place.replication = 1;
+    rack::RackScheduler sched(r, {}, place);
+
+    unsigned lost = 0, admitted = 0;
+    for (std::uint64_t k = 0; k < 64; ++k) {
+        rack::RackRequest req = rack::makeRequest(
+            {sim::Tick(k * 1000), k, 0, 500 + k},
+            rack::servingMix());
+        const rack::AdmitResult res =
+            sched.enqueueAt(sim::Tick(k * 1000), std::move(req));
+        (res == rack::AdmitResult::BoardsDown ? lost : admitted)++;
+    }
+    EXPECT_GT(lost, 0u);
+    EXPECT_GT(admitted, 0u);
+    EXPECT_EQ(lost + admitted, 64u);
+    const rack::RackSummary sum = sched.summary();
+    EXPECT_EQ(sum.boardsDown, lost);
+    EXPECT_EQ(sum.failovers, 0u);
+    sim::faultPlane().reset();
+}
+
+TEST(RackNetFaults, DropsFailOverAndExhaustionIsNetLost)
+{
+    sim::faultPlane().reset();
+    sim::faultPlane().configure("rack.netDrop@p=1", 42);
+    rack::RackParams rp;
+    rp.nBoards = 2;
+    rp.board.soc.ddrBytes = std::size_t(16) << 20;
+    rack::Rack r(rp);
+    rack::PlacementParams place;
+    place.replication = 2;
+    rack::RackScheduler sched(r, {}, place);
+    rack::RackRequest req = rack::makeRequest(
+        {0, 3, 0, 77}, rack::servingMix());
+    // p=1 drop on every delivery: both replicas burn wire time and
+    // lose the request.
+    EXPECT_EQ(sched.enqueueAt(0, std::move(req)),
+              rack::AdmitResult::NetLost);
+    const rack::RackSummary sum = sched.summary();
+    EXPECT_EQ(sum.netLost, 1u);
+    EXPECT_EQ(sum.admitted, 0u);
+    EXPECT_EQ(r.net().drops(), 2u);
+    sim::faultPlane().reset();
+}
+
+// ----------------------------------------------------------------
+// End-to-end serving through the rack
+// ----------------------------------------------------------------
+
+TEST(RackServing, TraceDrivenRunServesEveryAdmittedRequest)
+{
+    const auto snap = runRackScenario();
+    ASSERT_FALSE(snap.counters.empty())
+        << "scenario failed validation";
+    auto at = [&](const std::string &k) {
+        auto it = snap.counters.find(k);
+        return it == snap.counters.end() ? std::uint64_t(0)
+                                         : it->second;
+    };
+    EXPECT_GT(at("rack.offered"), 0u);
+    EXPECT_EQ(at("rack.offered"),
+              at("rack.admitted") + at("rack.rejected") +
+                  at("rack.boardsDown") + at("rack.netLost"));
+    EXPECT_GT(at("racknet.msgs"), 0u);
+}
+
+// ----------------------------------------------------------------
+// Determinism + golden
+// ----------------------------------------------------------------
+
+TEST(RackDeterminism, RerunsAreBitIdentical)
+{
+    const auto a = runRackScenario();
+    const auto b = runRackScenario();
+    ASSERT_FALSE(a.counters.empty());
+    const auto diffs = sim::diffSnapshots(a, b);
+    EXPECT_TRUE(diffs.empty())
+        << diffs.size() << " stat(s) differ across reruns:\n"
+        << sim::formatDiffs(diffs);
+}
+
+TEST(RackDeterminism, ThreadCountIsInvisible)
+{
+    const auto serial = runRackScenario(1);
+    const auto threaded = runRackScenario(2);
+    ASSERT_FALSE(serial.counters.empty());
+    const auto diffs = sim::diffSnapshots(serial, threaded);
+    EXPECT_TRUE(diffs.empty())
+        << diffs.size()
+        << " stat(s) differ between --threads 1 and 2:\n"
+        << sim::formatDiffs(diffs);
+}
+
+TEST(RackDeterminism, FaultReplayIsBitIdentical)
+{
+    const char *spec =
+        "rack.netDrop@p=0.05;rack.netDelay@p=0.1,mag=2000000;"
+        "rack.boardDown@p=1,unit=0,from=2000000000,to=4000000000;"
+        "link.drop@p=0.01";
+    const auto a = runRackScenario(1, spec, 42);
+    const auto b = runRackScenario(1, spec, 42);
+    ASSERT_FALSE(a.counters.empty())
+        << "scenario did not survive the fault schedule";
+    const auto diffs = sim::diffSnapshots(a, b);
+    EXPECT_TRUE(diffs.empty())
+        << diffs.size()
+        << " stat(s) differ across seeded fault replays:\n"
+        << sim::formatDiffs(diffs);
+    // And the schedule must be thread-count-invariant too.
+    const auto c = runRackScenario(2, spec, 42);
+    const auto tdiffs = sim::diffSnapshots(a, c);
+    EXPECT_TRUE(tdiffs.empty())
+        << tdiffs.size()
+        << " stat(s) differ under faults between threads 1 and 2:\n"
+        << sim::formatDiffs(tdiffs);
+}
+
+TEST(RackDeterminism, GoldenSnapshotMatches)
+{
+    const auto actual = runRackScenario();
+    ASSERT_FALSE(actual.counters.empty());
+
+    const std::string path =
+        std::string(DPU_GOLDEN_DIR) + "/rack.json";
+    if (regenRequested()) {
+        std::ofstream os(path, std::ios::trunc);
+        ASSERT_TRUE(os) << "cannot write " << path;
+        actual.writeJson(os);
+        GTEST_SKIP() << "regenerated " << path;
+    }
+
+    std::ifstream is(path);
+    ASSERT_TRUE(is) << "missing golden file " << path
+                    << " (run with DPU_REGEN_GOLDEN=1 to create)";
+    std::stringstream buf;
+    buf << is.rdbuf();
+    sim::StatsSnapshot golden;
+    std::string err;
+    ASSERT_TRUE(
+        sim::StatsSnapshot::readJson(buf.str(), golden, err))
+        << path << ": " << err;
+
+    const auto diffs = sim::diffSnapshots(golden, actual);
+    EXPECT_TRUE(diffs.empty())
+        << diffs.size() << " stat(s) drifted from " << path
+        << ":\n"
+        << sim::formatDiffs(diffs)
+        << "(if the rack model change is intentional, regenerate "
+           "with DPU_REGEN_GOLDEN=1)";
+}

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * ClusterTopology tests: the one builder constructs every tier,
+ * validation catches every malformed shape with a message naming
+ * the offending field, and the legacy parameter-struct projections
+ * (boardParams/rackParams) agree with the fluent spec.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+#include "sim/fault.hh"
+#include "topo/topology.hh"
+
+using namespace dpu;
+using topo::ClusterTopology;
+
+TEST(ClusterTopology, BuildsASoc)
+{
+    sim::faultPlane().reset();
+    ClusterTopology t = ClusterTopology::soc().chip(soc::dpu16nm());
+    EXPECT_EQ(t.validate(), "");
+    EXPECT_EQ(t.tier(), topo::Tier::Soc);
+    EXPECT_EQ(t.totalDpus(), 1u);
+    sim::EventQueue q;
+    auto s = t.buildSoc(q);
+    ASSERT_TRUE(s);
+    EXPECT_EQ(s->params().nComplexes,
+              soc::dpu16nm().nComplexes);
+}
+
+TEST(ClusterTopology, BuildsABoardAndProjectsBoardParams)
+{
+    sim::faultPlane().reset();
+    ClusterTopology t = ClusterTopology::board(4)
+                            .threads(2)
+                            .dmaRetries(7)
+                            .lookahead(sim::Tick(100'000));
+    EXPECT_EQ(t.validate(), "");
+    EXPECT_EQ(t.totalDpus(), 4u);
+
+    const board::BoardParams bp = t.boardParams();
+    EXPECT_EQ(bp.nDpus, 4u);
+    EXPECT_EQ(bp.threads, 2u);
+    EXPECT_EQ(bp.dmaRetries, 7u);
+    EXPECT_EQ(bp.lookahead, sim::Tick(100'000));
+
+    auto b = t.buildBoard();
+    ASSERT_TRUE(b);
+    EXPECT_EQ(b->nDpus(), 4u);
+}
+
+TEST(ClusterTopology, BuildsARackAndProjectsRackParams)
+{
+    sim::faultPlane().reset();
+    rack::NetParams np;
+    np.hopLatency = sim::Tick(2'000'000);
+    ClusterTopology t = ClusterTopology::rack(4, 2)
+                            .network(np)
+                            .replication(3);
+    EXPECT_EQ(t.validate(), "");
+    EXPECT_EQ(t.nBoards(), 4u);
+    EXPECT_EQ(t.totalDpus(), 8u);
+
+    const rack::RackParams rp = t.rackParams();
+    EXPECT_EQ(rp.nBoards, 4u);
+    EXPECT_EQ(rp.board.nDpus, 2u);
+    EXPECT_EQ(rp.net.hopLatency, sim::Tick(2'000'000));
+    EXPECT_EQ(t.placementParams().replication, 3u);
+
+    auto r = t.buildRack();
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->nBoards(), 4u);
+    EXPECT_EQ(r->nDpus(), 8u);
+    EXPECT_EQ(r->net().params().hopLatency,
+              sim::Tick(2'000'000));
+}
+
+TEST(ClusterTopology, LegacyBoardParamsPathStillCompiles)
+{
+    // The shim contract: the old construction path stays source-
+    // compatible next to the builder.
+    sim::faultPlane().reset();
+    board::BoardParams bp;
+    bp.nDpus = 2;
+    board::Board b(bp);
+    EXPECT_EQ(b.nDpus(), 2u);
+}
+
+TEST(ClusterTopologyValidation, NamesTheOffendingField)
+{
+    using topo::ClusterTopology;
+
+    EXPECT_NE(ClusterTopology::board(0).validate().find("DPU"),
+              std::string::npos);
+    EXPECT_NE(
+        ClusterTopology::rack(0, 2).validate().find("nBoards"),
+        std::string::npos);
+    EXPECT_NE(ClusterTopology::board(2).threads(0).validate().find(
+                  "threads"),
+              std::string::npos);
+
+    board::LinkParams badLink;
+    badLink.gbPerSec = 0;
+    EXPECT_NE(ClusterTopology::board(2)
+                  .link(badLink)
+                  .validate()
+                  .find("gbPerSec"),
+              std::string::npos);
+
+    rack::NetParams badNet;
+    badNet.flitBytes = 0;
+    EXPECT_NE(ClusterTopology::rack(2, 2)
+                  .network(badNet)
+                  .validate()
+                  .find("flit"),
+              std::string::npos);
+
+    const std::string overRep =
+        ClusterTopology::rack(2, 2).replication(4).validate();
+    EXPECT_NE(overRep.find("replication 4"), std::string::npos);
+    EXPECT_NE(overRep.find("2 boards"), std::string::npos);
+
+    rack::PlacementParams halfAdmit;
+    halfAdmit.admitWindow = 100;
+    halfAdmit.admitPerWindow = 0;
+    EXPECT_NE(ClusterTopology::rack(2, 2)
+                  .placement(halfAdmit)
+                  .validate()
+                  .find("admit"),
+              std::string::npos);
+
+    // A valid spec reports no error.
+    EXPECT_EQ(ClusterTopology::rack(2, 2).validate(), "");
+}
+
+TEST(ClusterTopologyValidation, DegenerateRackIsStillARack)
+{
+    // One board, one chip, replication 1: a valid (if pointless)
+    // rack — the builder doesn't second-guess scale.
+    ClusterTopology t =
+        ClusterTopology::rack(1, 1).replication(1);
+    EXPECT_EQ(t.validate(), "");
+    sim::faultPlane().reset();
+    auto r = t.buildRack();
+    EXPECT_EQ(r->nDpus(), 1u);
+}
