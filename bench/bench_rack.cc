@@ -17,6 +17,13 @@
  *     under a seeded fault schedule; reports availability, p99 and
  *     where the lost requests went (board outages vs network drops
  *     vs admission).
+ *  3. Skew step — a 4-board rack whose trace collapses most
+ *     traffic onto a handful of keys, all of whose partitions hash
+ *     onto ONE board, a third of the way in. The same trace runs
+ *     twice: static hash placement (the hot board saturates and
+ *     sheds) vs the live balancer (hot partitions migrate off over
+ *     the rack network). The run fails unless the balanced run
+ *     recovers >= 1.3x the static throughput with a lower p99.
  *
  * Racks are built through topo::ClusterTopology — this bench is
  * also the builder's largest consumer. Output: human tables plus
@@ -73,9 +80,10 @@ traceRun(unsigned n_boards, unsigned max_boards,
     pl.replication = std::min(pl.replication, n_boards);
     // The serving mix's working sets are a few MB; the default
     // 256 MB DDR per chip is pure page-fault overhead times 30
-    // chips across the curve.
+    // chips across the curve. 64 MB still fits every per-group job
+    // arena (1 MB base + 8 groups x 6 MB) under full-queue load.
     soc::SocParams sp = soc::dpu40nm();
-    sp.ddrBytes = std::size_t(32) << 20;
+    sp.ddrBytes = std::size_t(64) << 20;
     topo::ClusterTopology topo =
         topo::ClusterTopology::rack(n_boards, 2)
             .chip(sp)
@@ -214,6 +222,112 @@ main(int argc, char **argv)
     }
 
     // ------------------------------------------------------------
+    // 3. Skew step: static placement vs live rebalancing
+    // ------------------------------------------------------------
+    const unsigned skew_boards = 4;
+    rack::PlacementParams staticPlace;
+    staticPlace.replication = 2;
+
+    // Hot keys: distinct partitions, every one of them hash-homed
+    // on the same board, so the step lands a partition *group* on
+    // one ingress (moving a single partition could only relocate,
+    // never spread, the hot spot).
+    const unsigned hot_board =
+        rack::partitionHome(0, skew_boards);
+    std::vector<std::uint64_t> hotKeys;
+    std::vector<char> seen(staticPlace.keyPartitions, 0);
+    for (std::uint64_t k = 0; hotKeys.size() < 8 && k < 1 << 16;
+         ++k) {
+        const unsigned part =
+            rack::keyPartition(k, staticPlace.keyPartitions);
+        if (seen[part] ||
+            rack::partitionHome(part, skew_boards) != hot_board)
+            continue;
+        seen[part] = 1;
+        hotKeys.push_back(k);
+    }
+    sim_assert(hotKeys.size() == 8,
+               "key probe found only %zu co-homed partitions",
+               hotKeys.size());
+
+    // Much hotter than the scaling trace: the step must overrun
+    // one board's DPU service capacity (~tens of kreq/s) for
+    // placement to matter at all.
+    rack::TraceConfig stc;
+    stc.ratePerSec = 125'000.0 * skew_boards;
+    stc.durationSec = 0.01;
+    stc.diurnalPeriodSec = 0.01;
+    stc.zipf = 0.6; // mild base skew; the step supplies the heat
+    stc.seed = 11;
+    stc.nApps = unsigned(rack::servingMix().size());
+    stc.hotStepAtSec = 0.002;
+    stc.hotStepFraction = 0.9;
+    stc.hotStepKeys = hotKeys;
+    const std::vector<rack::TraceEvent> skewMaster =
+        rack::generateTrace(stc);
+
+    rack::PlacementParams balPlace = staticPlace;
+    balPlace.balance.window = sim::Tick(500'000'000); // 0.5 ms
+    balPlace.balance.ewmaAlpha = 0.7;
+    balPlace.balance.hotFactor = 1.1;
+    balPlace.balance.maxMigrationsPerWindow = 3;
+    balPlace.balance.minPartitionLoad = 2.0;
+
+    bench::header("rack skew step",
+                  "90% of traffic onto 8 partitions co-homed on "
+                  "one of 4 boards at t=2ms; static vs balanced");
+    RackPoint skewStatic =
+        traceRun(skew_boards, skew_boards, skewMaster, op,
+                 staticPlace, threads, "", 0);
+    RackPoint skewBal =
+        traceRun(skew_boards, skew_boards, skewMaster, op,
+                 balPlace, threads, "", 0);
+    const double recovery =
+        skewStatic.sum.usersPerSimSec > 0
+            ? skewBal.sum.usersPerSimSec /
+                  skewStatic.sum.usersPerSimSec
+            : 0;
+    bench::row("  %9s %9s %10s %9s %9s %9s", "placement",
+               "admitted", "users/s", "p99 us", "migrations",
+               "forwarded");
+    bench::row("  %9s %9llu %10.3g %9.1f %9llu %9llu", "static",
+               (unsigned long long)skewStatic.sum.admitted,
+               skewStatic.sum.usersPerSimSec,
+               skewStatic.sum.serving.p99Us,
+               (unsigned long long)skewStatic.sum.migCommitted,
+               (unsigned long long)skewStatic.sum.forwarded);
+    bench::row("  %9s %9llu %10.3g %9.1f %9llu %9llu", "balanced",
+               (unsigned long long)skewBal.sum.admitted,
+               skewBal.sum.usersPerSimSec,
+               skewBal.sum.serving.p99Us,
+               (unsigned long long)skewBal.sum.migCommitted,
+               (unsigned long long)skewBal.sum.forwarded);
+    bench::row("  recovery %.2fx throughput, p99 %.1f -> %.1f us, "
+               "%llu KB of state migrated",
+               recovery, skewStatic.sum.serving.p99Us,
+               skewBal.sum.serving.p99Us,
+               (unsigned long long)(skewBal.sum.migrationBytes >>
+                                    10));
+    const double gateRecovery = 1.3;
+    if (skewBal.sum.migCommitted == 0) {
+        bench::row("  FAIL: the balancer committed no migrations");
+        ok = false;
+    }
+    if (recovery < gateRecovery) {
+        bench::row("  FAIL: skew recovery %.2fx < %.2fx gate",
+                   recovery, gateRecovery);
+        ok = false;
+    }
+    if (skewBal.sum.serving.p99Us >=
+        skewStatic.sum.serving.p99Us) {
+        bench::row("  FAIL: balanced p99 %.1f us did not improve "
+                   "on static %.1f us",
+                   skewBal.sum.serving.p99Us,
+                   skewStatic.sum.serving.p99Us);
+        ok = false;
+    }
+
+    // ------------------------------------------------------------
     // JSON (last line of stdout)
     // ------------------------------------------------------------
     {
@@ -259,6 +373,23 @@ main(int argc, char **argv)
             j.field("usersPerSimSec", faulted.sum.usersPerSimSec);
             j.end();
         }
+        j.obj("skew");
+        j.field("nBoards", std::uint64_t(skew_boards));
+        j.field("hotPartitions", std::uint64_t(hotKeys.size()));
+        j.field("staticUsersPerSimSec",
+                skewStatic.sum.usersPerSimSec);
+        j.field("balancedUsersPerSimSec",
+                skewBal.sum.usersPerSimSec);
+        j.field("recovery", recovery);
+        j.field("gateRecovery", gateRecovery);
+        j.field("staticP99Us", skewStatic.sum.serving.p99Us);
+        j.field("balancedP99Us", skewBal.sum.serving.p99Us);
+        j.field("migStarted", skewBal.sum.migStarted);
+        j.field("migCommitted", skewBal.sum.migCommitted);
+        j.field("migAborted", skewBal.sum.migAborted);
+        j.field("forwarded", skewBal.sum.forwarded);
+        j.field("migrationBytes", skewBal.sum.migrationBytes);
+        j.end();
         j.field("pass", std::uint64_t(ok));
     }
 

@@ -1,0 +1,83 @@
+#include "dms/handoff.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace dpu::dms {
+
+std::uint64_t
+HandoffPlan::totalBytes() const
+{
+    std::uint64_t total = 0;
+    for (const HandoffChunk &c : chunks)
+        total += c.bytes();
+    return total;
+}
+
+std::vector<Descriptor>
+HandoffPlan::descriptors(std::uint16_t dmem_base,
+                         std::uint16_t buf_bytes, std::int8_t event_a,
+                         std::int8_t event_b) const
+{
+    sim_assert(event_a != event_b,
+               "hand-off ping-pong needs two distinct events");
+    std::vector<Descriptor> out;
+    out.reserve(chunks.size());
+    bool ping = true;
+    for (const HandoffChunk &c : chunks) {
+        sim_assert(c.bytes() <= buf_bytes,
+                   "hand-off chunk (%llu B) overflows the %u B "
+                   "staging buffer",
+                   (unsigned long long)c.bytes(), unsigned(buf_bytes));
+        Descriptor d;
+        d.type = DescType::DdrToDmem;
+        d.colWidth = c.colWidth;
+        d.rows = c.rows;
+        d.ddrAddr = c.ddrAddr;
+        d.dmemAddr = std::uint16_t(
+            dmem_base + (ping ? 0 : buf_bytes));
+        d.notifyEvent = ping ? event_a : event_b;
+        out.push_back(d);
+        ping = !ping;
+    }
+    return out;
+}
+
+HandoffPlan
+planRangeHandoff(mem::Addr base, std::uint64_t bytes,
+                 std::uint64_t chunk_bytes, std::uint8_t col_width)
+{
+    sim_assert(col_width == 1 || col_width == 2 || col_width == 4 ||
+                   col_width == 8,
+               "hand-off element width must be 1/2/4/8, got %u",
+               unsigned(col_width));
+    sim_assert(bytes % col_width == 0,
+               "hand-off range (%llu B) is not a whole number of "
+               "%u B elements",
+               (unsigned long long)bytes, unsigned(col_width));
+    sim_assert(chunk_bytes >= col_width,
+               "hand-off chunk smaller than one element");
+
+    HandoffPlan plan;
+    plan.base = base;
+
+    // Rows is 16 bits in the Table 2 encoding: one descriptor can
+    // name at most 65535 elements, whatever the chunk knob says.
+    const std::uint64_t max_rows =
+        std::min<std::uint64_t>(chunk_bytes / col_width, 0xffff);
+    std::uint64_t rows_left = bytes / col_width;
+    mem::Addr at = base;
+    while (rows_left > 0) {
+        HandoffChunk c;
+        c.ddrAddr = at;
+        c.colWidth = col_width;
+        c.rows = std::uint32_t(std::min(rows_left, max_rows));
+        plan.chunks.push_back(c);
+        rows_left -= c.rows;
+        at += c.bytes();
+    }
+    return plan;
+}
+
+} // namespace dpu::dms

@@ -1,29 +1,9 @@
 #include "host/board_offload.hh"
 
-#include <algorithm>
-#include <limits>
-
+#include "host/summary.hh"
 #include "sim/logging.hh"
 
 namespace dpu::host {
-
-namespace {
-
-constexpr sim::Tick noTick = std::numeric_limits<sim::Tick>::max();
-
-/** Nearest-rank percentile of an ascending-sorted sample. */
-double
-percentile(const std::vector<double> &sorted, double q)
-{
-    if (sorted.empty())
-        return 0;
-    std::size_t rank = std::size_t(q * double(sorted.size()) + 0.5);
-    if (rank > 0)
-        --rank;
-    return sorted[std::min(rank, sorted.size() - 1)];
-}
-
-} // namespace
 
 BoardScheduler::BoardScheduler(board::Board &b,
                                OffloadParams per_dpu,
@@ -80,50 +60,10 @@ BoardScheduler::start()
 ServingSummary
 BoardScheduler::summary() const
 {
-    ServingSummary agg;
-    std::vector<double> lat;
-    sim::Tick first = noTick, last = 0;
-    double avail = 0;
-    for (const auto &s : shards) {
-        const ServingSummary part = s->summary();
-        agg.submitted += part.submitted;
-        agg.accepted += part.accepted;
-        agg.rejected += part.rejected;
-        agg.dispatched += part.dispatched;
-        agg.completed += part.completed;
-        agg.timedOut += part.timedOut;
-        agg.validationFailed += part.validationFailed;
-        agg.lateJobs += part.lateJobs;
-        agg.wedgedGroups += part.wedgedGroups;
-        agg.requeued += part.requeued;
-        agg.quarantines += part.quarantines;
-        agg.wedgeTimeouts += part.wedgeTimeouts;
-        avail += part.availability;
-        for (const JobRecord &rec : s->jobs()) {
-            first = std::min(first, rec.enqueuedAt);
-            last = std::max(last, rec.finishedAt);
-            if (rec.state == JobState::Completed)
-                lat.push_back(rec.latencyUs());
-        }
-    }
-    if (!shards.empty())
-        agg.availability = avail / double(shards.size());
-
-    std::sort(lat.begin(), lat.end());
-    agg.p50Us = percentile(lat, 0.50);
-    agg.p95Us = percentile(lat, 0.95);
-    agg.p99Us = percentile(lat, 0.99);
-    if (!lat.empty()) {
-        double sum = 0;
-        for (double l : lat)
-            sum += l;
-        agg.meanUs = sum / double(lat.size());
-        agg.maxUs = lat.back();
-    }
-    if (agg.completed > 0 && last > first)
-        agg.throughputJobsPerSec =
-            double(agg.completed) / (double(last - first) * 1e-12);
-    return agg;
+    SummaryFold fold;
+    for (const auto &s : shards)
+        fold.add(s->summary(), s->jobs());
+    return fold.finish();
 }
 
 } // namespace dpu::host

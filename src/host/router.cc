@@ -85,6 +85,13 @@ class WeightedRouter final : public Router
     unsigned
     route(const RouteInfo &req, unsigned nShards) override
     {
+        // A longer vector than the shard count means the weights
+        // were sized for a different topology; ignoring the tail
+        // would silently skew every listed shard's share.
+        sim_assert(weights.size() <= nShards,
+                   "weighted router: %zu weights for %u shards "
+                   "(surplus weights are a topology mismatch)",
+                   weights.size(), nShards);
         double total = 0;
         for (unsigned i = 0; i < nShards; ++i)
             total += weightOf(i);
@@ -149,6 +156,107 @@ class ReplicaGroupRouter final : public Router
 };
 
 } // namespace
+
+PartitionRouter::PartitionRouter(unsigned n_partitions,
+                                 unsigned replication)
+    : nParts(n_partitions), repl(replication),
+      overrides(n_partitions, -1)
+{
+    sim_assert(n_partitions >= 1,
+               "partition router: needs at least one partition");
+    sim_assert(replication >= 1,
+               "partition router: replication must be >= 1");
+}
+
+unsigned
+PartitionRouter::defaultHomeOf(unsigned partition,
+                               unsigned nShards) const
+{
+    // The exact replica-group mix: FNV over an empty app name
+    // CRC-folded with the partition index, so a map with no
+    // reassignments routes bit-identically to the PR-7 policy.
+    RouteInfo info;
+    info.key = partition;
+    info.hasKey = true;
+    return routeHash(info) % nShards;
+}
+
+unsigned
+PartitionRouter::homeOf(unsigned partition, unsigned nShards) const
+{
+    sim_assert(partition < nParts,
+               "partition %u outside the map (%u partitions)",
+               partition, nParts);
+    const std::int32_t o = overrides[partition];
+    if (o >= 0) {
+        sim_assert(unsigned(o) < nShards,
+                   "partition %u re-homed onto shard %d of %u",
+                   partition, o, nShards);
+        return unsigned(o);
+    }
+    return defaultHomeOf(partition, nShards);
+}
+
+void
+PartitionRouter::reassign(unsigned partition, unsigned shard)
+{
+    sim_assert(partition < nParts,
+               "partition %u outside the map (%u partitions)",
+               partition, nParts);
+    overrides[partition] = std::int32_t(shard);
+}
+
+bool
+PartitionRouter::reassigned(unsigned partition) const
+{
+    sim_assert(partition < nParts,
+               "partition %u outside the map (%u partitions)",
+               partition, nParts);
+    return overrides[partition] >= 0;
+}
+
+unsigned
+PartitionRouter::reassignedCount() const
+{
+    unsigned n = 0;
+    for (std::int32_t o : overrides)
+        n += o >= 0;
+    return n;
+}
+
+unsigned
+PartitionRouter::route(const RouteInfo &req, unsigned nShards)
+{
+    sim_assert(req.hasKey, "partition router needs an explicit key");
+    return homeOf(unsigned(req.key), nShards);
+}
+
+void
+PartitionRouter::candidates(const RouteInfo &req, unsigned nShards,
+                            std::vector<unsigned> &out)
+{
+    sim_assert(req.hasKey, "partition router needs an explicit key");
+    const unsigned partition = unsigned(req.key);
+    const unsigned primary = homeOf(partition, nShards);
+    const unsigned g = defaultHomeOf(partition, nShards);
+    const unsigned r = repl < nShards ? repl : nShards;
+    out.push_back(primary);
+    // Failover falls back onto the default group, so a re-homed
+    // partition keeps the same replica width: the new home plus
+    // the strongest prefix of its original group.
+    for (unsigned i = 0; i < r && out.size() < r; ++i) {
+        const unsigned c = (g + i) % nShards;
+        if (c != primary)
+            out.push_back(c);
+    }
+}
+
+std::unique_ptr<PartitionRouter>
+makePartitionRouter(unsigned n_partitions, unsigned replication)
+{
+    return std::make_unique<PartitionRouter>(n_partitions,
+                                             replication);
+}
 
 std::unique_ptr<Router>
 makeHashRouter()

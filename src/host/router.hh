@@ -92,8 +92,13 @@ std::unique_ptr<Router> makeRoundRobinRouter();
 
 /**
  * Key-hash onto weighted buckets: shard i receives a share
- * proportional to weights[i] (shards beyond the vector weigh 1.0).
- * Pure function of the request.
+ * proportional to weights[i]. The vector may be SHORTER than the
+ * shard count — unlisted shards are padded with weight 1.0, so a
+ * single {2.0} over three shards yields shares 2:1:1 — but it must
+ * never be longer: surplus weights indicate the caller sized the
+ * vector for a different topology, and route() asserts on them
+ * instead of silently ignoring the tail. Pure function of the
+ * request.
  */
 std::unique_ptr<Router>
 makeWeightedRouter(std::vector<double> weights);
@@ -108,6 +113,62 @@ makeWeightedRouter(std::vector<double> weights);
  */
 std::unique_ptr<Router>
 makeReplicaGroupRouter(unsigned replication);
+
+/**
+ * Partition-mapped replica routing with live reassignment — the
+ * rack tier's self-balancing policy. The request key is a
+ * partition index in [0, nPartitions); every partition starts at
+ * its hash home (bit-identical to makeReplicaGroupRouter over the
+ * same keys, so static racks keep their goldens) and reassign()
+ * re-homes a single partition, which is the migration engine's
+ * commit hook. candidates() preserves failover order: the current
+ * home first, then the partition's default replica group (minus
+ * the home), clamped to the replication width.
+ *
+ * The mutable map does not break the Router determinism contract:
+ * reassign() is only ever called from the host phase in trace
+ * order, so the route of request i is still a pure function of the
+ * trace prefix [0, i].
+ */
+class PartitionRouter final : public Router
+{
+  public:
+    PartitionRouter(unsigned n_partitions, unsigned replication);
+
+    const char *name() const override { return "partition"; }
+    unsigned route(const RouteInfo &req, unsigned nShards) override;
+    void candidates(const RouteInfo &req, unsigned nShards,
+                    std::vector<unsigned> &out) override;
+
+    unsigned nPartitions() const { return nParts; }
+    unsigned replicationWidth() const { return repl; }
+
+    /** @p partition's hash home (ignores reassignments). */
+    unsigned defaultHomeOf(unsigned partition,
+                           unsigned nShards) const;
+
+    /** @p partition's current home. */
+    unsigned homeOf(unsigned partition, unsigned nShards) const;
+
+    /** Migration hook: re-home @p partition onto @p shard. */
+    void reassign(unsigned partition, unsigned shard);
+
+    /** True when @p partition has been moved off its hash home. */
+    bool reassigned(unsigned partition) const;
+
+    /** Partitions currently living away from their hash home. */
+    unsigned reassignedCount() const;
+
+  private:
+    unsigned nParts;
+    unsigned repl;
+    /** Per-partition home override; -1 = the hash home. */
+    std::vector<std::int32_t> overrides;
+};
+
+/** A fresh all-default partition map (see PartitionRouter). */
+std::unique_ptr<PartitionRouter>
+makePartitionRouter(unsigned n_partitions, unsigned replication);
 
 /** Legacy-enum factory (source compatibility with PR 5). */
 std::unique_ptr<Router> makeRouter(ShardRouting policy);

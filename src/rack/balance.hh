@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Hot-shard detection and migration planning for the rack tier.
+ *
+ * Static hash placement (rack/scheduler.hh) is blind to skew: a
+ * Zipf hot spot lands whole partition groups on one board, whose
+ * per-DPU queues saturate while the rest of the rack idles. The
+ * balancer turns placement into a feedback loop, all of it inside
+ * the host phase so the rack stays bit-deterministic:
+ *
+ *  - LoadTracker keeps a per-partition request count for the
+ *    current observation window plus an EWMA across windows
+ *    (load = alpha * window + (1 - alpha) * ewma), so a transient
+ *    burst does not trigger a migration but a sustained step does.
+ *
+ *  - planMigrations() runs at each window boundary: it folds the
+ *    partition EWMAs into per-board loads, flags boards hotter
+ *    than `hotFactor` x the rack mean, and greedily picks up to
+ *    `maxMigrationsPerWindow` (partition, from, to) moves onto the
+ *    coldest boards. Every choice breaks ties by lowest index and
+ *    requires strict improvement (the destination, with the
+ *    partition added, must stay below the source's current load),
+ *    so planning is deterministic and cannot oscillate a partition
+ *    between two equally-loaded boards.
+ *
+ * The RackScheduler executes the plan with a drain-then-switch
+ * protocol (see scheduler.hh): state ships over the RackNet as
+ * Migration traffic, arrivals keep draining at the source during
+ * the transfer (the forwarding epoch), and the partition map only
+ * flips once the transfer's delivery tick passes.
+ */
+
+#ifndef DPU_RACK_BALANCE_HH
+#define DPU_RACK_BALANCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace dpu::rack {
+
+/** Balancer knobs. Defaults leave it OFF (window = 0) so existing
+ *  topologies and goldens are untouched. */
+struct BalanceParams
+{
+    /** Observation-window length in ticks; 0 disables balancing. */
+    sim::Tick window = 0;
+    /** EWMA weight of the newest window, in (0, 1]. */
+    double ewmaAlpha = 0.4;
+    /** A board is hot above hotFactor x mean board load (>= 1). */
+    double hotFactor = 1.5;
+    /** Migration budget per window boundary. */
+    unsigned maxMigrationsPerWindow = 1;
+    /** Partitions below this EWMA load never migrate (not worth
+     *  the state transfer). */
+    double minPartitionLoad = 4.0;
+    /** Partition state shipped per migration: a fixed base... */
+    std::uint64_t stateBytesBase = 64 * 1024;
+    /** ...plus this much per request the partition absorbed (its
+     *  working set grows with traffic). */
+    std::uint64_t stateBytesPerRequest = 256;
+};
+
+/** Windowed per-partition load: current-window counts + EWMA. */
+class LoadTracker
+{
+  public:
+    explicit LoadTracker(unsigned n_partitions);
+
+    unsigned size() const { return unsigned(counts.size()); }
+
+    /** Count one request aimed at @p partition. */
+    void record(unsigned partition);
+
+    /** Close the window: fold counts into the EWMAs and reset.
+     *  The first roll primes each EWMA with its raw count. */
+    void roll(double alpha);
+
+    /** Smoothed (EWMA) load of @p partition. */
+    double load(unsigned partition) const;
+    /** Requests seen for @p partition in the open window. */
+    std::uint64_t windowLoad(unsigned partition) const;
+    /** All smoothed loads, indexed by partition. */
+    const std::vector<double> &loads() const { return ewma; }
+    /** Lifetime requests recorded against @p partition. */
+    std::uint64_t totalLoad(unsigned partition) const;
+    unsigned rollsDone() const { return rolls; }
+
+  private:
+    std::vector<std::uint64_t> counts; ///< open window
+    std::vector<std::uint64_t> totals; ///< lifetime
+    std::vector<double> ewma;
+    unsigned rolls = 0;
+};
+
+/** One planned partition move. */
+struct MigrationStep
+{
+    unsigned partition = 0;
+    unsigned from = 0;
+    unsigned to = 0;
+    /** The partition's smoothed load at planning time. */
+    double load = 0;
+};
+
+/**
+ * Plan up to maxMigrationsPerWindow moves off hot boards.
+ *
+ * @p loads       per-partition EWMA loads (LoadTracker::loads()).
+ * @p home        partition -> owning board, updated in place as
+ *                steps are planned (so one call never plans two
+ *                moves of the same partition).
+ * @p n_boards    board count.
+ * @p frozen      partitions that may not move (in-flight
+ *                migrations); indexed by partition, may be empty.
+ *
+ * Deterministic: identical inputs give identical plans.
+ */
+std::vector<MigrationStep>
+planMigrations(const std::vector<double> &loads,
+               std::vector<unsigned> &home, unsigned n_boards,
+               const BalanceParams &p,
+               const std::vector<bool> &frozen = {});
+
+} // namespace dpu::rack
+
+#endif // DPU_RACK_BALANCE_HH

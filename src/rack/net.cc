@@ -27,7 +27,7 @@ RackNet::serTicks(std::uint64_t bytes) const
 
 sim::Tick
 RackNet::deliver(unsigned dst, std::uint64_t bytes, sim::Tick now,
-                 bool &dropped)
+                 bool &dropped, NetTraffic cls)
 {
     sim_assert(dst < n, "request aimed off the rack (board %u)",
                dst);
@@ -35,9 +35,9 @@ RackNet::deliver(unsigned dst, std::uint64_t bytes, sim::Tick now,
     const sim::Tick ser = serTicks(bytes);
     const sim::Tick tx_start = std::max(now, c.nextFree);
     const sim::Tick tx_done = tx_start + ser;
+    // The wire is occupied either way — a drop happens in the
+    // switch, after serialization — so nextFree always advances.
     c.nextFree = tx_done;
-    c.busyTicks += ser;
-    c.bytes += bytes;
     ++c.msgs;
 
     // Admission runs in the host phase (domain 0) in a fixed order,
@@ -54,8 +54,20 @@ RackNet::deliver(unsigned dst, std::uint64_t bytes, sim::Tick now,
     dropped = fp.active() &&
               fp.fires(sim::FaultSite::RackNetDrop, now, int(dst),
                        &mag);
-    if (dropped)
+    if (dropped) {
+        // Lost payloads never reached a board: keep them out of
+        // the carried-byte and utilization accounting.
         ++c.drops;
+        c.dropBytes += bytes;
+        c.dropTicks += ser;
+    } else {
+        c.busyTicks += ser;
+        c.bytes += bytes;
+        if (cls == NetTraffic::Migration) {
+            c.migBytes += bytes;
+            ++c.migMsgs;
+        }
+    }
     return tx_done + p.hopLatency + extra;
 }
 
@@ -63,16 +75,24 @@ void
 RackNet::foldStats()
 {
     std::uint64_t msgs = 0, bytes = 0, drops = 0, delays = 0;
+    std::uint64_t dropb = 0, migb = 0, migm = 0;
     for (unsigned b = 0; b < n; ++b) {
         const Channel &c = chans[b];
         msgs += c.msgs;
         bytes += c.bytes;
         drops += c.drops;
         delays += c.delays;
+        dropb += c.dropBytes;
+        migb += c.migBytes;
+        migm += c.migMsgs;
         if (c.msgs) {
             const std::string ch = "board" + std::to_string(b);
             stats.counter(ch + ".bytes") = c.bytes;
             stats.counter(ch + ".busyTicks") = c.busyTicks;
+            if (c.dropBytes)
+                stats.counter(ch + ".dropBytes") = c.dropBytes;
+            if (c.migBytes)
+                stats.counter(ch + ".migBytes") = c.migBytes;
         }
     }
     if (msgs) {
@@ -81,6 +101,12 @@ RackNet::foldStats()
     }
     if (drops)
         stats.counter("drops") = drops;
+    if (dropb)
+        stats.counter("dropBytes") = dropb;
+    if (migb) {
+        stats.counter("migBytes") = migb;
+        stats.counter("migMsgs") = migm;
+    }
     if (delays)
         stats.counter("delayed") = delays;
 }
@@ -91,6 +117,24 @@ RackNet::bytesCarried() const
     std::uint64_t total = 0;
     for (const Channel &c : chans)
         total += c.bytes;
+    return total;
+}
+
+std::uint64_t
+RackNet::droppedBytes() const
+{
+    std::uint64_t total = 0;
+    for (const Channel &c : chans)
+        total += c.dropBytes;
+    return total;
+}
+
+std::uint64_t
+RackNet::migrationBytes() const
+{
+    std::uint64_t total = 0;
+    for (const Channel &c : chans)
+        total += c.migBytes;
     return total;
 }
 

@@ -35,7 +35,15 @@
  *
  * Everything lands in the "racknet" StatGroup: aggregate msgs /
  * bytes / drops / delays plus per-board ingress bytes and busy
- * ticks, from which utilization() derives occupancy.
+ * ticks, from which utilization() derives occupancy. Accounting
+ * follows the xfer_stat idiom — carried vs lost vs migration
+ * traffic are tracked per channel: a dropped message burns wire
+ * time (nextFree still advances, so later deliveries queue behind
+ * it) but its bytes land in dropBytes, never in bytes /
+ * busyTicks / bytesCarried(), so utilization and carried-byte
+ * stats describe traffic that actually reached a board. Partition
+ * hand-offs (rack/balance.hh) tag their transfers Migration and
+ * are broken out as migBytes on top of the carried totals.
  */
 
 #ifndef DPU_RACK_NET_HH
@@ -61,6 +69,13 @@ struct NetParams
     std::uint32_t flitBytes = 256;
 };
 
+/** What a rack message carries (xfer_stat-style breakdown). */
+enum class NetTraffic : std::uint8_t
+{
+    Request,   ///< front-end request payloads
+    Migration, ///< partition-state hand-offs (rack/balance.hh)
+};
+
 /** N per-board ingress channels behind one front-end. */
 class RackNet
 {
@@ -71,23 +86,31 @@ class RackNet
     const NetParams &params() const { return p; }
 
     /**
-     * Carry @p bytes to board @p dst, arriving at the front-end at
-     * tick @p now. @return the delivery tick at the board's host;
-     * @p dropped reports a rack.netDrop firing (wire time spent,
-     * request lost — the caller owns failover). Host-phase only,
-     * and calls must come in nondecreasing @p now order per run.
+     * Carry @p bytes of @p cls traffic to board @p dst, arriving
+     * at the front-end at tick @p now. @return the delivery tick
+     * at the board's host; @p dropped reports a rack.netDrop
+     * firing (wire time spent, payload lost — the caller owns
+     * failover / migration abort). Host-phase only, and calls must
+     * come in nondecreasing @p now order per run.
      */
     sim::Tick deliver(unsigned dst, std::uint64_t bytes,
-                      sim::Tick now, bool &dropped);
+                      sim::Tick now, bool &dropped,
+                      NetTraffic cls = NetTraffic::Request);
 
     /** Fraction of [0, end] the board @p dst ingress pipe spent
-     *  serializing. */
+     *  serializing traffic that was actually delivered. */
     double utilization(unsigned dst, sim::Tick end) const;
 
     /** Busiest ingress pipe's utilization over [0, end]. */
     double peakUtilization(sim::Tick end) const;
 
+    /** Bytes delivered to boards (dropped payloads excluded). */
     std::uint64_t bytesCarried() const;
+    /** Bytes lost to rack.netDrop (wire time burned, not carried). */
+    std::uint64_t droppedBytes() const;
+    /** Carried bytes that were partition-migration payload. */
+    std::uint64_t migrationBytes() const;
+    /** Delivery attempts, dropped ones included. */
     std::uint64_t messages() const;
     std::uint64_t drops() const;
 
@@ -98,11 +121,17 @@ class RackNet
     struct Channel
     {
         sim::Tick nextFree = 0;
-        sim::Tick busyTicks = 0;
-        std::uint64_t bytes = 0;
+        sim::Tick busyTicks = 0; ///< carried traffic only
+        std::uint64_t bytes = 0; ///< carried traffic only
         std::uint64_t msgs = 0;
         std::uint64_t drops = 0;
         std::uint64_t delays = 0;
+        /** Wire time / payload burned by dropped messages. */
+        sim::Tick dropTicks = 0;
+        std::uint64_t dropBytes = 0;
+        /** Carried migration traffic (subset of bytes/msgs). */
+        std::uint64_t migBytes = 0;
+        std::uint64_t migMsgs = 0;
     };
 
     /** Wire ticks for @p bytes at the configured bandwidth. */

@@ -1,23 +1,58 @@
 #include "rack/scheduler.hh"
 
 #include <algorithm>
-#include <limits>
 
+#include "host/summary.hh"
 #include "sim/fault.hh"
 #include "sim/logging.hh"
 #include "util/crc32.hh"
 
 namespace dpu::rack {
 
+unsigned
+keyPartition(std::uint64_t key, unsigned key_partitions)
+{
+    sim_assert(key_partitions >= 1,
+               "placement needs at least one key partition");
+    // Pure function of the key alone: the partition is the stable
+    // placement unit that survives cluster reshapes.
+    std::uint32_t h = util::crc32Key(std::uint32_t(key));
+    h = util::crc32Key(h ^ std::uint32_t(key >> 32));
+    return h % key_partitions;
+}
+
+unsigned
+partitionHome(unsigned partition, unsigned n_boards)
+{
+    host::RouteInfo info;
+    info.key = partition;
+    info.hasKey = true;
+    return host::routeHash(info) % n_boards;
+}
+
 RackScheduler::RackScheduler(Rack &r, host::OffloadParams per_dpu,
                              PlacementParams place_)
     : rack(r), place(place_),
-      groupRouter(host::makeReplicaGroupRouter(
+      partMap(host::makePartitionRouter(
+          place_.keyPartitions,
           std::min(std::max(place_.replication, 1u), r.nBoards()))),
-      windows(r.nBoards()), stats("rack")
+      windows(r.nBoards()), tracker(place_.keyPartitions),
+      frozen(place_.keyPartitions, false),
+      boardAdmitted(r.nBoards(), 0), stats("rack")
 {
     sim_assert(place.keyPartitions >= 1,
                "placement needs at least one key partition");
+    if (place.balance.window) {
+        sim_assert(place.balance.ewmaAlpha > 0 &&
+                       place.balance.ewmaAlpha <= 1,
+                   "balance EWMA alpha must be in (0, 1], got %f",
+                   place.balance.ewmaAlpha);
+        sim_assert(place.balance.hotFactor >= 1.0,
+                   "balance hotFactor below 1 would flag every "
+                   "board hot (got %f)",
+                   place.balance.hotFactor);
+        nextRollAt = place.balance.window;
+    }
     const std::string prefix = per_dpu.statName;
     boardScheds.reserve(rack.nBoards());
     for (unsigned b = 0; b < rack.nBoards(); ++b) {
@@ -41,17 +76,36 @@ RackScheduler::RackScheduler(Rack &r, host::OffloadParams per_dpu,
             stats.counter("netLost") = netLostCnt;
         if (failoverCnt)
             stats.counter("failovers") = failoverCnt;
+        if (migStarted)
+            stats.counter("migStarted") = migStarted;
+        if (migCommitted)
+            stats.counter("migCommitted") = migCommitted;
+        if (migAborted)
+            stats.counter("migAborted") = migAborted;
+        if (forwardedCnt)
+            stats.counter("forwarded") = forwardedCnt;
+        if (place.balance.window) {
+            // Per-shard serving accounting only matters (and only
+            // folds) when the balancer is live, so un-balanced
+            // goldens stay byte-identical.
+            for (unsigned b = 0; b < boardAdmitted.size(); ++b)
+                if (boardAdmitted[b])
+                    stats.counter("b" + std::to_string(b) +
+                                  ".admitted") = boardAdmitted[b];
+        }
     });
 }
 
 unsigned
 RackScheduler::partitionOf(std::uint64_t key) const
 {
-    // Pure function of the key alone: the partition is the stable
-    // placement unit that survives cluster reshapes.
-    std::uint32_t h = util::crc32Key(std::uint32_t(key));
-    h = util::crc32Key(h ^ std::uint32_t(key >> 32));
-    return h % place.keyPartitions;
+    return keyPartition(key, place.keyPartitions);
+}
+
+unsigned
+RackScheduler::homeOf(unsigned partition) const
+{
+    return partMap->homeOf(partition, rack.nBoards());
 }
 
 unsigned
@@ -60,7 +114,7 @@ RackScheduler::primaryOf(std::uint64_t key) const
     host::RouteInfo info;
     info.key = partitionOf(key);
     info.hasKey = true;
-    return groupRouter->route(info, rack.nBoards());
+    return partMap->route(info, rack.nBoards());
 }
 
 std::vector<unsigned>
@@ -70,8 +124,14 @@ RackScheduler::replicasOf(std::uint64_t key) const
     info.key = partitionOf(key);
     info.hasKey = true;
     std::vector<unsigned> out;
-    groupRouter->candidates(info, rack.nBoards(), out);
+    partMap->candidates(info, rack.nBoards(), out);
     return out;
+}
+
+double
+RackScheduler::partitionLoad(unsigned partition) const
+{
+    return tracker.load(partition);
 }
 
 bool
@@ -88,11 +148,94 @@ RackScheduler::admissionFull(unsigned b, sim::Tick now)
     if (!place.admitWindow || !place.admitPerWindow)
         return false;
     std::deque<sim::Tick> &w = windows[b];
-    const sim::Tick horizon =
-        now > place.admitWindow ? now - place.admitWindow : 0;
-    while (!w.empty() && w.front() < horizon)
-        w.pop_front();
+    // The window is the half-open (now - admitWindow, now]: an
+    // admission exactly admitWindow old has aged out (keeping it
+    // made the cap span admitWindow + 1 ticks).
+    if (now >= place.admitWindow) {
+        const sim::Tick horizon = now - place.admitWindow;
+        while (!w.empty() && w.front() <= horizon)
+            w.pop_front();
+    }
     return w.size() >= place.admitPerWindow;
+}
+
+RackScheduler::InFlight *
+RackScheduler::inflightOf(unsigned partition)
+{
+    for (InFlight &m : inflight)
+        if (m.step.partition == partition)
+            return &m;
+    return nullptr;
+}
+
+void
+RackScheduler::commitReady(sim::Tick when)
+{
+    for (std::size_t i = 0; i < inflight.size();) {
+        InFlight &m = inflight[i];
+        if (m.readyAt > when) {
+            ++i;
+            continue;
+        }
+        // Drain-then-switch: everything enqueued before this tick
+        // went to (and will finish at) the old home; everything
+        // after routes to the new one. No job is in limbo.
+        partMap->reassign(m.step.partition, m.step.to);
+        frozen[m.step.partition] = false;
+        ++migCommitted;
+        inflight.erase(inflight.begin() +
+                       std::vector<InFlight>::difference_type(i));
+    }
+}
+
+void
+RackScheduler::startMigration(const MigrationStep &step,
+                              sim::Tick when)
+{
+    // State volume scales with the traffic the partition absorbed:
+    // a fixed snapshot base plus per-request working set.
+    const std::uint64_t bytes =
+        place.balance.stateBytesBase +
+        place.balance.stateBytesPerRequest *
+            tracker.totalLoad(step.partition);
+    bool dropped = false;
+    const sim::Tick ready = rack.net().deliver(
+        step.to, bytes, when, dropped, NetTraffic::Migration);
+    ++migStarted;
+    if (dropped) {
+        // The transfer died on the wire: abort, leave the partition
+        // at its source. A later window may retry.
+        ++migAborted;
+        return;
+    }
+    InFlight m;
+    m.step = step;
+    m.startedAt = when;
+    m.readyAt = ready;
+    frozen[step.partition] = true;
+    inflight.push_back(m);
+}
+
+void
+RackScheduler::advanceBalancer(sim::Tick when)
+{
+    while (nextRollAt && when >= nextRollAt) {
+        const sim::Tick boundary = nextRollAt;
+        nextRollAt += place.balance.window;
+        // Commit transfers delivered by this boundary before
+        // planning, so the plan sees the freshest committed map.
+        commitReady(boundary);
+        tracker.roll(place.balance.ewmaAlpha);
+        std::vector<unsigned> home(place.keyPartitions);
+        for (unsigned p2 = 0; p2 < place.keyPartitions; ++p2)
+            home[p2] = partMap->homeOf(p2, rack.nBoards());
+        const std::vector<MigrationStep> plan = planMigrations(
+            tracker.loads(), home, rack.nBoards(), place.balance,
+            frozen);
+        for (const MigrationStep &s : plan)
+            startMigration(s, boundary);
+    }
+    commitReady(when);
 }
 
 AdmitResult
@@ -104,7 +247,18 @@ RackScheduler::enqueueAt(sim::Tick when, RackRequest req,
     lastOffer = when;
     ++offered;
 
-    const std::vector<unsigned> group = replicasOf(req.key);
+    const unsigned part = partitionOf(req.key);
+    if (place.balance.window) {
+        advanceBalancer(when);
+        // Offered demand, not admitted: rejects are load too.
+        tracker.record(part);
+    }
+
+    host::RouteInfo info;
+    info.key = part;
+    info.hasKey = true;
+    std::vector<unsigned> group;
+    partMap->candidates(info, rack.nBoards(), group);
     bool sawFull = false, sawDrop = false;
     for (std::size_t i = 0; i < group.size(); ++i) {
         const unsigned b = group[i];
@@ -123,10 +277,26 @@ RackScheduler::enqueueAt(sim::Tick when, RackRequest req,
         }
         windows[b].push_back(when);
         ++admitted;
+        ++boardAdmitted[b];
         if (i > 0)
             ++failoverCnt;
         if (board_out)
             *board_out = b;
+        if (InFlight *m = inflightOf(part);
+            m && b == m->step.from) {
+            // Forwarding epoch: the request drains at the source,
+            // and its delta rides to the new home so the snapshot
+            // in flight stays current. A dropped delta only costs
+            // accounting (the commit re-sends nothing — state is
+            // modeled, not materialized).
+            ++forwardedCnt;
+            ++m->forwardedReqs;
+            bool deltaDropped = false;
+            rack.net().deliver(m->step.to,
+                               place.balance.stateBytesPerRequest,
+                               when, deltaDropped,
+                               NetTraffic::Migration);
+        }
         boardScheds[b]->enqueueAt(delivered, std::move(req.job));
         return AdmitResult::Admitted;
     }
@@ -162,69 +332,22 @@ RackScheduler::summary() const
     sum.boardsDown = boardsDownCnt;
     sum.netLost = netLostCnt;
     sum.failovers = failoverCnt;
+    sum.migStarted = migStarted;
+    sum.migCommitted = migCommitted;
+    sum.migAborted = migAborted;
+    sum.forwarded = forwardedCnt;
+    sum.migrationBytes = rack.net().migrationBytes();
+    sum.netDroppedBytes = rack.net().droppedBytes();
 
-    // Fold the per-board serving summaries the way BoardScheduler
-    // folds its shards: counts summed, availability averaged,
+    // Fold per-DPU shard summaries directly (host/summary.hh):
+    // availability weighted by each shard's submitted jobs,
     // percentiles recomputed over every completed job.
-    std::vector<double> lat;
-    constexpr sim::Tick noTick =
-        std::numeric_limits<sim::Tick>::max();
-    sim::Tick first = noTick, last = 0;
-    double avail = 0;
-    for (const auto &bs : boardScheds) {
-        const host::ServingSummary part = bs->summary();
-        sum.serving.submitted += part.submitted;
-        sum.serving.accepted += part.accepted;
-        sum.serving.rejected += part.rejected;
-        sum.serving.dispatched += part.dispatched;
-        sum.serving.completed += part.completed;
-        sum.serving.timedOut += part.timedOut;
-        sum.serving.validationFailed += part.validationFailed;
-        sum.serving.lateJobs += part.lateJobs;
-        sum.serving.wedgedGroups += part.wedgedGroups;
-        sum.serving.requeued += part.requeued;
-        sum.serving.quarantines += part.quarantines;
-        sum.serving.wedgeTimeouts += part.wedgeTimeouts;
-        avail += part.availability;
-        for (unsigned d = 0; d < bs->nShards(); ++d) {
-            for (const host::JobRecord &rec : bs->shard(d).jobs()) {
-                first = std::min(first, rec.enqueuedAt);
-                last = std::max(last, rec.finishedAt);
-                if (rec.state == host::JobState::Completed)
-                    lat.push_back(rec.latencyUs());
-            }
-        }
-    }
-    if (!boardScheds.empty())
-        sum.serving.availability =
-            avail / double(boardScheds.size());
-
-    std::sort(lat.begin(), lat.end());
-    auto pct = [&](double q) {
-        if (lat.empty())
-            return 0.0;
-        std::size_t rank =
-            std::size_t(q * double(lat.size()) + 0.5);
-        if (rank > 0)
-            --rank;
-        return lat[std::min(rank, lat.size() - 1)];
-    };
-    sum.serving.p50Us = pct(0.50);
-    sum.serving.p95Us = pct(0.95);
-    sum.serving.p99Us = pct(0.99);
-    if (!lat.empty()) {
-        double s = 0;
-        for (double l : lat)
-            s += l;
-        sum.serving.meanUs = s / double(lat.size());
-        sum.serving.maxUs = lat.back();
-    }
-    if (sum.serving.completed > 0 && last > first) {
-        const double windowSec = double(last - first) * 1e-12;
-        sum.serving.throughputJobsPerSec =
-            double(sum.serving.completed) / windowSec;
-        sum.usersPerSimSec = sum.serving.throughputJobsPerSec;
-    }
+    host::SummaryFold fold;
+    for (const auto &bs : boardScheds)
+        for (unsigned d = 0; d < bs->nShards(); ++d)
+            fold.add(bs->shard(d).summary(), bs->shard(d).jobs());
+    sum.serving = fold.finish();
+    sum.usersPerSimSec = sum.serving.throughputJobsPerSec;
     if (offered)
         sum.servedFraction =
             double(sum.serving.completed) / double(offered);

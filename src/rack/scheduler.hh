@@ -1,39 +1,57 @@
 /**
  * @file
  * Rack-level request scheduling: placement, replica routing with
- * failover, and bounded cluster admission.
+ * failover, bounded cluster admission, and live rebalancing.
  *
- * The front-end owns three decisions per request, all made at
+ * The front-end owns four decisions per request, all made at
  * admission time (host phase), which keeps the whole rack
  * bit-deterministic (see rack/rack.hh):
  *
  *  1. Placement — the request's key hashes onto one of
  *     `keyPartitions` key-range partitions; the partition selects a
- *     replica group through the shared host::Router replica-group
- *     policy (host/router.hh), so group membership is a pure
- *     function of the key and the board count — independent of the
- *     per-board DPU count and of the replication factor, which
- *     only widens the failover list.
+ *     board through a mutable host::PartitionRouter map whose
+ *     default is bit-identical to the replica-group hash policy
+ *     (host/router.hh), so a rack that never rebalances routes
+ *     exactly as before. The replication factor only widens the
+ *     failover list.
  *
- *  2. Routing with failover — the group's boards are tried in
- *     candidate order: a board inside a `rack.boardDown` fault
- *     window is skipped, a board whose admission window is full is
- *     skipped, and a request the network drops (`rack.netDrop`)
- *     fails over to the next replica, paying a fresh network
- *     transit. A request that exhausts its replicas is rejected at
- *     the front-end.
+ *  2. Routing with failover — the candidates are tried in order: a
+ *     board inside a `rack.boardDown` fault window is skipped, a
+ *     board whose admission window is full is skipped, and a
+ *     request the network drops (`rack.netDrop`) fails over to the
+ *     next replica, paying a fresh network transit. A request that
+ *     exhausts its replicas is rejected at the front-end.
  *
  *  3. Bounded admission — per-board sliding-window rate cap
- *     (admitPerWindow requests per admitWindow ticks). The
- *     per-DPU OffloadScheduler queue bound still applies underneath
- *     once the board simulates.
+ *     (admitPerWindow requests per admitWindow ticks): a request at
+ *     tick T is shed when admitPerWindow admissions already landed
+ *     in the half-open window (T - admitWindow, T]. The per-DPU
+ *     OffloadScheduler queue bound still applies underneath once
+ *     the board simulates.
+ *
+ *  4. Rebalancing (balance.window > 0) — every arrival first
+ *     advances the balancer clock: partition loads roll into EWMAs
+ *     at each window boundary, planMigrations() (rack/balance.hh)
+ *     picks moves off hot boards, and each move ships its partition
+ *     state to the new home over the RackNet as Migration traffic.
+ *     The transfer's delivery tick opens a *forwarding epoch*: the
+ *     partition map is left pointing at the source, arrivals keep
+ *     draining there (counted as forwarded, each shipping a small
+ *     delta to the destination), and only when an arrival finds the
+ *     transfer delivered does the map flip — drain-then-switch, so
+ *     no in-flight job is ever lost or duplicated. A transfer the
+ *     network drops aborts its migration: the partition simply
+ *     stays where it was (fault-safe, retried at a later window).
+ *     Because every decision happens at enqueue time in trace
+ *     order, rebalancing is bit-identical at any --threads count.
  *
  * Inside a board the request is routed to a DPU by the board's own
  * BoardScheduler policy (hash), and everything from PR 2-6 applies:
  * deadlines, reaping, quarantine, availability accounting.
  *
  * summary() folds the per-board serving summaries into one rack
- * view and adds the front-end counters plus the headline
+ * view (host/summary.hh: submitted-weighted availability, rank
+ * percentiles) and adds the front-end counters plus the headline
  * "users served per simulated second".
  */
 
@@ -46,11 +64,13 @@
 #include <vector>
 
 #include "host/board_offload.hh"
+#include "host/router.hh"
+#include "rack/balance.hh"
 #include "rack/rack.hh"
 
 namespace dpu::rack {
 
-/** Placement / admission knobs. */
+/** Placement / admission / rebalancing knobs. */
 struct PlacementParams
 {
     /** Key-range partitions the key space hashes onto. */
@@ -61,6 +81,8 @@ struct PlacementParams
     sim::Tick admitWindow = 0;
     /** Requests admitted per board per window (with admitWindow). */
     unsigned admitPerWindow = 0;
+    /** Hot-shard balancer; balance.window = 0 keeps it off. */
+    BalanceParams balance{};
 };
 
 /** One front-end request: a serving job plus its placement key. */
@@ -92,6 +114,13 @@ struct RackSummary
     std::uint64_t boardsDown = 0; ///< lost to board outages
     std::uint64_t netLost = 0;    ///< lost to network drops
     std::uint64_t failovers = 0;  ///< non-primary deliveries
+    // Balancer activity (all zero with balance.window = 0).
+    std::uint64_t migStarted = 0;
+    std::uint64_t migCommitted = 0;
+    std::uint64_t migAborted = 0;  ///< transfer dropped in flight
+    std::uint64_t forwarded = 0;   ///< drained at src mid-migration
+    std::uint64_t migrationBytes = 0; ///< carried hand-off payload
+    std::uint64_t netDroppedBytes = 0;
     /** The headline: completed requests per simulated second over
      *  the first-enqueue..last-finish window. */
     double usersPerSimSec = 0;
@@ -100,7 +129,15 @@ struct RackSummary
     double netPeakUtilization = 0;
 };
 
-/** The rack front-end: placement, failover, admission. */
+/** The key-range partition @p key hashes onto (pure function). */
+unsigned keyPartition(std::uint64_t key, unsigned key_partitions);
+
+/** Default (hash) home board of @p partition — where an
+ *  un-rebalanced rack places it. Pure function; lets workload
+ *  generators find partitions that collide on one board. */
+unsigned partitionHome(unsigned partition, unsigned n_boards);
+
+/** The rack front-end: placement, failover, admission, balance. */
 class RackScheduler
 {
   public:
@@ -121,6 +158,9 @@ class RackScheduler
 
     /** The key-range partition @p key hashes onto. */
     unsigned partitionOf(std::uint64_t key) const;
+
+    /** Current home board of @p partition (override or hash). */
+    unsigned homeOf(unsigned partition) const;
 
     /** Primary board of @p key's replica group. */
     unsigned primaryOf(std::uint64_t key) const;
@@ -143,7 +183,31 @@ class RackScheduler
     /** Rack-wide aggregate; valid after rack.run(). */
     RackSummary summary() const;
 
+    // --- balancer observability (tests / benches) ---------------
+    /** Smoothed load of @p partition (EWMA over windows). */
+    double partitionLoad(unsigned partition) const;
+    unsigned migrationsInFlight() const
+    {
+        return unsigned(inflight.size());
+    }
+    std::uint64_t migrationsStarted() const { return migStarted; }
+    std::uint64_t migrationsCommitted() const
+    {
+        return migCommitted;
+    }
+    std::uint64_t migrationsAborted() const { return migAborted; }
+    std::uint64_t forwardedRequests() const { return forwardedCnt; }
+
   private:
+    /** One migration inside its forwarding epoch. */
+    struct InFlight
+    {
+        MigrationStep step;
+        sim::Tick startedAt = 0;
+        sim::Tick readyAt = 0; ///< transfer delivery tick
+        std::uint64_t forwardedReqs = 0;
+    };
+
     /** True when board @p b sits in a rack.boardDown window. */
     bool boardDown(unsigned b, sim::Tick now);
 
@@ -151,13 +215,29 @@ class RackScheduler
      *  (advances the window). */
     bool admissionFull(unsigned b, sim::Tick now);
 
+    /** Roll windows / plan / commit everything due by @p when. */
+    void advanceBalancer(sim::Tick when);
+    /** Flip the map for transfers delivered by @p when. */
+    void commitReady(sim::Tick when);
+    /** Ship state for @p step at @p when; open an epoch. */
+    void startMigration(const MigrationStep &step, sim::Tick when);
+    /** The in-flight record for @p partition, or nullptr. */
+    InFlight *inflightOf(unsigned partition);
+
     Rack &rack;
     PlacementParams place;
-    std::unique_ptr<host::Router> groupRouter;
+    /** Mutable partition -> board map (also the replica policy). */
+    std::unique_ptr<host::PartitionRouter> partMap;
     std::vector<std::unique_ptr<host::BoardScheduler>> boardScheds;
     /** Per-board admitted-request times inside the current window. */
     std::vector<std::deque<sim::Tick>> windows;
     sim::Tick lastOffer = 0;
+
+    // Balancer state (host phase only).
+    LoadTracker tracker;
+    std::vector<bool> frozen;      ///< partitions mid-migration
+    std::vector<InFlight> inflight;
+    sim::Tick nextRollAt = 0;      ///< next window boundary; 0 = off
 
     // Front-end tallies (host phase only), folded into the "rack"
     // stat group by a flush hook.
@@ -167,6 +247,11 @@ class RackScheduler
     std::uint64_t boardsDownCnt = 0;
     std::uint64_t netLostCnt = 0;
     std::uint64_t failoverCnt = 0;
+    std::uint64_t migStarted = 0;
+    std::uint64_t migCommitted = 0;
+    std::uint64_t migAborted = 0;
+    std::uint64_t forwardedCnt = 0;
+    std::vector<std::uint64_t> boardAdmitted;
     sim::StatGroup stats;
 };
 

@@ -50,6 +50,12 @@ generateTrace(const TraceConfig &cfg)
     sim_assert(cfg.burstMultiplier >= 1,
                "a burst cannot slow traffic down");
     sim_assert(cfg.nApps >= 1, "trace needs at least one app");
+    sim_assert(cfg.hotStepFraction >= 0 && cfg.hotStepFraction <= 1,
+               "hot-step fraction must sit in [0, 1]");
+    const bool hotStep = cfg.hotStepAtSec >= 0 &&
+                         cfg.hotStepAtSec < cfg.durationSec &&
+                         cfg.hotStepFraction > 0 &&
+                         !cfg.hotStepKeys.empty();
 
     sim::Rng rng(cfg.seed * 0x9e3779b97f4a7c15ull + 0x7ac3ull);
 
@@ -109,6 +115,14 @@ generateTrace(const TraceConfig &cfg)
         TraceEvent ev;
         ev.at = sim::Tick(t * 1e12);
         ev.key = keys.sample(rng.uniform());
+        // Skew step: past the step time, a fixed fraction of
+        // traffic collapses onto the hot key set. The extra draws
+        // happen only post-step, so the trace prefix is
+        // bit-identical with and without the step configured.
+        if (hotStep && t >= cfg.hotStepAtSec &&
+            rng.uniform() < cfg.hotStepFraction)
+            ev.key = cfg.hotStepKeys[rng.below(
+                unsigned(cfg.hotStepKeys.size()))];
         ev.appIdx = unsigned(rng.below(cfg.nApps));
         ev.seed = rng.next();
         out.push_back(ev);

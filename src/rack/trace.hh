@@ -58,6 +58,18 @@ struct TraceConfig
     /** Apps in the mix (events carry an index into it). */
     unsigned nApps = 1;
     std::uint64_t seed = 1;
+
+    // --- skew step (hot-shard workloads) ------------------------
+    /** When the hot step begins, in simulated seconds; negative
+     *  (or past the duration) disables it. */
+    double hotStepAtSec = -1;
+    /** Fraction of post-step arrivals redirected onto hotStepKeys,
+     *  in [0, 1]. */
+    double hotStepFraction = 0;
+    /** The keys post-step traffic concentrates on — typically
+     *  chosen so their partitions collide on one board (see
+     *  rack::partitionHome). Empty disables the step. */
+    std::vector<std::uint64_t> hotStepKeys;
 };
 
 /** One arrival. */

@@ -81,6 +81,13 @@ ClusterTopology::replication(unsigned r)
 }
 
 ClusterTopology &
+ClusterTopology::balance(const rack::BalanceParams &p)
+{
+    place_.balance = p;
+    return *this;
+}
+
+ClusterTopology &
 ClusterTopology::threads(unsigned n)
 {
     threads_ = n;
@@ -173,6 +180,21 @@ ClusterTopology::validate() const
             (place_.admitPerWindow == 0))
             return msg("admission control needs both admitWindow "
                        "and admitPerWindow set (or neither)");
+        if (place_.balance.window) {
+            const rack::BalanceParams &bal = place_.balance;
+            if (bal.ewmaAlpha <= 0 || bal.ewmaAlpha > 1)
+                return msg("the balancer EWMA alpha must sit in "
+                           "(0, 1] (BalanceParams.ewmaAlpha = " +
+                           std::to_string(bal.ewmaAlpha) + ")");
+            if (bal.hotFactor < 1.0)
+                return msg("a hotFactor below 1 flags every board "
+                           "hot (BalanceParams.hotFactor = " +
+                           std::to_string(bal.hotFactor) + ")");
+            if (bal.maxMigrationsPerWindow == 0)
+                return msg("an enabled balancer needs a migration "
+                           "budget (BalanceParams."
+                           "maxMigrationsPerWindow = 0)");
+        }
     }
 
     return "";

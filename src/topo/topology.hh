@@ -88,6 +88,9 @@ class ClusterTopology
     /** Boards per replica group (shorthand into placement). */
     ClusterTopology &replication(unsigned r);
 
+    /** Hot-shard balancer knobs (shorthand into placement). */
+    ClusterTopology &balance(const rack::BalanceParams &p);
+
     /** Epoch-runner worker threads per board. */
     ClusterTopology &threads(unsigned n);
 

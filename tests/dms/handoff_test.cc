@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Hand-off staging plan tests (dms/handoff.hh): chunking must tile
+ * the partition range exactly (contiguous, non-overlapping, whole
+ * elements), respect the 16-bit Rows encoding limit whatever the
+ * chunk knob says, and emit a DdrToDmem chain that ping-pongs the
+ * double buffer and its completion events (the Listing 1 idiom).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dms/handoff.hh"
+
+using namespace dpu;
+using dms::HandoffPlan;
+using dms::planRangeHandoff;
+
+TEST(HandoffPlan, ChunksTileTheRangeExactly)
+{
+    const mem::Addr base = 0x100000;
+    const std::uint64_t bytes = std::uint64_t(1) << 20; // 1 MB
+    const HandoffPlan plan =
+        planRangeHandoff(base, bytes, 256 * 1024, 8);
+
+    ASSERT_EQ(plan.chunks.size(), 4u);
+    EXPECT_EQ(plan.base, base);
+    EXPECT_EQ(plan.totalBytes(), bytes);
+    mem::Addr at = base;
+    for (const dms::HandoffChunk &c : plan.chunks) {
+        EXPECT_EQ(c.ddrAddr, at); // contiguous, no overlap
+        EXPECT_EQ(c.colWidth, 8u);
+        EXPECT_LE(c.rows, 0xffffu);
+        at += c.bytes();
+    }
+    EXPECT_EQ(at, base + bytes);
+}
+
+TEST(HandoffPlan, RowsClampToTheTable2EncodingLimit)
+{
+    // A 1 MB chunk of 1-byte elements would be 2^20 rows; the
+    // 16-bit Rows field caps every descriptor at 65535.
+    const std::uint64_t bytes = 200'000;
+    const HandoffPlan plan =
+        planRangeHandoff(0, bytes, std::uint64_t(1) << 20, 1);
+    ASSERT_EQ(plan.chunks.size(), 4u);
+    EXPECT_EQ(plan.chunks[0].rows, 0xffffu);
+    EXPECT_EQ(plan.chunks[1].rows, 0xffffu);
+    EXPECT_EQ(plan.chunks[2].rows, 0xffffu);
+    EXPECT_EQ(plan.chunks[3].rows, 200'000u - 3 * 0xffffu);
+    EXPECT_EQ(plan.totalBytes(), bytes);
+}
+
+TEST(HandoffPlan, TrailingPartialChunkCoversTheRemainder)
+{
+    // 100 KB in 32 KB chunks of 4 B elements: three full chunks
+    // plus a 4 KB tail.
+    const HandoffPlan plan =
+        planRangeHandoff(0x4000, 100 * 1024, 32 * 1024, 4);
+    ASSERT_EQ(plan.chunks.size(), 4u);
+    EXPECT_EQ(plan.chunks[0].rows, 8192u);
+    EXPECT_EQ(plan.chunks[3].rows, 1024u);
+    EXPECT_EQ(plan.totalBytes(), 100u * 1024u);
+}
+
+TEST(HandoffDescriptors, ChainPingPongsBuffersAndEvents)
+{
+    const HandoffPlan plan =
+        planRangeHandoff(0, 128 * 1024, 32 * 1024, 8);
+    ASSERT_EQ(plan.chunks.size(), 4u);
+    const std::uint16_t dmem = 0x1000, buf = 0x8000;
+    const auto descs = plan.descriptors(dmem, buf, 2, 3);
+    ASSERT_EQ(descs.size(), 4u);
+    for (std::size_t i = 0; i < descs.size(); ++i) {
+        const dms::Descriptor &d = descs[i];
+        EXPECT_EQ(d.type, dms::DescType::DdrToDmem);
+        EXPECT_EQ(d.rows, plan.chunks[i].rows);
+        EXPECT_EQ(d.ddrAddr, plan.chunks[i].ddrAddr);
+        // Even chunks land in the first buffer and signal event_a;
+        // odd chunks in the second, signalling event_b.
+        const bool ping = i % 2 == 0;
+        EXPECT_EQ(d.dmemAddr,
+                  std::uint16_t(dmem + (ping ? 0 : buf)));
+        EXPECT_EQ(d.notifyEvent, ping ? 2 : 3);
+    }
+}
+
+TEST(HandoffDeath, MalformedPlansFailLoudly)
+{
+    // A range that is not a whole number of elements.
+    EXPECT_DEATH(planRangeHandoff(0, 1001, 4096, 8), "whole");
+    // An unsupported element width.
+    EXPECT_DEATH(planRangeHandoff(0, 1024, 4096, 3), "width");
+    // Ping-pong with a single event cannot double-buffer.
+    const HandoffPlan plan = planRangeHandoff(0, 4096, 1024, 8);
+    EXPECT_DEATH(plan.descriptors(0, 1024, 1, 1), "distinct");
+    // A chunk that overflows the staging buffer.
+    EXPECT_DEATH(plan.descriptors(0, 512, 0, 1), "overflow");
+}

@@ -217,6 +217,90 @@ TEST(ReplicaGroupRouter, GroupsWrapAndClampToTheShardCount)
         EXPECT_EQ(w[i], (w[0] + i) % 3);
 }
 
+TEST(WeightedRouter, SurplusWeightsAreATopologyMismatch)
+{
+    // Shorter-than-nShards pads with 1.0 (law above); LONGER means
+    // the caller sized the vector for a different topology, which
+    // must fail loudly instead of silently dropping the tail.
+    auto r = host::makeWeightedRouter({1.0, 2.0, 4.0});
+    EXPECT_EQ(r->route(keyedReq(1), 3), r->route(keyedReq(1), 3));
+    EXPECT_DEATH(r->route(keyedReq(1), 2), "surplus");
+}
+
+// ----------------------------------------------------------------
+// Partition-mapped replica policy (the rack balancer's map)
+// ----------------------------------------------------------------
+
+namespace {
+
+/** The rack scheduler's routing slice: a bare partition index
+ *  (empty app), exactly what PartitionRouter::defaultHomeOf
+ *  rebuilds internally. */
+RouteInfo
+partReq(unsigned partition)
+{
+    RouteInfo r;
+    r.key = partition;
+    r.hasKey = true;
+    return r;
+}
+
+} // namespace
+
+TEST(PartitionRouter, DefaultMapMatchesReplicaGroupRouting)
+{
+    // A map with no reassignments must be bit-identical to the
+    // replica-group policy over the same partition keys — this is
+    // what keeps static racks on their golden snapshots.
+    const unsigned parts = 64;
+    auto pm = host::makePartitionRouter(parts, 2);
+    auto rg = host::makeReplicaGroupRouter(2);
+    for (unsigned n : {4u, 8u}) {
+        for (unsigned p = 0; p < parts; ++p) {
+            EXPECT_EQ(pm->route(partReq(p), n),
+                      rg->route(partReq(p), n));
+            EXPECT_EQ(pm->homeOf(p, n), pm->defaultHomeOf(p, n));
+            std::vector<unsigned> a, b;
+            pm->candidates(partReq(p), n, a);
+            rg->candidates(partReq(p), n, b);
+            EXPECT_EQ(a, b) << "partition " << p << ", " << n
+                            << " shards";
+        }
+    }
+    EXPECT_EQ(pm->reassignedCount(), 0u);
+}
+
+TEST(PartitionRouter, ReassignRehomesOnePartitionOnly)
+{
+    const unsigned parts = 16, n = 4;
+    auto pm = host::makePartitionRouter(parts, 2);
+    const unsigned victim = 5;
+    const unsigned oldHome = pm->homeOf(victim, n);
+    const unsigned newHome = (oldHome + 2) % n;
+    pm->reassign(victim, newHome);
+
+    EXPECT_TRUE(pm->reassigned(victim));
+    EXPECT_EQ(pm->reassignedCount(), 1u);
+    EXPECT_EQ(pm->homeOf(victim, n), newHome);
+    EXPECT_EQ(pm->route(partReq(victim), n), newHome);
+    // The hash home is remembered underneath the override.
+    EXPECT_EQ(pm->defaultHomeOf(victim, n), oldHome);
+    // Every other partition still routes by hash.
+    for (unsigned p = 0; p < parts; ++p) {
+        if (p == victim)
+            continue;
+        EXPECT_EQ(pm->homeOf(p, n), pm->defaultHomeOf(p, n));
+        EXPECT_FALSE(pm->reassigned(p));
+    }
+    // Failover order after the move: the new home leads, and the
+    // candidate list keeps its width and stays duplicate-free.
+    std::vector<unsigned> c;
+    pm->candidates(partReq(victim), n, c);
+    ASSERT_EQ(c.size(), 2u);
+    EXPECT_EQ(c[0], newHome);
+    EXPECT_NE(c[1], c[0]);
+}
+
 // ----------------------------------------------------------------
 // Legacy enum factory + shared hash
 // ----------------------------------------------------------------

@@ -306,6 +306,74 @@ TEST(RackNetFaults, DropsFailOverAndExhaustionIsNetLost)
     sim::faultPlane().reset();
 }
 
+TEST(RackNetFaults, DroppedBytesNeverCountAsCarried)
+{
+    sim::faultPlane().reset();
+    sim::faultPlane().configure("rack.netDrop@p=1", 42);
+    rack::RackParams rp;
+    rp.nBoards = 2;
+    rp.board.soc.ddrBytes = std::size_t(16) << 20;
+    rack::Rack r(rp);
+    rack::PlacementParams place;
+    place.replication = 2;
+    rack::RackScheduler sched(r, {}, place);
+    rack::RackRequest req = rack::makeRequest(
+        {0, 3, 0, 77}, rack::servingMix());
+    const std::uint64_t payload = req.bytes;
+    EXPECT_EQ(sched.enqueueAt(0, std::move(req)),
+              rack::AdmitResult::NetLost);
+    // Both replica attempts burned wire time but carried nothing:
+    // the payload lands in droppedBytes, never in the carried /
+    // utilization accounting (the xfer_stat split).
+    EXPECT_EQ(r.net().messages(), 2u);
+    EXPECT_EQ(r.net().drops(), 2u);
+    EXPECT_EQ(r.net().droppedBytes(), 2 * payload);
+    EXPECT_EQ(r.net().bytesCarried(), 0u);
+    EXPECT_EQ(r.net().migrationBytes(), 0u);
+    sim::faultPlane().reset();
+
+    // With the plane quiet the next delivery is carried normally.
+    rack::RackRequest ok = rack::makeRequest(
+        {1000, 3, 0, 78}, rack::servingMix());
+    const std::uint64_t okBytes = ok.bytes;
+    EXPECT_EQ(sched.enqueueAt(1000, std::move(ok)),
+              rack::AdmitResult::Admitted);
+    EXPECT_EQ(r.net().bytesCarried(), okBytes);
+    EXPECT_EQ(r.net().droppedBytes(), 2 * payload);
+}
+
+TEST(RackAdmission, WindowBoundaryIsHalfOpen)
+{
+    // The cap covers the half-open window (now - admitWindow, now]:
+    // an admission exactly admitWindow old has aged out. Before the
+    // fix the front boundary was kept too, so a cap of 1 per 1000
+    // ticks actually spanned 1001 ticks.
+    sim::faultPlane().reset();
+    rack::RackParams rp;
+    rp.nBoards = 2;
+    rp.board.soc.ddrBytes = std::size_t(16) << 20;
+    rack::Rack r(rp);
+    rack::PlacementParams place;
+    place.replication = 1;
+    place.admitWindow = 1000;
+    place.admitPerWindow = 1;
+    rack::RackScheduler sched(r, {}, place);
+
+    auto offer = [&](sim::Tick at) {
+        return sched.enqueueAt(
+            at, rack::makeRequest({at, 7, 0, at + 1},
+                                  rack::servingMix()));
+    };
+    EXPECT_EQ(offer(0), rack::AdmitResult::Admitted);
+    // 999 ticks later the window (−1, 999] still holds tick 0.
+    EXPECT_EQ(offer(999), rack::AdmitResult::Rejected);
+    // At exactly 1000 the window is (0, 1000]: tick 0 has aged out.
+    EXPECT_EQ(offer(1000), rack::AdmitResult::Admitted);
+    const rack::RackSummary sum = sched.summary();
+    EXPECT_EQ(sum.admitted, 2u);
+    EXPECT_EQ(sum.rejected, 1u);
+}
+
 // ----------------------------------------------------------------
 // End-to-end serving through the rack
 // ----------------------------------------------------------------
