@@ -24,11 +24,23 @@
  *     sheds) vs the live balancer (hot partitions migrate off over
  *     the rack network). The run fails unless the balanced run
  *     recovers >= 1.3x the static throughput with a lower p99.
+ *  4. Outage recovery (--outage, replacing the other sections) —
+ *     a 4-board rack provisioned with ~17% admission headroom
+ *     loses one board to rack.boardCrash at t = 3 ms. The failure
+ *     detector (rack/health.hh) must notice from heartbeats and
+ *     missing acks alone, the repair controller promotes the
+ *     surviving replicas and re-replicates the lost partitions,
+ *     and once the board rejoins the balancer walks load back onto
+ *     it. The section gates on detection latency, the rejoin
+ *     bound, and the per-millisecond admitted rate in the last two
+ *     windows recovering to >= 90% of the pre-outage rate — then
+ *     replays the identical scenario nine more times across
+ *     --threads {1, 2, 4} as a determinism wall.
  *
  * Racks are built through topo::ClusterTopology — this bench is
  * also the builder's largest consumer. Output: human tables plus
  * one JSON line (last line of stdout) for CI artifact collection
- * (BENCH_rack.json).
+ * (BENCH_rack.json; BENCH_rack_outage.json for --outage).
  */
 
 #include <algorithm>
@@ -38,12 +50,14 @@
 
 #include "bench/report.hh"
 #include "host/offload.hh"
+#include "rack/health.hh"
 #include "rack/rack.hh"
 #include "rack/scheduler.hh"
 #include "rack/trace.hh"
 #include "rack/workload.hh"
 #include "sim/fault.hh"
 #include "sim/logging.hh"
+#include "sim/stats_registry.hh"
 #include "topo/topology.hh"
 
 using namespace dpu;
@@ -115,6 +129,284 @@ traceRun(unsigned n_boards, unsigned max_boards,
     return pt;
 }
 
+/** True when `flag` appears verbatim on the command line. */
+bool
+flagSet(int argc, char **argv, const char *flag)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return true;
+    return false;
+}
+
+// ----------------------------------------------------------------
+// 4. Outage recovery (--outage)
+// ----------------------------------------------------------------
+
+struct OutageRun
+{
+    rack::RackSummary sum;
+    sim::StatsSnapshot snap;
+    /** Front-end arrivals / admissions per 1 ms window. The gate
+     *  compares per-window served fractions, not raw counts — the
+     *  Poisson trace realizes ~±10% arrival noise per window,
+     *  which would drown a 90% floor on raw admitted rates. */
+    std::vector<std::uint64_t> offeredWin;
+    std::vector<std::uint64_t> admittedWin;
+    sim::Tick downAt = 0;   ///< crash board declared Down
+    sim::Tick rejoinAt = 0; ///< crash board back to Healthy
+    bool finished = false;
+};
+
+/** The outage scenario: 4 boards x 2 DPUs with ~17% admission
+ *  headroom, detection + repair + balancer live, one board killed
+ *  by rack.boardCrash at @p crash_at. A flat trace (no diurnal
+ *  swing, no bursts) so per-window admitted rates compare like
+ *  with like. */
+OutageRun
+outageRun(unsigned threads, bool smoke, unsigned crash_board,
+          sim::Tick crash_at)
+{
+    const std::string spec =
+        "rack.boardCrash@p=1,unit=" + std::to_string(crash_board) +
+        ",from=" + std::to_string(crash_at) + ",max=1";
+    sim::faultPlane().reset();
+    sim::faultPlane().configure(spec.c_str(), 1);
+
+    soc::SocParams sp = soc::dpu40nm();
+    sp.ddrBytes = std::size_t(64) << 20;
+
+    // Offered load sits at ~86% of the rack's admission capacity:
+    // losing one board of four drops capacity below the offered
+    // rate, so the outage is visible as admission loss until the
+    // board rejoins and the balancer walks load back onto it.
+    rack::PlacementParams pl;
+    pl.replication = 2;
+    pl.admitWindow = sim::Tick(1'000'000'000); // 1 ms
+    pl.admitPerWindow = smoke ? 12 : 35;
+    pl.balance.window = sim::Tick(500'000'000);
+    pl.balance.ewmaAlpha = 0.7;
+    pl.balance.hotFactor = 1.1;
+    pl.balance.maxMigrationsPerWindow = 3;
+    pl.balance.minPartitionLoad = 1.0;
+    pl.health.heartbeatPeriod = sim::Tick(200'000'000); // 200 us
+    pl.health.ackTimeout = sim::Tick(50'000'000);       // 50 us
+    pl.health.suspectAfter = 2;
+    pl.health.downAfter = 4;
+    pl.health.rejoinAfter = 3;
+
+    topo::ClusterTopology topo = topo::ClusterTopology::rack(4, 2)
+                                     .chip(sp)
+                                     .placement(pl)
+                                     .threads(threads);
+    const std::string err = topo.validate();
+    sim_assert(err.empty(), "outage topology invalid: %s",
+               err.c_str());
+    auto r = topo.buildRack();
+    rack::RackScheduler sched(*r, host::OffloadParams{}, pl);
+
+    rack::TraceConfig tc;
+    tc.ratePerSec = smoke ? 40'000 : 120'000;
+    tc.durationSec = 0.01;
+    tc.diurnalAmp = 0;
+    tc.burstsPerSec = 0;
+    tc.seed = 19;
+    tc.nApps = unsigned(rack::servingMix().size());
+    const std::vector<rack::TraceEvent> trace =
+        rack::generateTrace(tc);
+
+    const sim::Tick win = sim::Tick(1'000'000'000);
+    OutageRun out;
+    out.offeredWin.assign(10, 0);
+    out.admittedWin.assign(10, 0);
+    const std::vector<rack::MixApp> mix = rack::servingMix();
+    for (const rack::TraceEvent &ev : trace) {
+        const rack::AdmitResult res =
+            sched.enqueueAt(ev.at, rack::makeRequest(ev, mix));
+        const std::size_t w = std::size_t(ev.at / win);
+        if (w < out.offeredWin.size()) {
+            ++out.offeredWin[w];
+            if (res == rack::AdmitResult::Admitted)
+                ++out.admittedWin[w];
+        }
+    }
+    sched.start();
+    r->run();
+    bench::flushTrace();
+
+    out.finished = r->allFinished();
+    out.sum = sched.summary();
+    for (const rack::HealthTransition &t :
+         sched.health().transitions()) {
+        if (t.board != crash_board)
+            continue;
+        if (!out.downAt && t.to == rack::BoardHealth::Down)
+            out.downAt = t.at;
+        else if (out.downAt && !out.rejoinAt &&
+                 t.from == rack::BoardHealth::Probation &&
+                 t.to == rack::BoardHealth::Healthy)
+            out.rejoinAt = t.at;
+    }
+    sim::faultPlane().reset();
+    out.snap = sim::StatsRegistry::instance().snapshot();
+    out.snap.counters["sim.finalTick"] = r->now();
+    return out;
+}
+
+/** The --outage entry point (runs instead of the other sections). */
+int
+outageMain(bool smoke, unsigned threads)
+{
+    const unsigned crash_board = 1;
+    const sim::Tick crash_at = sim::Tick(3'000'000'000); // 3 ms
+
+    bench::header("rack outage recovery",
+                  "board 1 of 4 crashes at 3 ms; detect from "
+                  "heartbeats, promote survivors, re-replicate, "
+                  "rejoin, rebalance");
+
+    OutageRun run = outageRun(threads, smoke, crash_board,
+                              crash_at);
+    bool ok = run.finished &&
+              run.sum.serving.validationFailed == 0 &&
+              run.sum.serving.completed > 0;
+
+    bench::row("  %8s %s", "window",
+               "admitted / offered per 1 ms slice");
+    std::vector<double> frac(run.offeredWin.size(), 0);
+    for (std::size_t w = 0; w < run.offeredWin.size(); ++w) {
+        frac[w] = run.offeredWin[w]
+                      ? double(run.admittedWin[w]) /
+                            double(run.offeredWin[w])
+                      : 0;
+        bench::row("  %7zums %4llu / %4llu  (%.3f)%s", w,
+                   (unsigned long long)run.admittedWin[w],
+                   (unsigned long long)run.offeredWin[w], frac[w],
+                   w == 3 ? "   <- crash" : "");
+    }
+
+    // Pre-outage served fraction over the three whole windows
+    // before the crash; recovered fraction over the last two. The
+    // dip between them is the outage cost the report quotes.
+    double pre = 0, tail = 0, dip = 2.0;
+    for (unsigned w = 0; w < 3; ++w)
+        pre += frac[w] / 3;
+    for (unsigned w = 8; w < 10; ++w)
+        tail += frac[w] / 2;
+    for (unsigned w = 3; w < 8; ++w)
+        dip = std::min(dip, frac[w]);
+    const double recovery = pre > 0 ? tail / pre : 0;
+
+    const double detectMs =
+        run.downAt ? double(run.downAt - crash_at) / 1e9 : -1;
+    const double rejoinMs =
+        run.rejoinAt ? double(run.rejoinAt - crash_at) / 1e9 : -1;
+    bench::row("  detected Down %.2f ms after the crash; back to "
+               "Healthy %.2f ms after (repairs %llu started, "
+               "%llu committed)",
+               detectMs, rejoinMs,
+               (unsigned long long)run.sum.repairsStarted,
+               (unsigned long long)run.sum.repairsCommitted);
+    bench::row("  served fraction: pre %.3f, dip %.3f, tail %.3f "
+               "-> recovery %.2fx (failovers %llu, reroutes %llu, "
+               "rejected %llu, boardsDown %llu)",
+               pre, dip, tail, recovery,
+               (unsigned long long)run.sum.failovers,
+               (unsigned long long)run.sum.admitReroutes,
+               (unsigned long long)run.sum.rejected,
+               (unsigned long long)run.sum.boardsDown);
+
+    // Gates: detection within the hysteresis bound, rejoin (which
+    // requires every repair to have committed) within 2.5 ms, and
+    // the recovery floor.
+    // downAfter heartbeat rounds plus two ack timeouts, matching
+    // the knobs outageRun sets (4 x 200 us + 2 x 50 us).
+    const double gateRecovery = 0.9;
+    const sim::Tick detectBound =
+        4 * sim::Tick(200'000'000) + 2 * sim::Tick(50'000'000);
+    if (!run.downAt || run.downAt - crash_at > detectBound) {
+        bench::row("  FAIL: detection outside the %.2f ms "
+                   "hysteresis bound",
+                   double(detectBound) / 1e9);
+        ok = false;
+    }
+    if (!run.rejoinAt ||
+        run.rejoinAt - crash_at > sim::Tick(2'500'000'000)) {
+        bench::row("  FAIL: the crashed board never rejoined "
+                   "within 2.5 ms");
+        ok = false;
+    }
+    if (run.sum.repairsCommitted == 0) {
+        bench::row("  FAIL: no re-replication committed");
+        ok = false;
+    }
+    if (recovery < gateRecovery) {
+        bench::row("  FAIL: tail served fraction %.2fx of "
+                   "pre-outage < %.2fx floor",
+                   recovery, gateRecovery);
+        ok = false;
+    }
+
+    // Determinism wall: the identical scenario nine more times
+    // across worker-thread counts must replay every stat
+    // bit-identically.
+    const unsigned wall[] = {2, 4, 1, 2, 4, 1, 2, 4, 1};
+    unsigned wallFailures = 0;
+    for (unsigned i = 0; i < 9; ++i) {
+        OutageRun rerun =
+            outageRun(wall[i], smoke, crash_board, crash_at);
+        const auto diffs =
+            sim::diffSnapshots(run.snap, rerun.snap);
+        if (!diffs.empty()) {
+            ++wallFailures;
+            bench::row("  FAIL: wall run %u (--threads %u): %zu "
+                       "stat(s) differ",
+                       i + 2, wall[i], diffs.size());
+        }
+    }
+    bench::row("  determinism wall: 10 runs across --threads "
+               "{1,2,4}, %u mismatch(es)",
+               wallFailures);
+    ok = ok && wallFailures == 0;
+
+    {
+        bench::Json j;
+        j.field("bench", "rack_outage");
+        j.field("smoke", std::uint64_t(smoke));
+        j.field("nBoards", std::uint64_t(4));
+        j.field("crashBoard", std::uint64_t(crash_board));
+        j.field("crashAtMs", double(crash_at) / 1e9);
+        j.field("preServedFraction", pre);
+        j.field("dipServedFraction", dip);
+        j.field("tailServedFraction", tail);
+        j.field("recovery", recovery);
+        j.field("gateRecovery", gateRecovery);
+        j.field("detectMs", detectMs);
+        j.field("rejoinMs", rejoinMs);
+        j.field("probes", run.sum.probes);
+        j.field("repairsStarted", run.sum.repairsStarted);
+        j.field("repairsCommitted", run.sum.repairsCommitted);
+        j.field("failovers", run.sum.failovers);
+        j.field("admitReroutes", run.sum.admitReroutes);
+        j.field("shed", run.sum.shed);
+        j.field("boardsDown", run.sum.boardsDown);
+        j.field("netLost", run.sum.netLost);
+        j.field("rejected", run.sum.rejected);
+        j.field("migCommitted", run.sum.migCommitted);
+        j.field("determinismRuns", std::uint64_t(10));
+        j.field("determinismFailures",
+                std::uint64_t(wallFailures));
+        j.field("pass", std::uint64_t(ok));
+    }
+
+    if (!ok) {
+        std::fprintf(stderr,
+                     "bench_rack: FAILED outage gates\n");
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -130,6 +422,9 @@ main(int argc, char **argv)
     // help on long boards; serial epochs are the cheap default.
     const unsigned threads = unsigned(std::strtoul(
         bench::argValue(argc, argv, "--threads", "1"), nullptr, 0));
+
+    if (flagSet(argc, argv, "--outage"))
+        return outageMain(smoke, threads);
 
     // The arrival shape: one simulated "day" of 10 ms with a 50%
     // diurnal swing, 3x bursts and web-like key skew, generated

@@ -160,7 +160,7 @@ class ReplicaGroupRouter final : public Router
 PartitionRouter::PartitionRouter(unsigned n_partitions,
                                  unsigned replication)
     : nParts(n_partitions), repl(replication),
-      overrides(n_partitions, -1)
+      overrides(n_partitions, -1), replicaSets(n_partitions)
 {
     sim_assert(n_partitions >= 1,
                "partition router: needs at least one partition");
@@ -187,6 +187,13 @@ PartitionRouter::homeOf(unsigned partition, unsigned nShards) const
     sim_assert(partition < nParts,
                "partition %u outside the map (%u partitions)",
                partition, nParts);
+    const std::vector<unsigned> &rs = replicaSets[partition];
+    if (!rs.empty()) {
+        sim_assert(rs[0] < nShards,
+                   "partition %u replica set names shard %u of %u",
+                   partition, rs[0], nShards);
+        return rs[0];
+    }
     const std::int32_t o = overrides[partition];
     if (o >= 0) {
         sim_assert(unsigned(o) < nShards,
@@ -204,6 +211,57 @@ PartitionRouter::reassign(unsigned partition, unsigned shard)
                "partition %u outside the map (%u partitions)",
                partition, nParts);
     overrides[partition] = std::int32_t(shard);
+    // A pinned replica set stays authoritative for candidates():
+    // re-homing promotes @p shard to its front so routing and
+    // failover order agree.
+    std::vector<unsigned> &rs = replicaSets[partition];
+    if (!rs.empty()) {
+        for (auto it = rs.begin(); it != rs.end(); ++it) {
+            if (*it == shard) {
+                rs.erase(it);
+                break;
+            }
+        }
+        rs.insert(rs.begin(), shard);
+    }
+}
+
+void
+PartitionRouter::setReplicas(unsigned partition,
+                             std::vector<unsigned> shards)
+{
+    sim_assert(partition < nParts,
+               "partition %u outside the map (%u partitions)",
+               partition, nParts);
+    sim_assert(!shards.empty(),
+               "partition %u: an explicit replica set needs at "
+               "least one shard",
+               partition);
+    for (std::size_t i = 0; i < shards.size(); ++i)
+        for (std::size_t j = i + 1; j < shards.size(); ++j)
+            sim_assert(shards[i] != shards[j],
+                       "partition %u: shard %u listed twice in its "
+                       "replica set",
+                       partition, shards[i]);
+    replicaSets[partition] = std::move(shards);
+}
+
+void
+PartitionRouter::clearReplicas(unsigned partition)
+{
+    sim_assert(partition < nParts,
+               "partition %u outside the map (%u partitions)",
+               partition, nParts);
+    replicaSets[partition].clear();
+}
+
+const std::vector<unsigned> &
+PartitionRouter::replicasOf(unsigned partition) const
+{
+    sim_assert(partition < nParts,
+               "partition %u outside the map (%u partitions)",
+               partition, nParts);
+    return replicaSets[partition];
 }
 
 bool
@@ -237,6 +295,19 @@ PartitionRouter::candidates(const RouteInfo &req, unsigned nShards,
 {
     sim_assert(req.hasKey, "partition router needs an explicit key");
     const unsigned partition = unsigned(req.key);
+    const std::vector<unsigned> &rs = replicaSets[partition];
+    if (!rs.empty()) {
+        // Repair pinned this partition's failover order explicitly
+        // (dead boards evicted, re-replicated copies appended).
+        for (unsigned s : rs) {
+            sim_assert(s < nShards,
+                       "partition %u replica set names shard %u of "
+                       "%u",
+                       partition, s, nShards);
+            out.push_back(s);
+        }
+        return;
+    }
     const unsigned primary = homeOf(partition, nShards);
     const unsigned g = defaultHomeOf(partition, nShards);
     const unsigned r = repl < nShards ? repl : nShards;

@@ -159,11 +159,33 @@ class PartitionRouter final : public Router
     /** Partitions currently living away from their hash home. */
     unsigned reassignedCount() const;
 
+    /**
+     * Repair hook: pin @p partition's full failover order to
+     * @p shards (primary first; must be non-empty, deduplicated).
+     * Overrides the default hash-group candidate list until
+     * clearReplicas(); homeOf()/route() report shards[0]. The rack
+     * repair controller uses this to evict a dead board from a
+     * partition's replica set and to record the re-replicated
+     * copy's new location.
+     */
+    void setReplicas(unsigned partition,
+                     std::vector<unsigned> shards);
+
+    /** Drop @p partition's explicit replica set (hash group rules
+     *  again; any reassign() home override still applies). */
+    void clearReplicas(unsigned partition);
+
+    /** @p partition's explicit replica set (empty = default). */
+    const std::vector<unsigned> &
+    replicasOf(unsigned partition) const;
+
   private:
     unsigned nParts;
     unsigned repl;
     /** Per-partition home override; -1 = the hash home. */
     std::vector<std::int32_t> overrides;
+    /** Per-partition explicit failover order; empty = hash group. */
+    std::vector<std::vector<unsigned>> replicaSets;
 };
 
 /** A fresh all-default partition map (see PartitionRouter). */

@@ -66,9 +66,20 @@ RackNet::deliver(unsigned dst, std::uint64_t bytes, sim::Tick now,
         if (cls == NetTraffic::Migration) {
             c.migBytes += bytes;
             ++c.migMsgs;
+        } else if (cls == NetTraffic::Probe) {
+            c.probeBytes += bytes;
+            ++c.probeMsgs;
         }
     }
     return tx_done + p.hopLatency + extra;
+}
+
+sim::Tick
+RackNet::backlog(unsigned dst, sim::Tick now) const
+{
+    sim_assert(dst < n, "bad rack endpoint %u", dst);
+    const Channel &c = chans[dst];
+    return c.nextFree > now ? c.nextFree - now : 0;
 }
 
 void
@@ -76,6 +87,7 @@ RackNet::foldStats()
 {
     std::uint64_t msgs = 0, bytes = 0, drops = 0, delays = 0;
     std::uint64_t dropb = 0, migb = 0, migm = 0;
+    std::uint64_t prbb = 0, prbm = 0;
     for (unsigned b = 0; b < n; ++b) {
         const Channel &c = chans[b];
         msgs += c.msgs;
@@ -85,6 +97,8 @@ RackNet::foldStats()
         dropb += c.dropBytes;
         migb += c.migBytes;
         migm += c.migMsgs;
+        prbb += c.probeBytes;
+        prbm += c.probeMsgs;
         if (c.msgs) {
             const std::string ch = "board" + std::to_string(b);
             stats.counter(ch + ".bytes") = c.bytes;
@@ -106,6 +120,10 @@ RackNet::foldStats()
     if (migb) {
         stats.counter("migBytes") = migb;
         stats.counter("migMsgs") = migm;
+    }
+    if (prbb) {
+        stats.counter("probeBytes") = prbb;
+        stats.counter("probeMsgs") = prbm;
     }
     if (delays)
         stats.counter("delayed") = delays;
@@ -135,6 +153,15 @@ RackNet::migrationBytes() const
     std::uint64_t total = 0;
     for (const Channel &c : chans)
         total += c.migBytes;
+    return total;
+}
+
+std::uint64_t
+RackNet::probeBytes() const
+{
+    std::uint64_t total = 0;
+    for (const Channel &c : chans)
+        total += c.probeBytes;
     return total;
 }
 

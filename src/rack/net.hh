@@ -74,6 +74,7 @@ enum class NetTraffic : std::uint8_t
 {
     Request,   ///< front-end request payloads
     Migration, ///< partition-state hand-offs (rack/balance.hh)
+    Probe,     ///< health-monitor heartbeats (rack/health.hh)
 };
 
 /** N per-board ingress channels behind one front-end. */
@@ -90,12 +91,29 @@ class RackNet
      * at the front-end at tick @p now. @return the delivery tick
      * at the board's host; @p dropped reports a rack.netDrop
      * firing (wire time spent, payload lost — the caller owns
-     * failover / migration abort). Host-phase only, and calls must
-     * come in nondecreasing @p now order per run.
+     * failover / migration abort). Host-phase only. Calls should
+     * come in roughly nondecreasing @p now order; locally
+     * out-of-order sends (e.g. failover-penalty retries landing
+     * behind later arrivals) are tolerated — tx starts at
+     * max(now, nextFree), so the channel never rewinds.
      */
     sim::Tick deliver(unsigned dst, std::uint64_t bytes,
                       sim::Tick now, bool &dropped,
                       NetTraffic cls = NetTraffic::Request);
+
+    /**
+     * Ticks the board @p dst ingress pipe is already committed
+     * past @p now (queued serialization of earlier messages). The
+     * brown-out controller uses it to predict a request's delivery
+     * delay from observable front-end state.
+     */
+    sim::Tick backlog(unsigned dst, sim::Tick now) const;
+
+    /** Wire (serialization) ticks @p bytes would occupy. */
+    sim::Tick wireTicks(std::uint64_t bytes) const
+    {
+        return serTicks(bytes);
+    }
 
     /** Fraction of [0, end] the board @p dst ingress pipe spent
      *  serializing traffic that was actually delivered. */
@@ -110,6 +128,8 @@ class RackNet
     std::uint64_t droppedBytes() const;
     /** Carried bytes that were partition-migration payload. */
     std::uint64_t migrationBytes() const;
+    /** Carried bytes that were health-probe payload. */
+    std::uint64_t probeBytes() const;
     /** Delivery attempts, dropped ones included. */
     std::uint64_t messages() const;
     std::uint64_t drops() const;
@@ -132,6 +152,9 @@ class RackNet
         /** Carried migration traffic (subset of bytes/msgs). */
         std::uint64_t migBytes = 0;
         std::uint64_t migMsgs = 0;
+        /** Carried heartbeat traffic (subset of bytes/msgs). */
+        std::uint64_t probeBytes = 0;
+        std::uint64_t probeMsgs = 0;
     };
 
     /** Wire ticks for @p bytes at the configured bandwidth. */

@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "host/summary.hh"
-#include "sim/fault.hh"
 #include "sim/logging.hh"
 #include "util/crc32.hh"
 
@@ -36,12 +35,26 @@ RackScheduler::RackScheduler(Rack &r, host::OffloadParams per_dpu,
       partMap(host::makePartitionRouter(
           place_.keyPartitions,
           std::min(std::max(place_.replication, 1u), r.nBoards()))),
+      mon(std::make_unique<HealthMonitor>(r.net(), r.nBoards(),
+                                          place_.health)),
       windows(r.nBoards()), tracker(place_.keyPartitions),
       frozen(place_.keyPartitions, false),
+      outstandingRepairs(r.nBoards(), 0),
       boardAdmitted(r.nBoards(), 0), stats("rack")
 {
     sim_assert(place.keyPartitions >= 1,
                "placement needs at least one key partition");
+    defaultDeadline = per_dpu.defaultTimeout;
+    if (mon->monitoring()) {
+        sim_assert(place.health.shedPressure > 0 &&
+                       place.health.shedPressure <= 1,
+                   "health shedPressure must be in (0, 1], got %f",
+                   place.health.shedPressure);
+        sim_assert(place.health.shedDeadlineFrac > 0,
+                   "health shedDeadlineFrac must be positive, "
+                   "got %f",
+                   place.health.shedDeadlineFrac);
+    }
     if (place.balance.window) {
         sim_assert(place.balance.ewmaAlpha > 0 &&
                        place.balance.ewmaAlpha <= 1,
@@ -74,8 +87,16 @@ RackScheduler::RackScheduler(Rack &r, host::OffloadParams per_dpu,
             stats.counter("boardsDown") = boardsDownCnt;
         if (netLostCnt)
             stats.counter("netLost") = netLostCnt;
+        if (shedCnt)
+            stats.counter("shed") = shedCnt;
         if (failoverCnt)
             stats.counter("failovers") = failoverCnt;
+        if (admitRerouteCnt)
+            stats.counter("admitReroutes") = admitRerouteCnt;
+        if (repairStarted)
+            stats.counter("repairStarted") = repairStarted;
+        if (repairCommitted)
+            stats.counter("repairCommitted") = repairCommitted;
         if (migStarted)
             stats.counter("migStarted") = migStarted;
         if (migCommitted)
@@ -135,14 +156,6 @@ RackScheduler::partitionLoad(unsigned partition) const
 }
 
 bool
-RackScheduler::boardDown(unsigned b, sim::Tick now)
-{
-    sim::FaultPlane &fp = sim::faultPlane();
-    return fp.active() &&
-           fp.fires(sim::FaultSite::RackBoardDown, now, int(b));
-}
-
-bool
 RackScheduler::admissionFull(unsigned b, sim::Tick now)
 {
     if (!place.admitWindow || !place.admitPerWindow)
@@ -177,12 +190,36 @@ RackScheduler::commitReady(sim::Tick when)
             ++i;
             continue;
         }
-        // Drain-then-switch: everything enqueued before this tick
-        // went to (and will finish at) the old home; everything
-        // after routes to the new one. No job is in limbo.
-        partMap->reassign(m.step.partition, m.step.to);
-        frozen[m.step.partition] = false;
-        ++migCommitted;
+        if (m.repair) {
+            // The fresh copy is whole: append its board to the
+            // partition's replica set (the primary is untouched —
+            // this restores width, it does not re-home).
+            std::vector<unsigned> set =
+                currentReplicas(m.step.partition);
+            bool already = false;
+            for (unsigned s : set)
+                already |= s == m.step.to;
+            if (!already) {
+                set.push_back(m.step.to);
+                partMap->setReplicas(m.step.partition, set);
+            }
+            frozen[m.step.partition] = false;
+            ++repairCommitted;
+            sim_assert(outstandingRepairs[m.attributed] > 0,
+                       "repair committed for board %u with none "
+                       "outstanding",
+                       m.attributed);
+            if (--outstandingRepairs[m.attributed] == 0)
+                mon->markRepaired(m.attributed);
+        } else {
+            // Drain-then-switch: everything enqueued before this
+            // tick went to (and will finish at) the old home;
+            // everything after routes to the new one. No job is in
+            // limbo.
+            partMap->reassign(m.step.partition, m.step.to);
+            frozen[m.step.partition] = false;
+            ++migCommitted;
+        }
         inflight.erase(inflight.begin() +
                        std::vector<InFlight>::difference_type(i));
     }
@@ -216,6 +253,198 @@ RackScheduler::startMigration(const MigrationStep &step,
     inflight.push_back(m);
 }
 
+std::vector<unsigned>
+RackScheduler::currentReplicas(unsigned partition) const
+{
+    host::RouteInfo info;
+    info.key = partition;
+    info.hasKey = true;
+    std::vector<unsigned> out;
+    partMap->candidates(info, rack.nBoards(), out);
+    return out;
+}
+
+int
+RackScheduler::pickReplacement(
+    const std::vector<unsigned> &exclude) const
+{
+    // Deterministic: least admitted traffic wins, lowest index
+    // breaks ties. Only boards the detector trusts are eligible —
+    // re-replicating onto a Suspect board would race its verdict.
+    int best = -1;
+    for (unsigned b = 0; b < rack.nBoards(); ++b) {
+        if (mon->state(b) != BoardHealth::Healthy)
+            continue;
+        bool used = false;
+        for (unsigned e : exclude)
+            used |= e == b;
+        if (used)
+            continue;
+        if (best < 0 ||
+            boardAdmitted[b] < boardAdmitted[unsigned(best)])
+            best = int(b);
+    }
+    return best;
+}
+
+void
+RackScheduler::repairBoard(unsigned b)
+{
+    // 1. In-flight transfers touching the dead board are void: a
+    // source that died mid-drain loses its epoch, a dead target
+    // can't take delivery. Abort cleanly; eviction below re-homes
+    // whatever lived there, and an aborted repair is re-queued so
+    // its partition still gets a new copy.
+    for (std::size_t i = 0; i < inflight.size();) {
+        InFlight &m = inflight[i];
+        if (m.step.from != b && m.step.to != b) {
+            ++i;
+            continue;
+        }
+        frozen[m.step.partition] = false;
+        if (m.repair)
+            owedRepairs.push_back(
+                {m.step.partition, m.attributed});
+        else
+            ++migAborted;
+        inflight.erase(inflight.begin() +
+                       std::vector<InFlight>::difference_type(i));
+    }
+
+    // 2. Evict b from every replica set it serves. The strongest
+    // survivor is promoted to primary; the lost width is owed as a
+    // re-replication shipped by pumpRepairs().
+    for (unsigned p2 = 0; p2 < place.keyPartitions; ++p2) {
+        std::vector<unsigned> set = currentReplicas(p2);
+        bool member = false;
+        for (unsigned s : set)
+            member |= s == b;
+        if (!member)
+            continue;
+        std::vector<unsigned> survivors;
+        for (unsigned s : set)
+            if (s != b)
+                survivors.push_back(s);
+        if (survivors.empty()) {
+            // Replication 1 and the only copy died: re-provision
+            // onto the coldest healthy board (the real system
+            // restores from its durable store).
+            const int r = pickReplacement(survivors);
+            if (r < 0)
+                continue; // whole rack dark; leave it routed at b
+            survivors.push_back(unsigned(r));
+        }
+        partMap->setReplicas(p2, survivors);
+        if (survivors.size() < partMap->replicationWidth()) {
+            bool owed = frozen[p2];
+            for (const RepairJob &j : owedRepairs)
+                owed |= j.partition == p2;
+            if (!owed) {
+                owedRepairs.push_back({p2, b});
+                ++outstandingRepairs[b];
+            }
+        }
+    }
+    if (outstandingRepairs[b] == 0)
+        mon->markRepaired(b);
+}
+
+void
+RackScheduler::pumpRepairs(sim::Tick when)
+{
+    if (owedRepairs.empty())
+        return;
+    std::vector<RepairJob> still;
+    for (const RepairJob &j : owedRepairs) {
+        std::vector<unsigned> set = currentReplicas(j.partition);
+        const int target = pickReplacement(set);
+        if (target < 0) {
+            // No healthy board free to hold the copy; keep owing.
+            still.push_back(j);
+            continue;
+        }
+        const std::uint64_t bytes =
+            place.balance.stateBytesBase +
+            place.balance.stateBytesPerRequest *
+                tracker.totalLoad(j.partition);
+        bool dropped = false;
+        const sim::Tick ready =
+            rack.net().deliver(unsigned(target), bytes, when,
+                               dropped, NetTraffic::Migration);
+        ++repairStarted;
+        if (dropped) {
+            // Wire time burned, copy lost: retried at the next
+            // arrival (the obligation survives).
+            still.push_back(j);
+            continue;
+        }
+        InFlight m;
+        m.step.partition = j.partition;
+        m.step.from = set.empty() ? unsigned(target) : set[0];
+        m.step.to = unsigned(target);
+        m.startedAt = when;
+        m.readyAt = ready;
+        m.repair = true;
+        m.attributed = j.attributed;
+        frozen[j.partition] = true;
+        inflight.push_back(m);
+    }
+    owedRepairs = std::move(still);
+}
+
+void
+RackScheduler::processTransitions()
+{
+    const std::vector<HealthTransition> &log = mon->transitions();
+    for (; seenTransitions < log.size(); ++seenTransitions) {
+        const HealthTransition &t = log[seenTransitions];
+        if (t.to == BoardHealth::Down && place.health.repair)
+            repairBoard(t.board);
+    }
+}
+
+void
+RackScheduler::advanceHealth(sim::Tick when)
+{
+    if (!mon->monitoring())
+        return;
+    mon->advanceTo(when);
+    processTransitions();
+    pumpRepairs(when);
+    // With the balancer off nothing else drives commitReady, and
+    // repair transfers still need their drain-then-switch commit.
+    if (!place.balance.window)
+        commitReady(when);
+}
+
+bool
+RackScheduler::shouldShed(unsigned b, sim::Tick send_at,
+                          const RackRequest &req) const
+{
+    if (!mon->monitoring())
+        return false;
+    const bool suspect = mon->suspectVerdict(b);
+    bool pressured = suspect;
+    if (!pressured && place.admitWindow && place.admitPerWindow)
+        pressured = double(windows[b].size()) >=
+                    place.health.shedPressure *
+                        double(place.admitPerWindow);
+    if (!pressured)
+        return false;
+    // Predict the front-end delay from observable state: the
+    // ingress pipe's committed backlog, this request's wire time,
+    // the hop, plus the ack-timeout stall a Suspect board risks.
+    const sim::Tick predicted =
+        rack.net().backlog(b, send_at) +
+        rack.net().wireTicks(req.bytes) +
+        rack.net().params().hopLatency +
+        (suspect ? place.health.ackTimeout : 0);
+    const sim::Tick deadline =
+        req.job.timeout ? req.job.timeout : defaultDeadline;
+    return double(predicted) >
+           double(deadline) * place.health.shedDeadlineFrac;
+}
+
 void
 RackScheduler::advanceBalancer(sim::Tick when)
 {
@@ -232,8 +461,17 @@ RackScheduler::advanceBalancer(sim::Tick when)
         const std::vector<MigrationStep> plan = planMigrations(
             tracker.loads(), home, rack.nBoards(), place.balance,
             frozen);
-        for (const MigrationStep &s : plan)
+        for (const MigrationStep &s : plan) {
+            // An evicted board carries no load, so the planner
+            // sees it as the coldest target — but shipping state
+            // onto a board the detector distrusts would hand
+            // partitions right back to the failure. (A rejoined
+            // board is Healthy again and soaks up load normally.)
+            if (mon->monitoring() &&
+                mon->state(s.to) != BoardHealth::Healthy)
+                continue;
             startMigration(s, boundary);
+        }
     }
     commitReady(when);
 }
@@ -247,6 +485,8 @@ RackScheduler::enqueueAt(sim::Tick when, RackRequest req,
     lastOffer = when;
     ++offered;
 
+    advanceHealth(when);
+
     const unsigned part = partitionOf(req.key);
     if (place.balance.window) {
         advanceBalancer(when);
@@ -259,27 +499,66 @@ RackScheduler::enqueueAt(sim::Tick when, RackRequest req,
     info.hasKey = true;
     std::vector<unsigned> group;
     partMap->candidates(info, rack.nBoards(), group);
-    bool sawFull = false, sawDrop = false;
+    bool sawFull = false, sawDrop = false, sawShed = false;
+    // Why the previous candidates were skipped decides whether a
+    // non-primary delivery counts as a failover (outage signals)
+    // or a mere admission re-route (load shedding/spreading).
+    bool outagePrior = false, admitPrior = false;
+    // Every attempt that draws no ack stalls the front-end for
+    // ackTimeout before the next replica is tried.
+    sim::Tick penalty = 0;
     for (std::size_t i = 0; i < group.size(); ++i) {
         const unsigned b = group[i];
-        if (boardDown(b, when))
+        if (!mon->routable(b)) {
+            // Detector verdict (Down/Probation): no oracle here.
+            outagePrior = true;
             continue;
-        if (admissionFull(b, when)) {
+        }
+        const sim::Tick sendAt = when + penalty;
+        if (admissionFull(b, sendAt)) {
             sawFull = true;
+            admitPrior = true;
+            continue;
+        }
+        if (shouldShed(b, sendAt, req)) {
+            sawShed = true;
+            admitPrior = true;
             continue;
         }
         bool dropped = false;
         const sim::Tick delivered =
-            rack.net().deliver(b, req.bytes, when, dropped);
+            rack.net().deliver(b, req.bytes, sendAt, dropped);
         if (dropped) {
+            // No ack will ever come back, and the front-end can't
+            // tell a fabric drop from a dead board — both feed the
+            // detector the same miss.
+            mon->observeMiss(b, sendAt + place.health.ackTimeout);
             sawDrop = true;
+            outagePrior = true;
+            penalty += place.health.ackTimeout;
             continue;
         }
-        windows[b].push_back(when);
+        if (!mon->aliveAt(b, delivered)) {
+            // Delivered into a dead board (the injection point for
+            // rack.boardDown / rack.boardCrash): same observable
+            // outcome, a missing ack.
+            mon->observeMiss(b, sendAt + place.health.ackTimeout);
+            outagePrior = true;
+            penalty += place.health.ackTimeout;
+            continue;
+        }
+        mon->observeAck(
+            b, delivered + rack.net().params().hopLatency);
+        if (place.admitWindow && place.admitPerWindow)
+            windows[b].push_back(sendAt);
         ++admitted;
         ++boardAdmitted[b];
-        if (i > 0)
-            ++failoverCnt;
+        if (i > 0) {
+            if (outagePrior)
+                ++failoverCnt;
+            else if (admitPrior)
+                ++admitRerouteCnt;
+        }
         if (board_out)
             *board_out = b;
         if (InFlight *m = inflightOf(part);
@@ -294,18 +573,24 @@ RackScheduler::enqueueAt(sim::Tick when, RackRequest req,
             bool deltaDropped = false;
             rack.net().deliver(m->step.to,
                                place.balance.stateBytesPerRequest,
-                               when, deltaDropped,
+                               sendAt, deltaDropped,
                                NetTraffic::Migration);
         }
         boardScheds[b]->enqueueAt(delivered, std::move(req.job));
         return AdmitResult::Admitted;
     }
-    // Attribution order mirrors severity: a drop means the request
-    // physically reached the fabric; a full window means the
-    // front-end shed it; otherwise every replica was down.
+    // Attribution order mirrors how far the request got: a drop
+    // means it physically reached the fabric; a shed means the
+    // brown-out controller chose to fail it fast; a full window
+    // means the rate cap shed it; otherwise every replica was
+    // down (detector verdict or missing acks).
     if (sawDrop) {
         ++netLostCnt;
         return AdmitResult::NetLost;
+    }
+    if (sawShed) {
+        ++shedCnt;
+        return AdmitResult::Shed;
     }
     if (sawFull) {
         ++rejectedCnt;
@@ -331,7 +616,12 @@ RackScheduler::summary() const
     sum.rejected = rejectedCnt;
     sum.boardsDown = boardsDownCnt;
     sum.netLost = netLostCnt;
+    sum.shed = shedCnt;
     sum.failovers = failoverCnt;
+    sum.admitReroutes = admitRerouteCnt;
+    sum.probes = mon->probesSent();
+    sum.repairsStarted = repairStarted;
+    sum.repairsCommitted = repairCommitted;
     sum.migStarted = migStarted;
     sum.migCommitted = migCommitted;
     sum.migAborted = migAborted;

@@ -16,11 +16,19 @@
  *     failover list.
  *
  *  2. Routing with failover — the candidates are tried in order: a
- *     board inside a `rack.boardDown` fault window is skipped, a
- *     board whose admission window is full is skipped, and a
- *     request the network drops (`rack.netDrop`) fails over to the
- *     next replica, paying a fresh network transit. A request that
- *     exhausts its replicas is rejected at the front-end.
+ *     board the failure detector (rack/health.hh) has declared
+ *     Down or still holds in Probation is skipped on its verdict
+ *     alone, a board whose admission window is full is skipped,
+ *     and an attempt that draws no completion ack — the network
+ *     dropped it (`rack.netDrop`) or the board was dead at the
+ *     delivery tick (`rack.boardDown` / `rack.boardCrash`, checked
+ *     inside the health module's board fault model, never here) —
+ *     fails over to the next replica after an `ackTimeout`
+ *     penalty, paying a fresh network transit. A request that
+ *     exhausts its replicas is rejected at the front-end. The
+ *     routing decision reads detector state only; the fault plane
+ *     is consulted solely at the physical injection points
+ *     (RackNet::deliver, HealthMonitor::aliveAt).
  *
  *  3. Bounded admission — per-board sliding-window rate cap
  *     (admitPerWindow requests per admitWindow ticks): a request at
@@ -45,6 +53,30 @@
  *     Because every decision happens at enqueue time in trace
  *     order, rebalancing is bit-identical at any --threads count.
  *
+ *  5. Health, repair and brown-out (health.heartbeatPeriod > 0) —
+ *     every arrival first advances the HealthMonitor: due
+ *     heartbeat rounds ride the RackNet, pending ack/miss
+ *     observations resolve, and each board's state machine steps.
+ *     When a board is declared Down the repair controller takes
+ *     over: in-flight migrations touching the board abort, the
+ *     board is evicted from every partition's replica set (the
+ *     surviving replica is promoted to primary via an explicit
+ *     PartitionRouter replica-set override), and the replication
+ *     factor is restored by shipping partition state to a fresh
+ *     board as a Migration transfer under the same
+ *     drain-then-switch rules — the partition is frozen against
+ *     balancer moves until the copy commits, and a dropped
+ *     transfer is retried at the next arrival. Once every repair
+ *     attributed to a crashed board commits, the crash latch
+ *     clears and heartbeats walk the board back through
+ *     Probation. The brown-out controller sheds requests at the
+ *     front-end (AdmitResult::Shed) when a candidate is Suspect or
+ *     its admission window is nearly full AND the predicted
+ *     delivery delay (ingress backlog + wire + hop, plus the ack
+ *     timeout a Suspect board risks) exceeds a fraction of the
+ *     request's deadline — degrading gracefully instead of
+ *     queueing doomed work.
+ *
  * Inside a board the request is routed to a DPU by the board's own
  * BoardScheduler policy (hash), and everything from PR 2-6 applies:
  * deadlines, reaping, quarantine, availability accounting.
@@ -66,6 +98,7 @@
 #include "host/board_offload.hh"
 #include "host/router.hh"
 #include "rack/balance.hh"
+#include "rack/health.hh"
 #include "rack/rack.hh"
 
 namespace dpu::rack {
@@ -83,6 +116,9 @@ struct PlacementParams
     unsigned admitPerWindow = 0;
     /** Hot-shard balancer; balance.window = 0 keeps it off. */
     BalanceParams balance{};
+    /** Failure detection / repair / brown-out;
+     *  health.heartbeatPeriod = 0 keeps it all off. */
+    HealthParams health{};
 };
 
 /** One front-end request: a serving job plus its placement key. */
@@ -100,8 +136,9 @@ enum class AdmitResult : std::uint8_t
 {
     Admitted,   ///< delivered to a board scheduler
     Rejected,   ///< every replica's admission window was full
-    BoardsDown, ///< every replica inside a boardDown window
+    BoardsDown, ///< every replica down (detector or no ack)
     NetLost,    ///< dropped by the network on every replica
+    Shed,       ///< brown-out: predicted to miss its deadline
 };
 
 /** Rack-wide aggregate (valid after the rack has run). */
@@ -113,7 +150,14 @@ struct RackSummary
     std::uint64_t rejected = 0;   ///< admission-window rejects
     std::uint64_t boardsDown = 0; ///< lost to board outages
     std::uint64_t netLost = 0;    ///< lost to network drops
-    std::uint64_t failovers = 0;  ///< non-primary deliveries
+    std::uint64_t shed = 0;       ///< brown-out front-end sheds
+    /** Non-primary deliveries forced by outage signals (detector
+     *  verdicts, missing acks, network drops). */
+    std::uint64_t failovers = 0;
+    /** Non-primary deliveries where every skipped replica was
+     *  merely admission-full or shed — load spreading, not
+     *  failure (PR 9 split these out of `failovers`). */
+    std::uint64_t admitReroutes = 0;
     // Balancer activity (all zero with balance.window = 0).
     std::uint64_t migStarted = 0;
     std::uint64_t migCommitted = 0;
@@ -121,6 +165,10 @@ struct RackSummary
     std::uint64_t forwarded = 0;   ///< drained at src mid-migration
     std::uint64_t migrationBytes = 0; ///< carried hand-off payload
     std::uint64_t netDroppedBytes = 0;
+    // Health / repair activity (all zero with heartbeatPeriod = 0).
+    std::uint64_t probes = 0;          ///< heartbeats sent
+    std::uint64_t repairsStarted = 0;  ///< re-replication attempts
+    std::uint64_t repairsCommitted = 0;
     /** The headline: completed requests per simulated second over
      *  the first-enqueue..last-finish window. */
     double usersPerSimSec = 0;
@@ -155,6 +203,10 @@ class RackScheduler
         return *boardScheds[b];
     }
     const PlacementParams &placement() const { return place; }
+
+    /** The failure detector (inert when heartbeatPeriod = 0). */
+    HealthMonitor &health() { return *mon; }
+    const HealthMonitor &health() const { return *mon; }
 
     /** The key-range partition @p key hashes onto. */
     unsigned partitionOf(std::uint64_t key) const;
@@ -198,6 +250,25 @@ class RackScheduler
     std::uint64_t migrationsAborted() const { return migAborted; }
     std::uint64_t forwardedRequests() const { return forwardedCnt; }
 
+    // --- health / repair observability (tests / benches) --------
+    std::uint64_t shedCount() const { return shedCnt; }
+    std::uint64_t admitRerouteCount() const
+    {
+        return admitRerouteCnt;
+    }
+    std::uint64_t repairsStarted() const { return repairStarted; }
+    std::uint64_t repairsCommitted() const
+    {
+        return repairCommitted;
+    }
+    /** Entries currently held in @p b's admission window (S1
+     *  regression probe: must stay bounded, and empty with the
+     *  window cap disabled). */
+    std::size_t admitWindowDepth(unsigned b) const
+    {
+        return windows[b].size();
+    }
+
   private:
     /** One migration inside its forwarding epoch. */
     struct InFlight
@@ -206,14 +277,41 @@ class RackScheduler
         sim::Tick startedAt = 0;
         sim::Tick readyAt = 0; ///< transfer delivery tick
         std::uint64_t forwardedReqs = 0;
+        /** Repair re-replication (append a replica on commit)
+         *  rather than a balancer move (re-home on commit). */
+        bool repair = false;
+        /** The Down board this repair is making whole again. */
+        unsigned attributed = 0;
     };
 
-    /** True when board @p b sits in a rack.boardDown window. */
-    bool boardDown(unsigned b, sim::Tick now);
+    /** One owed re-replication not yet shipping (no target yet,
+     *  or its transfer was dropped / its target died). */
+    struct RepairJob
+    {
+        unsigned partition = 0;
+        unsigned attributed = 0;
+    };
 
     /** True when board @p b's admission window is full at @p now
      *  (advances the window). */
     bool admissionFull(unsigned b, sim::Tick now);
+
+    /** Brown-out verdict for one candidate (see file header). */
+    bool shouldShed(unsigned b, sim::Tick send_at,
+                    const RackRequest &req) const;
+
+    /** Probes, observations, transitions, repair pump. */
+    void advanceHealth(sim::Tick when);
+    /** React to detector transitions drained since the last call. */
+    void processTransitions();
+    /** Evict Down board @p b everywhere; promote + queue repairs. */
+    void repairBoard(unsigned b);
+    /** Try to ship every owed re-replication at @p when. */
+    void pumpRepairs(sim::Tick when);
+    /** @p partition's live candidate list (detector-agnostic). */
+    std::vector<unsigned> currentReplicas(unsigned partition) const;
+    /** Least-loaded routable board outside @p exclude, or -1. */
+    int pickReplacement(const std::vector<unsigned> &exclude) const;
 
     /** Roll windows / plan / commit everything due by @p when. */
     void advanceBalancer(sim::Tick when);
@@ -229,15 +327,26 @@ class RackScheduler
     /** Mutable partition -> board map (also the replica policy). */
     std::unique_ptr<host::PartitionRouter> partMap;
     std::vector<std::unique_ptr<host::BoardScheduler>> boardScheds;
+    /** Failure detector + board fault model (host phase only). */
+    std::unique_ptr<HealthMonitor> mon;
     /** Per-board admitted-request times inside the current window. */
     std::vector<std::deque<sim::Tick>> windows;
     sim::Tick lastOffer = 0;
+    /** Fallback deadline for shed prediction (per-DPU default). */
+    sim::Tick defaultDeadline = 0;
 
     // Balancer state (host phase only).
     LoadTracker tracker;
     std::vector<bool> frozen;      ///< partitions mid-migration
     std::vector<InFlight> inflight;
     sim::Tick nextRollAt = 0;      ///< next window boundary; 0 = off
+
+    // Repair state (host phase only).
+    std::vector<RepairJob> owedRepairs; ///< queued / retrying
+    /** Repairs still owed per Down board; the crash latch clears
+     *  when a board's count returns to zero. */
+    std::vector<unsigned> outstandingRepairs;
+    std::size_t seenTransitions = 0; ///< detector log cursor
 
     // Front-end tallies (host phase only), folded into the "rack"
     // stat group by a flush hook.
@@ -246,7 +355,11 @@ class RackScheduler
     std::uint64_t rejectedCnt = 0;
     std::uint64_t boardsDownCnt = 0;
     std::uint64_t netLostCnt = 0;
+    std::uint64_t shedCnt = 0;
     std::uint64_t failoverCnt = 0;
+    std::uint64_t admitRerouteCnt = 0;
+    std::uint64_t repairStarted = 0;
+    std::uint64_t repairCommitted = 0;
     std::uint64_t migStarted = 0;
     std::uint64_t migCommitted = 0;
     std::uint64_t migAborted = 0;

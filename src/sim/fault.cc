@@ -18,10 +18,11 @@ namespace {
 
 /** Spec names, indexed by FaultSite. */
 const char *const siteNames[nFaultSites] = {
-    "dms.wedge",     "dms.descError", "ate.drop",
-    "ate.delay",     "mbc.drop",      "core.stall",
-    "mem.degrade",   "link.drop",     "link.delay",
-    "rack.netDrop",  "rack.netDelay", "rack.boardDown",
+    "dms.wedge",      "dms.descError", "ate.drop",
+    "ate.delay",      "mbc.drop",      "core.stall",
+    "mem.degrade",    "link.drop",     "link.delay",
+    "rack.netDrop",   "rack.netDelay", "rack.boardDown",
+    "rack.boardCrash",
 };
 
 bool

@@ -23,6 +23,10 @@
  *   rack.netDrop   inter-board network message lost (rack fabric)
  *   rack.netDelay  inter-board delivery delayed by `mag` ticks
  *   rack.boardDown board unavailable inside [from,to) (unit = board)
+ *   rack.boardCrash board dies losing its partition state; unlike
+ *                  boardDown the board stays dead past the window
+ *                  until the rack's repair protocol re-provisions
+ *                  it (unit = board)
  *
  * Keys (all optional):
  *   p=0.05      per-opportunity firing probability
@@ -84,10 +88,11 @@ enum class FaultSite : std::uint8_t
     RackNetDrop,
     RackNetDelay,
     RackBoardDown,
+    RackBoardCrash,
 };
 
 /** Number of FaultSite values. */
-constexpr unsigned nFaultSites = 12;
+constexpr unsigned nFaultSites = 13;
 
 /** Spec-string name ("dms.wedge", ...) of a site. */
 const char *faultSiteName(FaultSite site);

@@ -88,6 +88,13 @@ ClusterTopology::balance(const rack::BalanceParams &p)
 }
 
 ClusterTopology &
+ClusterTopology::health(const rack::HealthParams &p)
+{
+    place_.health = p;
+    return *this;
+}
+
+ClusterTopology &
 ClusterTopology::threads(unsigned n)
 {
     threads_ = n;
@@ -194,6 +201,36 @@ ClusterTopology::validate() const
                 return msg("an enabled balancer needs a migration "
                            "budget (BalanceParams."
                            "maxMigrationsPerWindow = 0)");
+        }
+        if (place_.health.heartbeatPeriod) {
+            const rack::HealthParams &h = place_.health;
+            if (h.ackTimeout == 0)
+                return msg("an enabled health monitor needs a "
+                           "positive ack timeout "
+                           "(HealthParams.ackTimeout = 0)");
+            if (h.suspectAfter == 0)
+                return msg("the detector needs at least one miss "
+                           "to suspect a board "
+                           "(HealthParams.suspectAfter = 0)");
+            if (h.downAfter < h.suspectAfter)
+                return msg("downAfter " +
+                           std::to_string(h.downAfter) +
+                           " below suspectAfter " +
+                           std::to_string(h.suspectAfter) +
+                           " would skip the Suspect state");
+            if (h.rejoinAfter == 0)
+                return msg("the detector needs at least one clean "
+                           "probe to rejoin "
+                           "(HealthParams.rejoinAfter = 0)");
+            if (h.shedPressure <= 0 || h.shedPressure > 1)
+                return msg("shedPressure must sit in (0, 1] "
+                           "(HealthParams.shedPressure = " +
+                           std::to_string(h.shedPressure) + ")");
+            if (h.shedDeadlineFrac <= 0)
+                return msg("shedDeadlineFrac must be positive "
+                           "(HealthParams.shedDeadlineFrac = " +
+                           std::to_string(h.shedDeadlineFrac) +
+                           ")");
         }
     }
 

@@ -91,6 +91,10 @@ class ClusterTopology
     /** Hot-shard balancer knobs (shorthand into placement). */
     ClusterTopology &balance(const rack::BalanceParams &p);
 
+    /** Failure-detection / repair / brown-out knobs (shorthand
+     *  into placement; heartbeatPeriod = 0 keeps it off). */
+    ClusterTopology &health(const rack::HealthParams &p);
+
     /** Epoch-runner worker threads per board. */
     ClusterTopology &threads(unsigned n);
 
