@@ -17,9 +17,18 @@
  *  3. Board serving — the request mix flows through the sharded
  *     BoardScheduler (hash routing) on a 2-DPU board; reports
  *     board-wide tail latency and availability.
+ *  4. Skew step (--skew-step, replacing the other sections) — a
+ *     keyed stream on a 4-DPU board steps 90% of its traffic onto
+ *     the partitions co-homed on one DPU a quarter of the way in.
+ *     Static placement eats the hot spot; the board balancer
+ *     (BoardParams::balance) re-homes partitions live over the
+ *     real DMS descriptor + link-fabric path. Gates: >= 1.3x
+ *     throughput recovery over static, at least one committed
+ *     migration, and byte-identical migrated partition images.
  *
  * Output: human tables plus one JSON line (last line of stdout)
- * for CI artifact collection (BENCH_board.json).
+ * for CI artifact collection (BENCH_board.json;
+ * BENCH_board_skew.json for --skew-step).
  */
 
 #include <chrono>
@@ -95,12 +104,231 @@ parallelRun(unsigned threads, const board::ShardedSqlConfig &cfg)
     return pt;
 }
 
+/** True when `flag` appears verbatim on the command line. */
+bool
+flagSet(int argc, char **argv, const char *flag)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return true;
+    return false;
+}
+
+// ----------------------------------------------------------------
+// 4. Skew step (--skew-step)
+// ----------------------------------------------------------------
+
+struct SkewRun
+{
+    host::ServingSummary sum;
+    sim::Tick end = 0;
+    board::BoardBalancer::Report rep; ///< zeroes on the static run
+    std::uint64_t migrationBytes = 0;
+    unsigned reassigned = 0;
+    bool imagesIntact = true;
+    std::uint64_t rejected = 0;
+};
+
+/** A fixed-cost serving job (lanes sleep ~20 us): capacity per DPU
+ *  is then a pure function of the overheads, so the step's overload
+ *  factor is deterministic. */
+host::JobRequest
+stepJob()
+{
+    host::JobRequest req;
+    req.makeJob = [](const apps::ServingContext &) {
+        apps::ServingJob job;
+        job.stage = [] {};
+        job.lane = [](core::DpCore &c, unsigned) {
+            c.sleepCycles(16000); // 20 us at 800 MHz
+        };
+        return job;
+    };
+    return req;
+}
+
+/** One 4-DPU skew-step run. @p balanced turns the board balancer
+ *  on; the offered keyed stream is identical either way. */
+SkewRun
+skewRun(bool balanced, unsigned threads, sim::Tick duration,
+        unsigned n_jobs)
+{
+    sim::faultPlane().reset();
+    const unsigned key_parts = 16;
+    board::BoardParams bp;
+    bp.nDpus = 4;
+    bp.threads = threads;
+    bp.balance.keyPartitions = key_parts;
+    if (balanced) {
+        bp.balance.window = sim::Tick(250'000'000); // 0.25 ms
+        bp.balance.ewmaAlpha = 0.7;
+        bp.balance.hotFactor = 1.1;
+        bp.balance.maxMigrationsPerWindow = 2;
+        bp.balance.minPartitionLoad = 2.0;
+    }
+    board::Board b(bp);
+    host::OffloadParams op;
+    op.nCores = 8; // the balancer's engine core stays unmanaged
+    op.groupSize = 4;
+    op.queueDepth = 1024; // the hot shard must queue, not reject
+    host::BoardScheduler sched(b, op);
+
+    // Hot keys: the partitions co-homed on one DPU, so the step
+    // lands a partition group on one shard (the rack bench's
+    // probe, one tier down). Key k < keyPartitions IS partition k.
+    const unsigned hot_dpu = sched.partitions().homeOf(0, 4);
+    std::vector<std::uint64_t> hot;
+    for (unsigned p = 0; p < key_parts; ++p)
+        if (sched.partitions().homeOf(p, 4) == hot_dpu)
+            hot.push_back(p);
+    sim_assert(!hot.empty(), "no partition co-homed on DPU %u",
+               hot_dpu);
+
+    // Pre-step the keys sweep every partition evenly; from the
+    // step on, 90% of arrivals hammer the hot group.
+    const sim::Tick step_at = duration / 4;
+    const sim::Tick gap = duration / n_jobs;
+    for (unsigned i = 0; i < n_jobs; ++i) {
+        const sim::Tick at = sim::Tick(i) * gap;
+        const bool hot_key = at >= step_at && i % 10 < 9;
+        const std::uint64_t key =
+            hot_key ? hot[i % hot.size()] : i % key_parts;
+        sched.offer(at, key, stepJob());
+    }
+    SkewRun out;
+    out.end = sched.run();
+    out.sum = sched.summary();
+    out.rejected = out.sum.rejected;
+    out.migrationBytes = b.fabric().migrationBytes();
+    out.reassigned = sched.partitions().reassignedCount();
+    if (balanced) {
+        const board::BoardBalancer &bal = *sched.balancer();
+        out.rep = bal.report();
+        for (unsigned p = 0; p < key_parts && out.imagesIntact;
+             ++p) {
+            const auto img = bal.stateImage(p);
+            for (std::uint64_t i = 0; i < img.size(); ++i)
+                if (img[i] !=
+                    board::BoardBalancer::statePattern(p, i)) {
+                    out.imagesIntact = false;
+                    break;
+                }
+        }
+    }
+    sim::faultPlane().reset();
+    return out;
+}
+
+/** The --skew-step entry point (runs instead of the other
+ *  sections). */
+int
+skewMain(bool smoke, unsigned threads)
+{
+    const sim::Tick duration =
+        smoke ? sim::Tick(3'000'000'000)     // 3 ms, 12 windows
+              : sim::Tick(4'500'000'000);    // 4.5 ms, 18 windows
+    const unsigned n_jobs = smoke ? 600 : 900; // ~200k jobs/s
+
+    bench::header("board skew step",
+                  "90% of keyed traffic onto one DPU's partitions "
+                  "a quarter of the way in; static vs balanced");
+    const SkewRun sstat = skewRun(false, threads, duration, n_jobs);
+    const SkewRun sbal = skewRun(true, threads, duration, n_jobs);
+
+    const double recovery =
+        sstat.sum.throughputJobsPerSec > 0
+            ? sbal.sum.throughputJobsPerSec /
+                  sstat.sum.throughputJobsPerSec
+            : 0;
+    bench::row("  %9s %9s %10s %9s %9s %10s", "placement", "done",
+               "jobs/s", "p99 us", "commits", "stateKB");
+    bench::row("  %9s %9llu %10.3g %9.1f %9s %10s", "static",
+               (unsigned long long)sstat.sum.completed,
+               sstat.sum.throughputJobsPerSec, sstat.sum.p99Us,
+               "-", "-");
+    bench::row("  %9s %9llu %10.3g %9.1f %9llu %10llu", "balanced",
+               (unsigned long long)sbal.sum.completed,
+               sbal.sum.throughputJobsPerSec, sbal.sum.p99Us,
+               (unsigned long long)sbal.rep.committed,
+               (unsigned long long)(sbal.rep.stateBytes >> 10));
+    bench::row("  recovery %.2fx throughput, p99 %.1f -> %.1f us, "
+               "%llu forwarded deltas, %llu retries",
+               recovery, sstat.sum.p99Us, sbal.sum.p99Us,
+               (unsigned long long)sbal.rep.forwarded,
+               (unsigned long long)sbal.rep.chunkRetries);
+
+    bool ok = true;
+    const double gate_recovery = 1.3;
+    if (sbal.rep.committed == 0) {
+        bench::row("  FAIL: the balancer committed no migrations");
+        ok = false;
+    }
+    if (recovery < gate_recovery) {
+        bench::row("  FAIL: skew recovery %.2fx < %.2fx gate",
+                   recovery, gate_recovery);
+        ok = false;
+    }
+    if (!sbal.imagesIntact) {
+        bench::row("  FAIL: a migrated partition image diverged "
+                   "from its seed pattern");
+        ok = false;
+    }
+    if (sstat.sum.completed != n_jobs ||
+        sbal.sum.completed != n_jobs) {
+        bench::row("  FAIL: jobs lost (static %llu, balanced %llu "
+                   "of %u)",
+                   (unsigned long long)sstat.sum.completed,
+                   (unsigned long long)sbal.sum.completed, n_jobs);
+        ok = false;
+    }
+
+    {
+        bench::Json j;
+        j.field("bench", "board_skew");
+        j.field("smoke", std::uint64_t(smoke));
+        j.field("nDpus", std::uint64_t(4));
+        j.field("jobs", std::uint64_t(n_jobs));
+        j.field("staticJobsPerSec",
+                sstat.sum.throughputJobsPerSec);
+        j.field("balancedJobsPerSec",
+                sbal.sum.throughputJobsPerSec);
+        j.field("recovery", recovery);
+        j.field("gateRecovery", gate_recovery);
+        j.field("staticP99Us", sstat.sum.p99Us);
+        j.field("balancedP99Us", sbal.sum.p99Us);
+        j.field("migPlanned", sbal.rep.planned);
+        j.field("migCommitted", sbal.rep.committed);
+        j.field("migAborted", sbal.rep.aborted);
+        j.field("chunkRetries", sbal.rep.chunkRetries);
+        j.field("forwarded", sbal.rep.forwarded);
+        j.field("deltaBytes", sbal.rep.deltaBytes);
+        j.field("stateBytes", sbal.rep.stateBytes);
+        j.field("migrationBytes", sbal.migrationBytes);
+        j.field("reassigned", std::uint64_t(sbal.reassigned));
+        j.field("imagesIntact",
+                std::uint64_t(sbal.imagesIntact));
+        j.field("pass", std::uint64_t(ok));
+    }
+
+    if (!ok) {
+        std::fprintf(stderr, "bench_board: FAILED skew gates\n");
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     const bool smoke = bench::smokeRun(argc, argv);
+    if (flagSet(argc, argv, "--skew-step"))
+        return skewMain(smoke,
+                        unsigned(std::strtoul(
+                            bench::argValue(argc, argv, "--threads",
+                                            "2"),
+                            nullptr, 0)));
     const char *faults =
         bench::argValue(argc, argv, "--faults", "");
     const std::uint64_t fault_seed = std::strtoull(

@@ -38,6 +38,7 @@
 #include <memory>
 #include <vector>
 
+#include "board/balance.hh"
 #include "board/link.hh"
 #include "sim/event_queue.hh"
 #include "sim/parallel.hh"
@@ -62,6 +63,10 @@ struct BoardParams
      *  largest window that keeps cross-chip delivery conservative.
      *  Values above the hop latency are clamped to it. */
     sim::Tick lookahead = 0;
+    /** Intra-board live re-sharding knobs (board/balance.hh). The
+     *  default window = 0 disables the balancer entirely; the host
+     *  BoardScheduler builds one when enabled. */
+    BalanceParams balance{};
 };
 
 /** N DPUs on per-chip kernel partitions, connected by a LinkFabric. */

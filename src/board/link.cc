@@ -60,7 +60,7 @@ LinkFabric::serTicks(std::uint64_t bytes) const
 
 sim::Tick
 LinkFabric::transit(unsigned src, unsigned dst, std::uint64_t bytes,
-                    bool &dropped)
+                    bool &dropped, LinkTraffic cls)
 {
     sim_assert(src < n && dst < n && src != dst,
                "bad fabric route %u -> %u", src, dst);
@@ -75,9 +75,6 @@ LinkFabric::transit(unsigned src, unsigned dst, std::uint64_t bytes,
     const sim::Tick tx_start = std::max(now, c.nextFree);
     const sim::Tick tx_done = tx_start + ser;
     c.nextFree = tx_done;
-    c.busyTicks += ser;
-    c.bytes += bytes;
-    ++c.msgs;
 
     sim::Tick extra = 0;
     std::uint64_t mag = 0;
@@ -90,8 +87,24 @@ LinkFabric::transit(unsigned src, unsigned dst, std::uint64_t bytes,
     }
     dropped = fp.active() &&
               fp.fires(sim::FaultSite::LinkDrop, now, unit, &mag);
-    if (dropped)
+
+    // Account by fate, exclusively: a message is carried workload,
+    // dropped (either class; the wire time is burned regardless),
+    // or delivered migration traffic. The classes sum to the total
+    // offered to the wire.
+    if (dropped) {
         ++c.drops;
+        c.dropBytes += bytes;
+        c.dropTicks += ser;
+    } else if (cls == LinkTraffic::Migration) {
+        ++c.migMsgs;
+        c.migBytes += bytes;
+        c.migTicks += ser;
+    } else {
+        ++c.msgs;
+        c.bytes += bytes;
+        c.busyTicks += ser;
+    }
     return tx_done + p.hopLatency + extra;
 }
 
@@ -99,7 +112,8 @@ void
 LinkFabric::sendRpc(unsigned src, unsigned dst, std::uint64_t payload)
 {
     bool dropped = false;
-    const sim::Tick arrive = transit(src, dst, 8, dropped);
+    const sim::Tick arrive =
+        transit(src, dst, 8, dropped, LinkTraffic::Workload);
     if (dropped)
         return; // lost in the fabric; sender-level recovery applies
     inbox[src * n + dst].push_back({arrive, payload, {}});
@@ -107,9 +121,10 @@ LinkFabric::sendRpc(unsigned src, unsigned dst, std::uint64_t payload)
 
 sim::Tick
 LinkFabric::startBulk(unsigned src, unsigned dst,
-                      std::uint64_t bytes, bool &dropped)
+                      std::uint64_t bytes, bool &dropped,
+                      LinkTraffic cls)
 {
-    return transit(src, dst, bytes, dropped);
+    return transit(src, dst, bytes, dropped, cls);
 }
 
 void
@@ -169,6 +184,7 @@ void
 LinkFabric::foldStats()
 {
     std::uint64_t msgs = 0, bytes = 0, drops = 0, delays = 0;
+    std::uint64_t drop_bytes = 0, mig_msgs = 0, mig_bytes = 0;
     for (unsigned s = 0; s < n; ++s) {
         for (unsigned d = 0; d < n; ++d) {
             const Channel &c = chan(s, d);
@@ -176,6 +192,9 @@ LinkFabric::foldStats()
             bytes += c.bytes;
             drops += c.drops;
             delays += c.delays;
+            drop_bytes += c.dropBytes;
+            mig_msgs += c.migMsgs;
+            mig_bytes += c.migBytes;
             if (c.msgs) {
                 const std::string ch = chPrefix(s, d);
                 stats.counter(ch + ".bytes") = c.bytes;
@@ -189,10 +208,16 @@ LinkFabric::foldStats()
         stats.counter("msgs") = msgs;
         stats.counter("bytes") = bytes;
     }
-    if (drops)
+    if (drops) {
         stats.counter("drops") = drops;
+        stats.counter("dropBytes") = drop_bytes;
+    }
     if (delays)
         stats.counter("delayed") = delays;
+    if (mig_msgs) {
+        stats.counter("migMsgs") = mig_msgs;
+        stats.counter("migBytes") = mig_bytes;
+    }
     std::uint64_t unh = 0;
     for (unsigned d = 0; d < n; ++d)
         unh += unhandled[d];
@@ -216,6 +241,39 @@ LinkFabric::messages() const
     for (const Channel &c : chans)
         total += c.msgs;
     return total;
+}
+
+std::uint64_t
+LinkFabric::droppedBytes() const
+{
+    std::uint64_t total = 0;
+    for (const Channel &c : chans)
+        total += c.dropBytes;
+    return total;
+}
+
+std::uint64_t
+LinkFabric::migrationBytes() const
+{
+    std::uint64_t total = 0;
+    for (const Channel &c : chans)
+        total += c.migBytes;
+    return total;
+}
+
+std::uint64_t
+LinkFabric::migrationMessages() const
+{
+    std::uint64_t total = 0;
+    for (const Channel &c : chans)
+        total += c.migMsgs;
+    return total;
+}
+
+std::uint64_t
+LinkFabric::offeredBytes() const
+{
+    return bytesCarried() + droppedBytes() + migrationBytes();
 }
 
 double

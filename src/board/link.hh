@@ -78,6 +78,20 @@ struct LinkParams
     std::uint32_t flitBytes = 64;
 };
 
+/**
+ * Bulk-transfer traffic class. Workload bytes are what the apps
+ * moved; Migration bytes are the balancer's re-shard traffic
+ * (state chunks + forwarding-epoch deltas). The split keeps
+ * utilization/bytes JSON honest: re-sharding burns wire time on
+ * the same channels but is accounted separately, mirroring the
+ * rack tier's carried/dropped/migration counters.
+ */
+enum class LinkTraffic : std::uint8_t
+{
+    Workload,
+    Migration,
+};
+
 /** The board's N x N channel matrix. */
 class LinkFabric
 {
@@ -112,9 +126,11 @@ class LinkFabric
      * decide the message's fate now, against the source clock.
      * @return the delivery tick; @p dropped reports a link.drop
      * (wire time spent, payload lost — the caller owns retries).
+     * @p cls attributes the bytes: workload vs migration.
      */
     sim::Tick startBulk(unsigned src, unsigned dst,
-                        std::uint64_t bytes, bool &dropped);
+                        std::uint64_t bytes, bool &dropped,
+                        LinkTraffic cls = LinkTraffic::Workload);
 
     /**
      * Park @p fn in the (src, dst) mailbox for execution on DPU
@@ -142,21 +158,40 @@ class LinkFabric
     /** Busiest channel's utilization — the scaling bottleneck. */
     double peakUtilization() const;
 
+    /** Workload bytes that reached their destination. */
     std::uint64_t bytesCarried() const;
+    /** Workload messages that reached their destination. */
     std::uint64_t messages() const;
+    /** Bytes lost to link.drop (wire time was still burned). */
+    std::uint64_t droppedBytes() const;
+    /** Migration-class bytes delivered (re-shard traffic). */
+    std::uint64_t migrationBytes() const;
+    std::uint64_t migrationMessages() const;
+    /** Everything offered to the wire:
+     *  carried + dropped + migration. */
+    std::uint64_t offeredBytes() const;
 
     sim::StatGroup &statGroup() { return stats; }
 
   private:
-    /** One ordered (src, dst) channel; owned by src's thread. */
+    /** One ordered (src, dst) channel; owned by src's thread. The
+     *  byte/msg/tick tallies are exclusive by message fate — every
+     *  message lands in exactly one of carried (bytes/msgs/
+     *  busyTicks), dropped, or migration — so the classes sum to
+     *  the offered total. */
     struct Channel
     {
         sim::Tick nextFree = 0;
-        sim::Tick busyTicks = 0;
-        std::uint64_t bytes = 0;
-        std::uint64_t msgs = 0;
+        sim::Tick busyTicks = 0; ///< carried workload wire time
+        std::uint64_t bytes = 0; ///< carried workload bytes
+        std::uint64_t msgs = 0;  ///< carried workload messages
         std::uint64_t drops = 0;
         std::uint64_t delays = 0;
+        std::uint64_t dropBytes = 0;
+        sim::Tick dropTicks = 0;
+        std::uint64_t migMsgs = 0;
+        std::uint64_t migBytes = 0;
+        sim::Tick migTicks = 0;
     };
 
     /** One parked delivery: an RPC payload or a bulk action. */
@@ -183,7 +218,8 @@ class LinkFabric
      * delivery tick; @p dropped reports a link.drop firing.
      */
     sim::Tick transit(unsigned src, unsigned dst,
-                      std::uint64_t bytes, bool &dropped);
+                      std::uint64_t bytes, bool &dropped,
+                      LinkTraffic cls);
 
     /** Fold the channel shadows into the StatGroup cells. */
     void foldStats();

@@ -1,5 +1,7 @@
 #include "host/board_offload.hh"
 
+#include <algorithm>
+
 #include "host/summary.hh"
 #include "sim/logging.hh"
 
@@ -18,6 +20,33 @@ BoardScheduler::BoardScheduler(board::Board &b,
         p.statName = prefix + ".dpu" + std::to_string(d);
         shards.push_back(std::make_unique<OffloadScheduler>(
             b.dpu(d), b.host(d), std::move(p)));
+    }
+
+    // The key-partition table exists for every board (so the static
+    // and balanced paths route offers identically); the balancer
+    // only when the topology turned it on.
+    const board::BalanceParams &bal = b.params().balance;
+    parts = std::make_unique<PartitionRouter>(bal.keyPartitions, 1);
+    if (bal.window > 0) {
+        const unsigned engine = bal.engineCore == ~0u
+                                    ? b.dpu(0).nCores() - 1
+                                    : bal.engineCore;
+        sim_assert(per_dpu.nCores <= engine,
+                   "the balancer's engine core %u must not be "
+                   "managed by the offload scheduler (nCores %u)",
+                   engine, per_dpu.nCores);
+        std::vector<unsigned> home(bal.keyPartitions);
+        for (unsigned part = 0; part < bal.keyPartitions; ++part)
+            home[part] = parts->homeOf(part, nShards());
+        balancer_ = std::make_unique<board::BoardBalancer>(
+            b, std::move(home), bal);
+        // Drain-then-switch: the commit hook flips exactly one
+        // partition; every offer forwarded afterwards routes to
+        // the new home.
+        balancer_->onCommit(
+            [this](unsigned part, unsigned /*from*/, unsigned to) {
+                parts->reassign(part, to);
+            });
     }
 }
 
@@ -55,6 +84,82 @@ BoardScheduler::start()
 {
     for (auto &s : shards)
         s->start();
+}
+
+unsigned
+BoardScheduler::partitionOf(std::uint64_t key) const
+{
+    return unsigned(key % parts->nPartitions());
+}
+
+void
+BoardScheduler::offer(sim::Tick when, std::uint64_t key,
+                      JobRequest req)
+{
+    sim_assert(!ran, "offer() after run()");
+    offers.push_back({when, key, std::move(req)});
+}
+
+sim::Tick
+BoardScheduler::run()
+{
+    sim_assert(!ran, "BoardScheduler::run() is one-shot");
+    ran = true;
+    std::stable_sort(offers.begin(), offers.end(),
+                     [](const Offer &a, const Offer &b) {
+                         return a.when < b.when;
+                     });
+
+    if (!balancer_) {
+        // Static placement: forward everything up front and run the
+        // board to completion — the PR-5 path, byte for byte.
+        for (Offer &o : offers)
+            shards[parts->homeOf(partitionOf(o.key), nShards())]
+                ->enqueueAt(o.when, std::move(o.req));
+        offers.clear();
+        start();
+        return brd.run();
+    }
+
+    // Balanced: window-sized segments. Each iteration forwards the
+    // window's offers to their partitions' CURRENT homes (host
+    // phase, clocks parked), runs the kernel to the boundary, then
+    // lets the balancer harvest/plan/launch. Migrations execute
+    // inside subsequent segments; commits flip the router between
+    // them. Termination: once offers are exhausted the balancer is
+    // draining (no new plans) and every in-flight migration either
+    // commits, aborts, or hits its timeout bound.
+    const sim::Tick window = brd.params().balance.window;
+    for (auto &s : shards)
+        s->holdOpen();
+    start();
+
+    std::size_t next = 0;
+    sim::Tick boundary = brd.now() + window;
+    for (;;) {
+        while (next < offers.size() &&
+               offers[next].when < boundary) {
+            Offer &o = offers[next++];
+            const unsigned part = partitionOf(o.key);
+            balancer_->record(part);
+            shards[parts->homeOf(part, nShards())]->enqueueAt(
+                o.when, std::move(o.req));
+        }
+        for (auto &s : shards)
+            s->setIdleWake(boundary);
+        brd.runFor(boundary - brd.now());
+        if (next == offers.size())
+            balancer_->setDraining(true);
+        balancer_->onWindowBoundary(boundary);
+        if (next == offers.size() &&
+            !balancer_->migrationsActive())
+            break;
+        boundary += window;
+    }
+
+    for (auto &s : shards)
+        s->close();
+    return brd.run();
 }
 
 ServingSummary

@@ -14,13 +14,26 @@
  *  - weighted / replica-group: the rack-tier policies, usable here
  *    too for heterogeneous or replicated boards.
  *
- * Routing is static (decided at enqueue time, before any chip
- * runs): a request never migrates between DPUs mid-flight, which
- * keeps the board bit-deterministic and mirrors how a front-end
- * proxy shards by connection. Per-DPU failure handling (reaping,
- * quarantine, retries) still applies locally; summary() aggregates
- * the per-shard outcomes into one board-wide ServingSummary with
- * recomputed percentiles.
+ * Routing is static for a request (decided at enqueue time, before
+ * the segment that serves it runs): a request never migrates
+ * between DPUs mid-flight, which keeps the board bit-deterministic
+ * and mirrors how a front-end proxy shards by connection. Per-DPU
+ * failure handling (reaping, quarantine, retries) still applies
+ * locally; summary() aggregates the per-shard outcomes into one
+ * board-wide ServingSummary with recomputed percentiles.
+ *
+ * Live re-sharding (BoardParams::balance.window > 0) layers the
+ * board balancer on top: keyed requests enter through offer(),
+ * which buffers them host-side; run() then drives the board in
+ * window-sized segments, forwarding each window's offers to their
+ * partition's CURRENT home DPU (the shards are held open between
+ * segments), and calling the balancer at every boundary so it can
+ * harvest, plan and launch migrations executed inside the next
+ * segments. A commit flips exactly one partition in the
+ * PartitionRouter — requests offered before the flip drain at the
+ * old home (the forwarding epoch), requests after it route to the
+ * new one. All host-phase, so any --threads count produces the
+ * same board, bit for bit.
  */
 
 #ifndef DPU_HOST_BOARD_OFFLOAD_HH
@@ -75,6 +88,41 @@ class BoardScheduler
      *  the board. */
     void start();
 
+    // ------------------------------------------------------------
+    // Keyed serving + live re-sharding
+    // ------------------------------------------------------------
+
+    /** @p key's partition: key mod BoardParams::balance
+     *  .keyPartitions. */
+    unsigned partitionOf(std::uint64_t key) const;
+
+    /**
+     * Buffer a keyed open-loop arrival for run(). The request is
+     * routed at segment-forwarding time (not now), so it observes
+     * every partition flip committed before its window. Must be
+     * called before run(); offers may arrive in any order.
+     */
+    void offer(sim::Tick when, std::uint64_t key, JobRequest req);
+
+    /**
+     * Serve every offer()ed request and run the board to
+     * completion; @return the end tick. With balancing off (the
+     * default window = 0) this forwards all offers up front,
+     * start()s and runs — byte-identical to the static path. With
+     * balancing on it drives the windowed stepped loop described
+     * in the file comment.
+     */
+    sim::Tick run();
+
+    /** True when the board balancer is live (balance.window > 0). */
+    bool balanced() const { return balancer_ != nullptr; }
+
+    /** The balancer (null unless balanced()). */
+    board::BoardBalancer *balancer() { return balancer_.get(); }
+
+    /** Key-partition routing table used by offer(). */
+    PartitionRouter &partitions() { return *parts; }
+
     /**
      * Board-wide aggregate (valid after the board has run):
      * counts summed, availability averaged over shards, latency
@@ -84,9 +132,23 @@ class BoardScheduler
     ServingSummary summary() const;
 
   private:
+    struct Offer
+    {
+        sim::Tick when = 0;
+        std::uint64_t key = 0;
+        JobRequest req;
+    };
+
     board::Board &brd;
     std::unique_ptr<Router> policy;
     std::vector<std::unique_ptr<OffloadScheduler>> shards;
+    /** Key-partition homes; built for every board so the static
+     *  and balanced paths route identically. */
+    std::unique_ptr<PartitionRouter> parts;
+    /** Live only when BoardParams::balance.window > 0. */
+    std::unique_ptr<board::BoardBalancer> balancer_;
+    std::vector<Offer> offers;
+    bool ran = false;
 };
 
 } // namespace dpu::host

@@ -81,7 +81,17 @@ OffloadScheduler::arenaOf(unsigned group) const
 void
 OffloadScheduler::enqueueAt(sim::Tick when, JobRequest req)
 {
-    sim_assert(!started, "arrivals must precede start()");
+    if (started) {
+        // Held-open appends ride the already-sorted tail: the
+        // stepped driver forwards offers window by window, so
+        // time order comes for free and admitArrivals' cursor
+        // stays valid.
+        sim_assert(open, "arrivals must precede start() unless "
+                         "the driver is held open");
+        sim_assert(arrivals.empty() ||
+                       when >= arrivals.back().when,
+                   "held-open arrivals must be time-ordered");
+    }
     arrivals.push_back({when, std::move(req)});
 }
 
@@ -414,11 +424,19 @@ OffloadScheduler::hostMain(soc::HostA9 &host)
         for (const Group &grp : groups)
             busy = busy || grp.state == GroupState::Busy;
         if (!busy && queue.empty() &&
-            nextArrival == arrivals.size())
+            nextArrival == arrivals.size() && !open)
             break;
 
         std::uint64_t msg;
-        const sim::Tick wake = nextWake();
+        sim::Tick wake = nextWake();
+        if (open) {
+            // Held open: never block unboundedly, and always be
+            // awake by the idle-wake bound (the next window
+            // boundary) to observe freshly appended arrivals. The
+            // now+1 floor keeps recvUntil strictly in the future.
+            wake = std::min(
+                wake, std::max(idleWake, host.now() + 1));
+        }
         if (wake == noTick) {
             msg = host.recv();
             handleAck(host, msg);

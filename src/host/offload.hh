@@ -163,8 +163,30 @@ class OffloadScheduler
     // Load description (before start())
     // ------------------------------------------------------------
 
-    /** Open-loop arrival: @p req reaches the host at tick @p when. */
+    /** Open-loop arrival: @p req reaches the host at tick @p when.
+     *  Normally arrivals precede start(); a held-open scheduler
+     *  (holdOpen()) accepts time-ordered appends between run
+     *  segments too. */
     void enqueueAt(sim::Tick when, JobRequest req);
+
+    /**
+     * Hold the driver loop open: it no longer exits when idle with
+     * no future arrivals, so a stepped driver (the board balancer's
+     * windowed run loop) can keep feeding arrivals between run
+     * segments. Pair with close() before the final drain.
+     */
+    void holdOpen() { open = true; }
+
+    /** Let the driver loop exit once drained (ends holdOpen()). */
+    void close() { open = false; }
+
+    /**
+     * While held open, the driver wakes no later than @p when even
+     * with nothing pending, so it observes arrivals appended at the
+     * next host-phase boundary. Set per segment by the stepped
+     * driver.
+     */
+    void setIdleWake(sim::Tick when) { idleWake = when; }
 
     /**
      * Completion hook, fired after every job resolution (completed
@@ -266,6 +288,10 @@ class OffloadScheduler
      *  still-open quarantines are added at finalize(). */
     sim::Tick quarantineDownTicks = 0;
     bool started = false;
+    /** holdOpen() latch: keep the driver loop alive while idle. */
+    bool open = false;
+    /** Held-open idle wake bound (next window boundary). */
+    sim::Tick idleWake = 0;
 };
 
 } // namespace dpu::host

@@ -1,67 +1,6 @@
 #include "rack/balance.hh"
 
-#include <algorithm>
-
-#include "sim/logging.hh"
-
 namespace dpu::rack {
-
-LoadTracker::LoadTracker(unsigned n_partitions)
-    : counts(n_partitions, 0), totals(n_partitions, 0),
-      ewma(n_partitions, 0.0)
-{
-    sim_assert(n_partitions >= 1,
-               "load tracker needs at least one partition");
-}
-
-void
-LoadTracker::record(unsigned partition)
-{
-    sim_assert(partition < counts.size(),
-               "load recorded for unknown partition %u", partition);
-    ++counts[partition];
-    ++totals[partition];
-}
-
-void
-LoadTracker::roll(double alpha)
-{
-    sim_assert(alpha > 0 && alpha <= 1,
-               "EWMA alpha must be in (0, 1], got %f", alpha);
-    for (std::size_t i = 0; i < counts.size(); ++i) {
-        const double cur = double(counts[i]);
-        // Prime with the raw first window so a cold tracker does
-        // not need several windows to see an obvious hot spot.
-        ewma[i] = rolls == 0 ? cur
-                             : alpha * cur + (1.0 - alpha) * ewma[i];
-        counts[i] = 0;
-    }
-    ++rolls;
-}
-
-double
-LoadTracker::load(unsigned partition) const
-{
-    sim_assert(partition < ewma.size(),
-               "load queried for unknown partition %u", partition);
-    return ewma[partition];
-}
-
-std::uint64_t
-LoadTracker::windowLoad(unsigned partition) const
-{
-    sim_assert(partition < counts.size(),
-               "load queried for unknown partition %u", partition);
-    return counts[partition];
-}
-
-std::uint64_t
-LoadTracker::totalLoad(unsigned partition) const
-{
-    sim_assert(partition < totals.size(),
-               "load queried for unknown partition %u", partition);
-    return totals[partition];
-}
 
 std::vector<MigrationStep>
 planMigrations(const std::vector<double> &loads,
@@ -69,71 +8,12 @@ planMigrations(const std::vector<double> &loads,
                const BalanceParams &p,
                const std::vector<bool> &frozen)
 {
-    sim_assert(loads.size() == home.size(),
-               "partition load/home tables disagree: %zu vs %zu",
-               loads.size(), home.size());
-    std::vector<MigrationStep> plan;
-    if (n_boards < 2)
-        return plan;
-
-    std::vector<double> board(n_boards, 0.0);
-    double total = 0;
-    for (std::size_t part = 0; part < home.size(); ++part) {
-        sim_assert(home[part] < n_boards,
-                   "partition %zu homed off the rack (board %u)",
-                   part, home[part]);
-        board[home[part]] += loads[part];
-        total += loads[part];
-    }
-    const double mean = total / double(n_boards);
-
-    while (plan.size() < p.maxMigrationsPerWindow) {
-        // Hottest board, lowest index on ties.
-        unsigned src = 0;
-        for (unsigned b = 1; b < n_boards; ++b)
-            if (board[b] > board[src])
-                src = b;
-        if (board[src] <= p.hotFactor * mean || mean <= 0)
-            break;
-
-        // Coldest board, lowest index on ties.
-        unsigned dst = src == 0 ? 1 : 0;
-        for (unsigned b = 0; b < n_boards; ++b)
-            if (b != src && board[b] < board[dst])
-                dst = b;
-
-        // Heaviest movable partition on src whose move strictly
-        // improves the pair: the destination must stay below the
-        // source's pre-move load, else the hot spot just relocates
-        // (and the next window would bounce it straight back).
-        int pick = -1;
-        for (std::size_t part = 0; part < home.size(); ++part) {
-            if (home[part] != src)
-                continue;
-            if (part < frozen.size() && frozen[part])
-                continue;
-            if (loads[part] < p.minPartitionLoad)
-                continue;
-            if (board[dst] + loads[part] >= board[src])
-                continue;
-            if (pick < 0 || loads[part] > loads[pick])
-                pick = int(part);
-        }
-        if (pick < 0)
-            break;
-
-        MigrationStep step;
-        step.partition = unsigned(pick);
-        step.from = src;
-        step.to = dst;
-        step.load = loads[pick];
-        plan.push_back(step);
-
-        home[pick] = dst;
-        board[src] -= loads[pick];
-        board[dst] += loads[pick];
-    }
-    return plan;
+    board::PlannerParams planner;
+    planner.hotFactor = p.hotFactor;
+    planner.maxMigrationsPerWindow = p.maxMigrationsPerWindow;
+    planner.minPartitionLoad = p.minPartitionLoad;
+    return board::planMigrations(loads, home, n_boards, planner,
+                                 frozen);
 }
 
 } // namespace dpu::rack

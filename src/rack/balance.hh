@@ -6,22 +6,14 @@
  * Zipf hot spot lands whole partition groups on one board, whose
  * per-DPU queues saturate while the rest of the rack idles. The
  * balancer turns placement into a feedback loop, all of it inside
- * the host phase so the rack stays bit-deterministic:
+ * the host phase so the rack stays bit-deterministic.
  *
- *  - LoadTracker keeps a per-partition request count for the
- *    current observation window plus an EWMA across windows
- *    (load = alpha * window + (1 - alpha) * ewma), so a transient
- *    burst does not trigger a migration but a sustained step does.
- *
- *  - planMigrations() runs at each window boundary: it folds the
- *    partition EWMAs into per-board loads, flags boards hotter
- *    than `hotFactor` x the rack mean, and greedily picks up to
- *    `maxMigrationsPerWindow` (partition, from, to) moves onto the
- *    coldest boards. Every choice breaks ties by lowest index and
- *    requires strict improvement (the destination, with the
- *    partition added, must stay below the source's current load),
- *    so planning is deterministic and cannot oscillate a partition
- *    between two equally-loaded boards.
+ * The mechanism — windowed EWMA load tracking plus a deterministic
+ * greedy planner — is shared with the board tier (it moved to
+ * board/balance.hh when the DPU-level balancer learned to execute
+ * migrations through the real DMS descriptor path); this header
+ * keeps the rack-tier spelling: LoadTracker and MigrationStep are
+ * aliases, and planMigrations() takes the rack's BalanceParams.
  *
  * The RackScheduler executes the plan with a drain-then-switch
  * protocol (see scheduler.hh): state ships over the RackNet as
@@ -36,6 +28,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "board/balance.hh"
 #include "sim/types.hh"
 
 namespace dpu::rack {
@@ -63,57 +56,14 @@ struct BalanceParams
 };
 
 /** Windowed per-partition load: current-window counts + EWMA. */
-class LoadTracker
-{
-  public:
-    explicit LoadTracker(unsigned n_partitions);
-
-    unsigned size() const { return unsigned(counts.size()); }
-
-    /** Count one request aimed at @p partition. */
-    void record(unsigned partition);
-
-    /** Close the window: fold counts into the EWMAs and reset.
-     *  The first roll primes each EWMA with its raw count. */
-    void roll(double alpha);
-
-    /** Smoothed (EWMA) load of @p partition. */
-    double load(unsigned partition) const;
-    /** Requests seen for @p partition in the open window. */
-    std::uint64_t windowLoad(unsigned partition) const;
-    /** All smoothed loads, indexed by partition. */
-    const std::vector<double> &loads() const { return ewma; }
-    /** Lifetime requests recorded against @p partition. */
-    std::uint64_t totalLoad(unsigned partition) const;
-    unsigned rollsDone() const { return rolls; }
-
-  private:
-    std::vector<std::uint64_t> counts; ///< open window
-    std::vector<std::uint64_t> totals; ///< lifetime
-    std::vector<double> ewma;
-    unsigned rolls = 0;
-};
+using LoadTracker = board::LoadTracker;
 
 /** One planned partition move. */
-struct MigrationStep
-{
-    unsigned partition = 0;
-    unsigned from = 0;
-    unsigned to = 0;
-    /** The partition's smoothed load at planning time. */
-    double load = 0;
-};
+using MigrationStep = board::MigrationStep;
 
 /**
- * Plan up to maxMigrationsPerWindow moves off hot boards.
- *
- * @p loads       per-partition EWMA loads (LoadTracker::loads()).
- * @p home        partition -> owning board, updated in place as
- *                steps are planned (so one call never plans two
- *                moves of the same partition).
- * @p n_boards    board count.
- * @p frozen      partitions that may not move (in-flight
- *                migrations); indexed by partition, may be empty.
+ * Plan up to maxMigrationsPerWindow moves off hot boards; see
+ * board::planMigrations for the algorithm and its laws.
  *
  * Deterministic: identical inputs give identical plans.
  */

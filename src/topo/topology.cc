@@ -88,6 +88,13 @@ ClusterTopology::balance(const rack::BalanceParams &p)
 }
 
 ClusterTopology &
+ClusterTopology::boardBalance(const board::BalanceParams &p)
+{
+    boardBal_ = p;
+    return *this;
+}
+
+ClusterTopology &
 ClusterTopology::health(const rack::HealthParams &p)
 {
     place_.health = p;
@@ -158,6 +165,43 @@ ClusterTopology::validate() const
         if (link_.flitBytes == 0)
             return msg("the board link flit size must be positive "
                        "(LinkParams.flitBytes = 0)");
+        if (boardBal_.window) {
+            const board::BalanceParams &bal = boardBal_;
+            if (bal.ewmaAlpha <= 0 || bal.ewmaAlpha > 1)
+                return msg("the board balancer EWMA alpha must sit "
+                           "in (0, 1] (board BalanceParams."
+                           "ewmaAlpha = " +
+                           std::to_string(bal.ewmaAlpha) + ")");
+            if (bal.hotFactor < 1.0)
+                return msg("a board hotFactor below 1 flags every "
+                           "DPU hot (board BalanceParams."
+                           "hotFactor = " +
+                           std::to_string(bal.hotFactor) + ")");
+            if (bal.maxMigrationsPerWindow == 0)
+                return msg("an enabled board balancer needs a "
+                           "migration budget (board BalanceParams."
+                           "maxMigrationsPerWindow = 0)");
+            if (bal.keyPartitions == 0)
+                return msg("the board balancer needs at least one "
+                           "key partition (board BalanceParams."
+                           "keyPartitions = 0)");
+            if (bal.stagingBufBytes == 0 ||
+                bal.stagingBufBytes > 2048)
+                return msg("the board balancer staging buffer must "
+                           "be 1..2048 bytes (board BalanceParams."
+                           "stagingBufBytes = " +
+                           std::to_string(bal.stagingBufBytes) +
+                           ")");
+            if (bal.stateBytesPerPartition == 0 ||
+                bal.stateBytesPerPartition % 8 != 0)
+                return msg("partition state bytes must be a "
+                           "positive multiple of the 8-byte column "
+                           "width (board BalanceParams."
+                           "stateBytesPerPartition = " +
+                           std::to_string(
+                               bal.stateBytesPerPartition) +
+                           ")");
+        }
     }
 
     if (tier_ == Tier::Rack) {
@@ -250,6 +294,7 @@ ClusterTopology::boardParams() const
     p.threads = threads_;
     p.pinCores = pinCores_;
     p.lookahead = lookahead_;
+    p.balance = boardBal_;
     return p;
 }
 

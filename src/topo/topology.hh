@@ -91,6 +91,10 @@ class ClusterTopology
     /** Hot-shard balancer knobs (shorthand into placement). */
     ClusterTopology &balance(const rack::BalanceParams &p);
 
+    /** Intra-board live re-sharding knobs (board/balance.hh); the
+     *  default window = 0 keeps it off. Board and Rack tiers. */
+    ClusterTopology &boardBalance(const board::BalanceParams &p);
+
     /** Failure-detection / repair / brown-out knobs (shorthand
      *  into placement; heartbeatPeriod = 0 keeps it off). */
     ClusterTopology &health(const rack::HealthParams &p);
@@ -166,6 +170,7 @@ class ClusterTopology
     board::LinkParams link_{};
     rack::NetParams net_{};
     rack::PlacementParams place_{};
+    board::BalanceParams boardBal_{};
     unsigned threads_ = 1;
     bool pinCores_ = false;
     sim::Tick lookahead_ = 0;
